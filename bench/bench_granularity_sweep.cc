@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Reproduction of the Section 2.2 granularity discussion: sweep the
+ * number of bytes disambiguated per MDT entry. Coarse granularities
+ * reduce tag conflicts but manufacture spurious ordering violations
+ * among distinct addresses sharing a block; the paper concludes an
+ * 8-byte granularity is adequate for a 64-bit machine.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace slf;
+using namespace slf::bench;
+
+int
+main(int argc, char **argv)
+{
+    const Config opts = parseArgs(argc, argv);
+    WorkloadParams wp = workloadParams(opts);
+
+    // A handful of representative analogs keeps the sweep tractable.
+    const char *names[] = {"crafty", "gcc", "gzip", "twolf", "mgrid"};
+
+    printHeader("Section 2.2: MDT granularity sweep (baseline core)",
+                {"gran", "avgIPC", "viol/1k-mem", "confl/1k-mem"});
+
+    for (unsigned gran : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+        std::vector<double> ipcs;
+        double viols = 0, confl = 0, ops = 0;
+        for (const char *name : names) {
+            const WorkloadInfo *info = findWorkload(name);
+            const Program prog = info->make(wp);
+            CoreConfig cfg = baselineMdtSfc(MemDepMode::EnforceAll);
+            cfg.mdt.granularity = gran;
+            const SimResult r = runWorkload(cfg, prog);
+            ipcs.push_back(r.ipc);
+            viols += double(r.viol_true + r.viol_anti + r.viol_output);
+            confl += double(r.load_replays_mdt_conflict +
+                            r.store_replays_mdt_conflict);
+            ops += double(r.memOps());
+        }
+        printRow("gran=" + std::to_string(gran),
+                 {double(gran), mean(ipcs),
+                  ops > 0 ? 1000.0 * viols / ops : 0,
+                  ops > 0 ? 1000.0 * confl / ops : 0});
+    }
+    std::printf("\npaper: 8-byte granularity is adequate for a 64-bit "
+                "processor\n");
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Ablation of the Section 2.4 recovery optimizations on the aggressive
+ * core (where violations and structural conflicts are frequent enough
+ * to differentiate the policies), over the pathology-carrying analogs:
+ *  - true-dependence recovery: conservative (flush after the store) vs
+ *    optimized (flush from the single conflicting load, Sec. 2.4.1);
+ *  - output-dependence recovery: pipeline flush vs marking the SFC
+ *    entry corrupt (Sec. 2.4.2);
+ *  - structural-conflict replay: stall bits on vs off (Sec. 2.4.3).
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util.hh"
+
+using namespace slf;
+using namespace slf::bench;
+
+namespace
+{
+
+double
+avgIpc(const Config &opts, const CoreConfig &cfg)
+{
+    const WorkloadParams wp = workloadParams(opts);
+    std::vector<double> ipcs;
+    for (const auto &info : selectedWorkloads(opts)) {
+        const std::string name = info.name;
+        if (opts.getString("bench").empty() && name != "bzip2" &&
+            name != "mcf" && name != "gzip" && name != "vpr_route" &&
+            name != "ammp" && name != "equake" && name != "twolf" &&
+            name != "crafty") {
+            continue;   // the pathology carriers differentiate policies
+        }
+        const Program prog = info.make(wp);
+        ipcs.push_back(runWorkload(cfg, prog).ipc);
+    }
+    return mean(ipcs);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Config opts = parseArgs(argc, argv);
+
+    std::printf("## Section 2.4 recovery-policy ablation "
+                "(aggressive core, average IPC)\n\n");
+
+    const CoreConfig base =
+        aggressiveMdtSfc(MemDepMode::EnforceAllTotalOrder);
+    std::printf("%-44s %8.3f\n", "conservative recovery (paper default)",
+                avgIpc(opts, base));
+
+    CoreConfig opt_true = base;
+    opt_true.mdt.optimized_true_recovery = true;
+    std::printf("%-44s %8.3f\n", "+ optimized true-dep recovery (2.4.1)",
+                avgIpc(opts, opt_true));
+
+    CoreConfig out_corrupt = base;
+    out_corrupt.output_dep_marks_corrupt = true;
+    std::printf("%-44s %8.3f\n", "+ output-dep marks corrupt (2.4.2)",
+                avgIpc(opts, out_corrupt));
+
+    CoreConfig no_stall = base;
+    no_stall.stall_bits = false;
+    std::printf("%-44s %8.3f\n", "- stall-bit replay throttling (2.4.3)",
+                avgIpc(opts, no_stall));
+
+    CoreConfig all = base;
+    all.mdt.optimized_true_recovery = true;
+    all.output_dep_marks_corrupt = true;
+    std::printf("%-44s %8.3f\n", "all optimizations",
+                avgIpc(opts, all));
+    return 0;
+}

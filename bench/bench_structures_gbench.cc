@@ -1,0 +1,122 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the raw structure operations the
+ * paper's latency/power argument compares: an associative LSQ search
+ * (work grows with occupancy) versus address-indexed SFC/MDT accesses
+ * (constant work). Simulator-host nanoseconds stand in for relative
+ * circuit effort.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/mdt.hh"
+#include "core/sfc.hh"
+#include "lsq/lsq.hh"
+#include "mem/main_memory.hh"
+
+using namespace slf;
+
+namespace
+{
+
+void
+BM_LsqForwardSearch(benchmark::State &state)
+{
+    const auto occupancy = static_cast<std::size_t>(state.range(0));
+    MainMemory mem;
+    Lsq lsq({occupancy + 8, occupancy + 8},
+            [&mem](Addr a) { return mem.read8(a); });
+    SeqNum seq = 1;
+    for (std::size_t i = 0; i < occupancy; ++i) {
+        lsq.dispatchStore(seq, seq);
+        lsq.executeStore(seq, 0x1000 + 8 * i, 8, i);
+        ++seq;
+    }
+    lsq.dispatchLoad(seq, seq);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(lsq.executeLoad(seq, 0x1000, 8));
+    }
+    state.SetLabel("SQ occupancy " + std::to_string(occupancy));
+}
+
+void
+BM_LsqViolationSearch(benchmark::State &state)
+{
+    const auto occupancy = static_cast<std::size_t>(state.range(0));
+    MainMemory mem;
+    Lsq lsq({occupancy + 8, occupancy + 8},
+            [&mem](Addr a) { return mem.read8(a); });
+    SeqNum seq = 1;
+    lsq.dispatchStore(seq, seq);
+    const SeqNum store_seq = seq++;
+    for (std::size_t i = 0; i < occupancy; ++i) {
+        lsq.dispatchLoad(seq, seq);
+        lsq.executeLoad(seq, 0x9000 + 8 * i, 8);
+        lsq.loadCompleted(seq, 0);
+        ++seq;
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            lsq.executeStore(store_seq, 0x20000, 8, 1));
+    }
+    state.SetLabel("LQ occupancy " + std::to_string(occupancy));
+}
+
+void
+BM_SfcLoadRead(benchmark::State &state)
+{
+    SfcParams params;
+    params.sets = static_cast<std::uint64_t>(state.range(0));
+    params.assoc = 2;
+    Sfc sfc(params);
+    for (std::uint64_t i = 0; i < params.sets; ++i)
+        sfc.storeWrite(i * 8, 8, i, 100 + i);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sfc.loadRead(0x40, 8));
+    }
+    state.SetLabel(std::to_string(params.sets) + " sets");
+}
+
+void
+BM_SfcStoreWrite(benchmark::State &state)
+{
+    SfcParams params;
+    params.sets = static_cast<std::uint64_t>(state.range(0));
+    params.assoc = 2;
+    Sfc sfc(params);
+    SeqNum seq = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sfc.storeWrite(0x40, 8, 7, seq++));
+    }
+}
+
+void
+BM_MdtAccess(benchmark::State &state)
+{
+    MdtParams params;
+    params.sets = static_cast<std::uint64_t>(state.range(0));
+    params.assoc = 2;
+    Mdt mdt(params);
+    mdt.setOldestInflight(1);
+    SeqNum seq = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mdt.accessLoad(0x80, 8, seq, 1));
+        benchmark::DoNotOptimize(mdt.accessStore(0x80, 8, seq + 1, 2));
+        mdt.retireLoad(0x80, 8, seq);
+        mdt.retireStore(0x80, 8, seq + 1);
+        seq += 2;
+    }
+    state.SetLabel(std::to_string(params.sets) + " sets");
+}
+
+} // namespace
+
+// The LSQ search cost scales with occupancy...
+BENCHMARK(BM_LsqForwardSearch)->Arg(8)->Arg(32)->Arg(80)->Arg(256);
+BENCHMARK(BM_LsqViolationSearch)->Arg(8)->Arg(48)->Arg(120)->Arg(256);
+// ...while the indexed structures are flat in their capacity.
+BENCHMARK(BM_SfcLoadRead)->Arg(128)->Arg(512)->Arg(4096);
+BENCHMARK(BM_SfcStoreWrite)->Arg(128)->Arg(512)->Arg(4096);
+BENCHMARK(BM_MdtAccess)->Arg(4096)->Arg(8192)->Arg(65536);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,123 @@
+#include "bench_util.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace slf::bench
+{
+
+Config
+parseArgs(int argc, char **argv)
+{
+    Config opts;
+    opts.parseAssignments(std::vector<std::string>(argv + 1, argv + argc));
+    return opts;
+}
+
+WorkloadParams
+workloadParams(const Config &opts)
+{
+    WorkloadParams wp;
+    wp.scale = opts.getUInt("scale", 1);
+    wp.seed = opts.getUInt("wseed", 42);
+    return wp;
+}
+
+std::vector<WorkloadInfo>
+selectedWorkloads(const Config &opts)
+{
+    std::vector<WorkloadInfo> out;
+    const std::string filter = opts.getString("bench");
+    for (const auto &info : spec2000Analogs())
+        if (filter.empty() || filter == info.name)
+            out.push_back(info);
+    return out;
+}
+
+CoreConfig
+baselineLsq(std::size_t lq, std::size_t sq)
+{
+    CoreConfig cfg = CoreConfig::baseline();
+    cfg.subsys = MemSubsystem::LsqBaseline;
+    cfg.memdep.mode = MemDepMode::LsqStoreSet;
+    cfg.lsq.lq_entries = lq;
+    cfg.lsq.sq_entries = sq;
+    return cfg;
+}
+
+CoreConfig
+baselineMdtSfc(MemDepMode mode)
+{
+    CoreConfig cfg = CoreConfig::baseline();
+    cfg.subsys = MemSubsystem::MdtSfc;
+    cfg.memdep.mode = mode;
+    return cfg;
+}
+
+CoreConfig
+aggressiveLsq(std::size_t lq, std::size_t sq)
+{
+    CoreConfig cfg = CoreConfig::aggressive();
+    cfg.subsys = MemSubsystem::LsqBaseline;
+    cfg.memdep.mode = MemDepMode::LsqStoreSet;
+    cfg.lsq.lq_entries = lq;
+    cfg.lsq.sq_entries = sq;
+    return cfg;
+}
+
+CoreConfig
+aggressiveMdtSfc(MemDepMode mode)
+{
+    CoreConfig cfg = CoreConfig::aggressive();
+    cfg.subsys = MemSubsystem::MdtSfc;
+    cfg.memdep.mode = mode;
+    return cfg;
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / double(values.size());
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v > 0 ? v : 1e-9);
+    return std::exp(log_sum / double(values.size()));
+}
+
+void
+printHeader(const std::string &title,
+            const std::vector<std::string> &columns)
+{
+    std::printf("## %s\n\n", title.c_str());
+    std::printf("%-12s", "bench");
+    for (const auto &c : columns)
+        std::printf(" %12s", c.c_str());
+    std::printf("\n");
+    for (std::size_t i = 0; i < 13 + 13 * columns.size(); ++i)
+        std::printf("-");
+    std::printf("\n");
+}
+
+void
+printRow(const std::string &name, const std::vector<double> &cells)
+{
+    std::printf("%-12s", name.c_str());
+    for (double v : cells)
+        std::printf(" %12.3f", v);
+    std::printf("\n");
+    std::fflush(stdout);
+}
+
+} // namespace slf::bench

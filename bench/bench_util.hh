@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared helpers for the experiment-reproduction benches: configuration
+ * factories, normalized-IPC table printing, and class averages, in the
+ * shape the paper's figures use.
+ *
+ * Every bench accepts "key=value" arguments; `scale=N` multiplies
+ * workload iteration counts, `bench=<name>` restricts to one analog.
+ */
+
+#ifndef SLFWD_BENCH_BENCH_UTIL_HH_
+#define SLFWD_BENCH_BENCH_UTIL_HH_
+
+#include <string>
+#include <vector>
+
+#include "cpu/core_config.hh"
+#include "driver/runner.hh"
+#include "sim/config.hh"
+#include "workloads/workloads.hh"
+
+namespace slf::bench
+{
+
+/** Parse argv into a Config of key=value overrides. */
+Config parseArgs(int argc, char **argv);
+
+/** Workload parameters from the parsed options. */
+WorkloadParams workloadParams(const Config &opts);
+
+/** The benchmark list, honouring an optional bench=<name> filter. */
+std::vector<WorkloadInfo> selectedWorkloads(const Config &opts);
+
+/** Baseline core with the idealized LSQ (store-set predictor). */
+CoreConfig baselineLsq(std::size_t lq, std::size_t sq);
+
+/** Baseline core with the paper's MDT/SFC in a given predictor mode. */
+CoreConfig baselineMdtSfc(MemDepMode mode);
+
+/** Aggressive core with the idealized LSQ. */
+CoreConfig aggressiveLsq(std::size_t lq, std::size_t sq);
+
+/** Aggressive core with the MDT/SFC. */
+CoreConfig aggressiveMdtSfc(MemDepMode mode);
+
+/** Arithmetic mean (the paper's per-class average of normalized IPC). */
+double mean(const std::vector<double> &values);
+
+/** Geometric mean, for reference alongside the arithmetic one. */
+double geomean(const std::vector<double> &values);
+
+/** Print a standard table header. */
+void printHeader(const std::string &title,
+                 const std::vector<std::string> &columns);
+
+/** Print one row: name + numeric cells. */
+void printRow(const std::string &name, const std::vector<double> &cells);
+
+} // namespace slf::bench
+
+#endif // SLFWD_BENCH_BENCH_UTIL_HH_

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Authoring a custom workload with ProgramBuilder and sweeping the SFC
+ * geometry: a histogram kernel whose stores collide in small SFCs.
+ *
+ * Usage: custom_workload [sets=...] [key=value ...]
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "driver/runner.hh"
+#include "prog/builder.hh"
+#include "sim/config.hh"
+
+using namespace slf;
+
+namespace
+{
+
+/** Histogram over 256 buckets with a power-of-2-strided second table. */
+Program
+makeHistogram()
+{
+    ProgramBuilder b("histogram", WorkloadClass::Int);
+    const std::int64_t buckets = 0x200000;
+    const std::int64_t mirror = 0x200000 + 128 * 1024;   // SFC-aliasing
+
+    b.movi(1, 0x2a);       // rng
+    b.movi(6, 0);
+    b.movi(10, 15000);     // iterations
+    Label top = b.newLabel();
+    b.bind(top);
+    // LCG step.
+    b.movi(9, 0x5851f42d4c957f2dLL);
+    b.mul(1, 1, 9);
+    b.addi(1, 1, 0x14057b7ef767814fLL);
+    // bucket = (r >> 24) & 0xff
+    b.shri(2, 1, 24);
+    b.andi(2, 2, 0xff);
+    b.shli(2, 2, 3);
+    b.movi(3, buckets);
+    b.add(3, 3, 2);
+    // buckets[b]++ and a mirrored update 128 KiB away (same SFC set).
+    b.ld8(4, 3, 0);
+    b.addi(4, 4, 1);
+    b.st8(4, 3, 0);
+    b.movi(5, mirror);
+    b.add(5, 5, 2);
+    b.st8(4, 5, 0);
+    b.add(6, 6, 4);
+    b.addi(10, 10, -1);
+    b.bne(10, 0, top);
+    return b.build();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Config overrides;
+    overrides.parseAssignments(
+        std::vector<std::string>(argv + 1, argv + argc));
+
+    const Program prog = makeHistogram();
+    std::printf("custom workload '%s' (%zu static insts)\n\n",
+                prog.name().c_str(), prog.size());
+    std::printf("%8s %8s %10s %12s %12s\n", "sets", "assoc", "IPC",
+                "stReplays", "sfcForwards");
+
+    for (std::uint64_t sets : {8u, 32u, 128u, 512u}) {
+        for (unsigned assoc : {1u, 2u, 4u}) {
+            CoreConfig cfg = CoreConfig::baseline();
+            cfg.subsys = MemSubsystem::MdtSfc;
+            cfg.sfc.sets = sets;
+            cfg.sfc.assoc = assoc;
+            applyOverrides(cfg, overrides);
+            cfg.sfc.sets = overrides.getUInt("sfc.sets", sets);
+            const SimResult r = runWorkload(cfg, prog);
+            std::printf("%8llu %8u %10.3f %12llu %12llu\n",
+                        (unsigned long long)cfg.sfc.sets, cfg.sfc.assoc,
+                        r.ipc,
+                        (unsigned long long)r.store_replays_sfc_conflict,
+                        (unsigned long long)r.sfc_forwards);
+        }
+    }
+    std::printf("\nsmaller or less associative SFCs replay more stores; "
+                "forwarding survives because the\nROB-head bypass and "
+                "entry scavenging guarantee forward progress.\n");
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * General-purpose simulator driver: run any SPEC 2000 analog (or micro
+ * workload) under any configuration and print the full statistics.
+ *
+ * Usage:
+ *   simulate <workload> [preset=baseline|aggressive] [key=value ...]
+ *
+ * Examples:
+ *   simulate mcf preset=aggressive
+ *   simulate bzip2 subsys=lsq lsq.lq=48 lsq.sq=32
+ *   simulate gzip memdep.mode=true scale=4 stats=1
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cpu/ooo_core.hh"
+#include "driver/runner.hh"
+#include "sim/config.hh"
+#include "workloads/workloads.hh"
+
+using namespace slf;
+
+namespace
+{
+
+void
+usage()
+{
+    std::printf("usage: simulate <workload> [preset=...] [key=value ...]\n"
+                "workloads:");
+    for (const auto &info : spec2000Analogs())
+        std::printf(" %s", info.name);
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 1;
+    }
+    const std::string name = argv[1];
+    const WorkloadInfo *info = findWorkload(name);
+    if (!info) {
+        std::fprintf(stderr, "unknown workload '%s'\n", name.c_str());
+        usage();
+        return 1;
+    }
+
+    Config overrides;
+    overrides.parseAssignments(
+        std::vector<std::string>(argv + 2, argv + argc));
+
+    WorkloadParams wp;
+    wp.scale = overrides.getUInt("scale", 1);
+    wp.seed = overrides.getUInt("wseed", 42);
+    const Program prog = info->make(wp);
+
+    CoreConfig cfg = overrides.getString("preset", "baseline") ==
+                             "aggressive"
+                         ? CoreConfig::aggressive()
+                         : CoreConfig::baseline();
+    applyOverrides(cfg, overrides);
+
+    std::printf("workload %s (%s): %s\n", info->name,
+                info->cls == WorkloadClass::Int ? "int" : "fp",
+                info->behaviour);
+
+    OooCore core(cfg, prog);
+    core.run();
+
+    std::printf("\ncycles %llu  insts %llu  IPC %.3f\n",
+                (unsigned long long)core.cycles(),
+                (unsigned long long)core.instsRetired(), core.ipc());
+    std::printf("\n%s", core.coreStats().toString().c_str());
+    std::printf("%s", core.memUnit().unitStats().toString().c_str());
+    if (overrides.getBool("stats", false)) {
+        std::printf("%s", core.memDep().stats().toString().c_str());
+        std::printf("%s", core.caches().l1i().stats().toString().c_str());
+        std::printf("%s", core.caches().l1d().stats().toString().c_str());
+        std::printf("%s", core.caches().l2().stats().toString().c_str());
+        if (auto *u = dynamic_cast<MdtSfcUnit *>(&core.memUnit())) {
+            std::printf("%s", u->mdt().stats().toString().c_str());
+            std::printf("%s", u->sfc().stats().toString().c_str());
+            std::printf("%s", u->storeFifo().stats().toString().c_str());
+        } else if (auto *l = dynamic_cast<LsqUnit *>(&core.memUnit())) {
+            std::printf("%s", l->lsq().stats().toString().c_str());
+        }
+    }
+    return 0;
+}

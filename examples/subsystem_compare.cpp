@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Run every SPEC 2000 analog on both memory subsystems (baseline core)
+ * and print a per-benchmark comparison: the live version of the paper's
+ * Figure 5 for interactive exploration.
+ *
+ * Usage: subsystem_compare [scale=N] [key=value ...]
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "driver/runner.hh"
+#include "sim/config.hh"
+#include "workloads/workloads.hh"
+
+using namespace slf;
+
+int
+main(int argc, char **argv)
+{
+    Config overrides;
+    overrides.parseAssignments(
+        std::vector<std::string>(argv + 1, argv + argc));
+
+    WorkloadParams wp;
+    wp.scale = overrides.getUInt("scale", 1);
+    wp.seed = overrides.getUInt("wseed", 42);
+
+    std::printf("%-10s %5s | %7s %7s %7s | %6s %6s %6s | %7s\n",
+                "bench", "cls", "lsqIPC", "sfcIPC", "rel",
+                "violT", "violA", "violO", "replays");
+    std::printf("%.*s\n", 86,
+                "-----------------------------------------------------"
+                "---------------------------------");
+
+    for (const auto &info : spec2000Analogs()) {
+        const Program prog = info.make(wp);
+
+        CoreConfig lsq_cfg = CoreConfig::baseline();
+        lsq_cfg.subsys = MemSubsystem::LsqBaseline;
+        lsq_cfg.memdep.mode = MemDepMode::LsqStoreSet;
+        applyOverrides(lsq_cfg, overrides);
+        lsq_cfg.subsys = MemSubsystem::LsqBaseline;
+        lsq_cfg.memdep.mode = MemDepMode::LsqStoreSet;
+
+        CoreConfig sfc_cfg = CoreConfig::baseline();
+        sfc_cfg.subsys = MemSubsystem::MdtSfc;
+        applyOverrides(sfc_cfg, overrides);
+        sfc_cfg.subsys = MemSubsystem::MdtSfc;
+
+        const SimResult lsq = runWorkload(lsq_cfg, prog);
+        const SimResult sfc = runWorkload(sfc_cfg, prog);
+
+        std::printf("%-10s %5s | %7.3f %7.3f %7.3f | %6llu %6llu %6llu "
+                    "| %7llu\n",
+                    info.name,
+                    info.cls == WorkloadClass::Int ? "int" : "fp",
+                    lsq.ipc, sfc.ipc,
+                    lsq.ipc > 0 ? sfc.ipc / lsq.ipc : 0.0,
+                    static_cast<unsigned long long>(sfc.viol_true),
+                    static_cast<unsigned long long>(sfc.viol_anti),
+                    static_cast<unsigned long long>(sfc.viol_output),
+                    static_cast<unsigned long long>(sfc.replays));
+    }
+    return 0;
+}

@@ -1,0 +1,89 @@
+#include "func_sim.hh"
+
+#include "sim/logging.hh"
+
+namespace slf
+{
+
+FuncSim::FuncSim(const Program &prog) : prog_(prog)
+{
+    mem_.loadInitialImage(prog);
+}
+
+RetireRecord
+FuncSim::step()
+{
+    RetireRecord rec;
+
+    if (halted_) {
+        rec.op = Op::HALT;
+        rec.pc = pc_;
+        rec.next_pc = pc_;
+        rec.is_halt = true;
+        return rec;
+    }
+
+    if (!prog_.validPc(pc_))
+        fatal("FuncSim: PC out of range: " + std::to_string(pc_));
+
+    const StaticInst &inst = prog_.inst(pc_);
+    rec.pc = pc_;
+    rec.op = inst.op;
+    rec.next_pc = pc_ + 1;
+
+    const std::uint64_t a = regs_[inst.src1];
+    const std::uint64_t b = regs_[inst.src2];
+    const Op op = inst.op;
+
+    if (op == Op::NOP) {
+        // nothing
+    } else if (op == Op::HALT) {
+        rec.is_halt = true;
+        rec.next_pc = pc_;
+        halted_ = true;
+    } else if (isLoad(op)) {
+        rec.is_mem = true;
+        rec.size = memAccessSize(op);
+        rec.addr = a + static_cast<std::uint64_t>(inst.imm);
+        rec.result = mem_.readBytes(rec.addr, rec.size);
+        rec.wrote_reg = inst.dst != 0;
+        rec.dst = inst.dst;
+        if (inst.dst != 0)
+            regs_[inst.dst] = rec.result;
+    } else if (isStore(op)) {
+        rec.is_mem = true;
+        rec.size = memAccessSize(op);
+        rec.addr = a + static_cast<std::uint64_t>(inst.imm);
+        const unsigned bits = rec.size * 8;
+        rec.store_value = bits >= 64 ? b
+            : (b & ((std::uint64_t{1} << bits) - 1));
+        mem_.writeBytes(rec.addr, rec.store_value, rec.size);
+    } else if (isControl(op)) {
+        rec.is_control = true;
+        rec.taken = branchTaken(op, a, b);
+        rec.next_pc = rec.taken ? inst.branchTarget : pc_ + 1;
+    } else {
+        // ALU / FP-class.
+        rec.result = executeAlu(op, a, b, inst.imm);
+        rec.wrote_reg = inst.dst != 0;
+        rec.dst = inst.dst;
+        if (inst.dst != 0)
+            regs_[inst.dst] = rec.result;
+    }
+
+    pc_ = rec.next_pc;
+    ++insts_retired_;
+    return rec;
+}
+
+std::vector<RetireRecord>
+FuncSim::run(std::uint64_t max_insts)
+{
+    std::vector<RetireRecord> trace;
+    trace.reserve(max_insts);
+    while (!halted_ && trace.size() < max_insts)
+        trace.push_back(step());
+    return trace;
+}
+
+} // namespace slf

@@ -1,0 +1,315 @@
+#include "sfc.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace
+{
+
+/** Targeted tracing for SLFWD_WATCH_ADDR. */
+bool
+watched(slf::Addr addr, unsigned size)
+{
+    const std::uint64_t w = slf::Debug::watchAddr();
+    return w != 0 && w >= addr && w < addr + size;
+}
+
+} // namespace
+
+namespace slf
+{
+
+Sfc::Sfc(const SfcParams &params)
+    : params_(params),
+      stats_("sfc"),
+      store_writes_(stats_.counter("store_writes")),
+      load_reads_(stats_.counter("load_reads")),
+      full_matches_(stats_.counter("full_matches")),
+      partial_matches_(stats_.counter("partial_matches")),
+      corrupt_hits_(stats_.counter("corrupt_hits")),
+      conflicts_(stats_.counter("set_conflicts")),
+      partial_flushes_(stats_.counter("partial_flushes")),
+      scavenged_(stats_.counter("scavenged_entries"))
+{
+    if (params.sets == 0 || (params.sets & (params.sets - 1)) != 0)
+        fatal("Sfc: set count must be a nonzero power of two");
+    if (params.assoc == 0)
+        fatal("Sfc: associativity must be nonzero");
+    entries_.resize(params.sets * params.assoc);
+}
+
+std::uint64_t
+Sfc::setIndex(std::uint64_t word) const
+{
+    // Low-order address bits, as in the paper (Section 3.2 discusses the
+    // conflict pathologies this simple hash creates).
+    return word & (params_.sets - 1);
+}
+
+void
+Sfc::freeEntry(Entry &e)
+{
+    e = Entry{};
+    ++evictions_;
+}
+
+void
+Sfc::scavengeSet(std::uint64_t set)
+{
+    Entry *base = &entries_[set * params_.assoc];
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        Entry &e = base[w];
+        // Dead entry: its youngest writer predates the oldest in-flight
+        // instruction, so every store that wrote it has committed or was
+        // squashed; the cache hierarchy is authoritative again.
+        if (e.valid && e.last_store_seq < oldest_inflight_) {
+            ++scavenged_;
+            freeEntry(e);
+        }
+    }
+}
+
+Sfc::Entry *
+Sfc::find(std::uint64_t word)
+{
+    Entry *base = &entries_[setIndex(word) * params_.assoc];
+    for (unsigned w = 0; w < params_.assoc; ++w)
+        if (base[w].valid && base[w].word == word)
+            return &base[w];
+    return nullptr;
+}
+
+Sfc::Entry *
+Sfc::findOrAlloc(std::uint64_t word)
+{
+    const std::uint64_t set = setIndex(word);
+    Entry *base = &entries_[set * params_.assoc];
+    ++lru_clock_;
+
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        if (base[w].valid && base[w].word == word) {
+            base[w].lru = lru_clock_;
+            return &base[w];
+        }
+    }
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        for (unsigned w = 0; w < params_.assoc; ++w) {
+            if (!base[w].valid) {
+                Entry &e = base[w];
+                e.valid = true;
+                e.word = word;
+                e.lru = lru_clock_;
+                e.data.fill(0);
+                e.valid_mask = 0;
+                e.corrupt_mask = 0;
+                e.last_store_seq = kInvalidSeqNum;
+                return &e;
+            }
+        }
+        if (attempt == 0)
+            scavengeSet(set);
+    }
+    return nullptr;
+}
+
+SfcStoreResult
+Sfc::storeWrite(Addr addr, unsigned size, std::uint64_t value, SeqNum seq)
+{
+    ++store_writes_;
+    if (watched(addr, size)) {
+        std::fprintf(stderr,
+                     "[Watch] sfc storeWrite addr %#" PRIx64 " size %u"
+                     " value %#" PRIx64 " seq %" PRIu64 "\n",
+                     addr, size, value, seq);
+    }
+
+    // A store may straddle two aligned words; both must be writable.
+    for (unsigned i = 0; i < size; ++i) {
+        const Addr byte_addr = addr + i;
+        Entry *e = findOrAlloc(byte_addr / kSfcWordBytes);
+        if (!e) {
+            ++conflicts_;
+            return SfcStoreResult::Conflict;
+        }
+        const unsigned off = byte_addr % kSfcWordBytes;
+        e->data[off] = static_cast<std::uint8_t>(value >> (8 * i));
+        e->valid_mask |= static_cast<std::uint8_t>(1u << off);
+        e->corrupt_mask &= static_cast<std::uint8_t>(~(1u << off));
+        if (e->last_store_seq == kInvalidSeqNum || seq > e->last_store_seq)
+            e->last_store_seq = seq;
+        if (e->first_store_seq == kInvalidSeqNum || seq < e->first_store_seq)
+            e->first_store_seq = seq;
+    }
+    return SfcStoreResult::Ok;
+}
+
+SfcLoadResult
+Sfc::loadRead(Addr addr, unsigned size)
+{
+    ++load_reads_;
+    SfcLoadResult result;
+    bool any_valid = false;
+    bool all_valid = true;
+    bool any_corrupt = false;
+
+    for (unsigned i = 0; i < size; ++i) {
+        const Addr byte_addr = addr + i;
+        const std::uint64_t word = byte_addr / kSfcWordBytes;
+        Entry *e = find(word);
+        if (e && (e->corrupt_mask || e->valid_mask) &&
+            e->last_store_seq < oldest_inflight_) {
+            // Opportunistically reclaim dead entries hit by loads so that
+            // replaying loads eventually make progress (Section 2.3's
+            // example: the corrupt entry clears once its writers drain).
+            scavengeSet(setIndex(word));
+            e = find(word);
+        }
+        if (!e) {
+            all_valid = false;
+            continue;
+        }
+        const unsigned off = byte_addr % kSfcWordBytes;
+        const std::uint8_t bit = static_cast<std::uint8_t>(1u << off);
+        if (e->corrupt_mask & bit)
+            any_corrupt = true;
+        if (params_.use_flush_endpoints && e->valid_mask &&
+            writersMaybeCanceled(e->first_store_seq, e->last_store_seq)) {
+            // Flush-endpoint mode: any of the entry's writers may have
+            // been canceled by a recorded flush; refuse to forward.
+            any_corrupt = true;
+        }
+        if (e->valid_mask & bit) {
+            any_valid = true;
+            result.value |= std::uint64_t{e->data[off]} << (8 * i);
+            result.valid_mask |= static_cast<std::uint8_t>(1u << i);
+        } else {
+            all_valid = false;
+        }
+    }
+
+    if (any_corrupt) {
+        ++corrupt_hits_;
+        result.status = SfcLoadResult::Status::Corrupt;
+    } else if (any_valid && all_valid) {
+        ++full_matches_;
+        result.status = SfcLoadResult::Status::Full;
+    } else if (any_valid) {
+        ++partial_matches_;
+        result.status = SfcLoadResult::Status::Partial;
+    } else {
+        result.status = SfcLoadResult::Status::Miss;
+    }
+    if (watched(addr, size)) {
+        std::fprintf(stderr,
+                     "[Watch] sfc loadRead addr %#" PRIx64 " size %u"
+                     " -> status %d value %#" PRIx64 " mask %#x\n",
+                     addr, size, static_cast<int>(result.status),
+                     result.value, result.valid_mask);
+    }
+    return result;
+}
+
+void
+Sfc::retireStore(Addr addr, unsigned size, SeqNum seq)
+{
+    if (watched(addr, size)) {
+        Entry *e = find(addr / kSfcWordBytes);
+        std::fprintf(stderr,
+                     "[Watch] sfc retireStore addr %#" PRIx64 " seq %"
+                     PRIu64 " entry_last_seq %" PRIu64 "\n",
+                     addr, seq, e ? e->last_store_seq : 0);
+    }
+    for (unsigned i = 0; i < size; ++i) {
+        const std::uint64_t word = (addr + i) / kSfcWordBytes;
+        Entry *e = find(word);
+        if (e && e->last_store_seq == seq)
+            freeEntry(*e);
+        // Skip the remaining bytes of this word.
+        const Addr word_end = (word + 1) * kSfcWordBytes;
+        if (word_end > addr + i + 1)
+            i += static_cast<unsigned>(word_end - (addr + i) - 1);
+    }
+}
+
+void
+Sfc::markCorrupt(Addr addr, unsigned size)
+{
+    for (unsigned i = 0; i < size; ++i) {
+        const Addr byte_addr = addr + i;
+        Entry *e = find(byte_addr / kSfcWordBytes);
+        if (!e)
+            continue;
+        const unsigned off = byte_addr % kSfcWordBytes;
+        e->corrupt_mask |= static_cast<std::uint8_t>(1u << off);
+    }
+}
+
+bool
+Sfc::writersMaybeCanceled(SeqNum a, SeqNum b) const
+{
+    for (const FlushRange &r : flush_ranges_)
+        if (a <= r.to && r.from <= b)
+            return true;
+    return false;
+}
+
+void
+Sfc::expireFlushRanges()
+{
+    std::erase_if(flush_ranges_, [this](const FlushRange &r) {
+        // Once the oldest in-flight instruction passes the range, every
+        // entry whose writers fall inside it is dead and will be
+        // scavenged; the range itself is no longer needed.
+        return r.to < oldest_inflight_;
+    });
+}
+
+void
+Sfc::partialFlush(SeqNum from, SeqNum to)
+{
+    ++partial_flushes_;
+    if (params_.use_flush_endpoints) {
+        expireFlushRanges();
+        if (flush_ranges_.size() >= params_.max_flush_ranges) {
+            // Overflow: merge everything into one conservative range.
+            FlushRange merged = flush_ranges_.front();
+            for (const FlushRange &r : flush_ranges_) {
+                merged.from = std::min(merged.from, r.from);
+                merged.to = std::max(merged.to, r.to);
+            }
+            merged.from = std::min(merged.from, from);
+            merged.to = std::max(merged.to, to);
+            flush_ranges_.clear();
+            flush_ranges_.push_back(merged);
+        } else {
+            flush_ranges_.push_back(FlushRange{from, to});
+        }
+        return;
+    }
+    for (auto &e : entries_) {
+        if (e.valid)
+            e.corrupt_mask |= e.valid_mask;
+    }
+}
+
+void
+Sfc::fullFlush()
+{
+    for (auto &e : entries_)
+        e = Entry{};
+    flush_ranges_.clear();
+}
+
+std::uint64_t
+Sfc::validEntries() const
+{
+    std::uint64_t n = 0;
+    for (const auto &e : entries_)
+        n += e.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace slf

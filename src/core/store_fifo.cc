@@ -1,0 +1,90 @@
+#include "store_fifo.hh"
+
+#include "sim/logging.hh"
+
+namespace slf
+{
+
+StoreFifo::StoreFifo(std::size_t capacity)
+    : capacity_(capacity),
+      stats_("store_fifo"),
+      allocated_(stats_.counter("allocated")),
+      retired_(stats_.counter("retired")),
+      squashed_(stats_.counter("squashed"))
+{
+    if (capacity == 0)
+        fatal("StoreFifo: capacity must be nonzero");
+}
+
+bool
+StoreFifo::allocate(SeqNum seq)
+{
+    if (slots_.size() >= capacity_)
+        return false;
+    if (!slots_.empty() && slots_.back().seq >= seq)
+        panic("StoreFifo::allocate: sequence numbers must increase");
+    Slot slot;
+    slot.seq = seq;
+    slots_.push_back(slot);
+    ++allocated_;
+    return true;
+}
+
+void
+StoreFifo::fill(SeqNum seq, Addr addr, unsigned size, std::uint64_t value)
+{
+    // Stores execute out of order, so search from the tail (recently
+    // dispatched stores execute most often); this is simulator-side
+    // bookkeeping, not a modelled CAM.
+    for (auto it = slots_.rbegin(); it != slots_.rend(); ++it) {
+        if (it->seq == seq) {
+            it->data_valid = true;
+            it->addr = addr;
+            it->size = size;
+            it->value = value;
+            return;
+        }
+    }
+    panic("StoreFifo::fill: no slot for sequence number");
+}
+
+StoreFifo::Slot
+StoreFifo::retireHead(SeqNum seq)
+{
+    if (slots_.empty())
+        panic("StoreFifo::retireHead: empty");
+    Slot slot = slots_.front();
+    if (slot.seq != seq)
+        panic("StoreFifo::retireHead: out-of-order retirement");
+    if (!slot.data_valid)
+        panic("StoreFifo::retireHead: store retired before executing");
+    slots_.pop_front();
+    ++retired_;
+    return slot;
+}
+
+void
+StoreFifo::squashFrom(SeqNum seq)
+{
+    while (!slots_.empty() && slots_.back().seq >= seq) {
+        slots_.pop_back();
+        ++squashed_;
+    }
+}
+
+void
+StoreFifo::clear()
+{
+    squashed_ += slots_.size();
+    slots_.clear();
+}
+
+const StoreFifo::Slot &
+StoreFifo::head() const
+{
+    if (slots_.empty())
+        panic("StoreFifo::head: empty");
+    return slots_.front();
+}
+
+} // namespace slf

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Store FIFO (paper Sections 1-2): a plain, non-associative queue that
+ * buffers stores for in-order, non-speculative retirement into the
+ * cache. With the SFC handling forwarding, this is all that remains of
+ * the conventional store queue.
+ *
+ * A store allocates a slot at dispatch, fills in its address/value when
+ * it executes, and drains the slot at retirement. Partial flushes pop
+ * squashed (younger) entries off the tail.
+ */
+
+#ifndef SLFWD_CORE_STORE_FIFO_HH_
+#define SLFWD_CORE_STORE_FIFO_HH_
+
+#include <cstdint>
+#include <deque>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace slf
+{
+
+class StoreFifo
+{
+  public:
+    struct Slot
+    {
+        SeqNum seq = kInvalidSeqNum;
+        bool data_valid = false;
+        Addr addr = 0;
+        unsigned size = 0;
+        std::uint64_t value = 0;
+    };
+
+    explicit StoreFifo(std::size_t capacity);
+
+    /**
+     * Allocate a slot for the store with sequence number @p seq at
+     * dispatch. Sequence numbers must arrive in increasing order.
+     * @return false if the FIFO is full (dispatch must stall).
+     */
+    bool allocate(SeqNum seq);
+
+    /** The store executed: record its address and data. */
+    void fill(SeqNum seq, Addr addr, unsigned size, std::uint64_t value);
+
+    /**
+     * The store at the head retires.
+     * @return the drained slot (its data must be valid).
+     */
+    Slot retireHead(SeqNum seq);
+
+    /** Squash every slot with sequence number >= @p seq. */
+    void squashFrom(SeqNum seq);
+
+    /** Drop everything. */
+    void clear();
+
+    bool full() const { return slots_.size() >= capacity_; }
+    bool empty() const { return slots_.empty(); }
+    std::size_t size() const { return slots_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+    /** Access the head slot without draining (for tests). */
+    const Slot &head() const;
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    std::size_t capacity_;
+    std::deque<Slot> slots_;
+    StatGroup stats_;
+    Counter &allocated_;
+    Counter &retired_;
+    Counter &squashed_;
+};
+
+} // namespace slf
+
+#endif // SLFWD_CORE_STORE_FIFO_HH_

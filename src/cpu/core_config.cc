@@ -1,0 +1,52 @@
+#include "core_config.hh"
+
+namespace slf
+{
+
+CoreConfig
+CoreConfig::baseline()
+{
+    CoreConfig cfg;
+    cfg.width = 4;
+    cfg.max_branches_per_fetch = 1;
+    cfg.rob_entries = 128;
+    cfg.sched_entries = 128;
+    cfg.num_fus = 4;
+
+    cfg.mdt.sets = 4 * 1024;
+    cfg.mdt.assoc = 2;
+    cfg.sfc.sets = 128;
+    cfg.sfc.assoc = 2;
+
+    cfg.lsq.lq_entries = 48;
+    cfg.lsq.sq_entries = 32;
+
+    cfg.memdep.table_entries = 16 * 1024;
+    cfg.memdep.num_set_ids = 4 * 1024;
+    cfg.memdep.lfpt_entries = 512;
+    cfg.memdep.mode = MemDepMode::EnforceAll;
+    return cfg;
+}
+
+CoreConfig
+CoreConfig::aggressive()
+{
+    CoreConfig cfg = baseline();
+    cfg.width = 8;
+    cfg.max_branches_per_fetch = 8;
+    cfg.rob_entries = 1024;
+    cfg.sched_entries = 1024;
+    cfg.num_fus = 8;
+    cfg.fetch_queue_entries = 32;
+
+    cfg.mdt.sets = 8 * 1024;
+    cfg.sfc.sets = 512;
+
+    cfg.lsq.lq_entries = 120;
+    cfg.lsq.sq_entries = 80;
+
+    cfg.memdep.mode = MemDepMode::EnforceAllTotalOrder;
+    return cfg;
+}
+
+} // namespace slf

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Aggregate configuration of the out-of-order core (paper Figure 4).
+ */
+
+#ifndef SLFWD_CPU_CORE_CONFIG_HH_
+#define SLFWD_CPU_CORE_CONFIG_HH_
+
+#include <cstdint>
+
+#include "core/mdt.hh"
+#include "core/sfc.hh"
+#include "lsq/lsq.hh"
+#include "mem/cache.hh"
+#include "pred/memdep.hh"
+#include "sim/types.hh"
+
+namespace slf
+{
+
+/** Which memory ordering/forwarding subsystem the core uses. */
+enum class MemSubsystem : std::uint8_t
+{
+    LsqBaseline,  ///< idealized load/store queue
+    MdtSfc,       ///< the paper's SFC + MDT + store FIFO
+    ValueReplay,  ///< Cain/Lipasti retirement-time value checking
+};
+
+struct CoreConfig
+{
+    // Pipeline shape.
+    unsigned width = 4;                  ///< fetch/dispatch/issue/retire
+    unsigned max_branches_per_fetch = 1;
+    unsigned rob_entries = 128;
+    unsigned sched_entries = 128;
+    unsigned num_fus = 4;
+    unsigned fetch_queue_entries = 16;
+
+    // Latencies (cycles).
+    Cycle alu_latency = 1;
+    Cycle mul_latency = 3;
+    Cycle fp_latency = 4;
+    Cycle load_latency = 2;       ///< address calc + L1D/SFC access (hit)
+    Cycle store_latency = 1;
+    Cycle mispredict_penalty = 8;
+    Cycle replay_delay = 2;       ///< re-ready delay after a replay
+
+    // Branch prediction.
+    unsigned gshare_bits = 8192;
+    unsigned gshare_history_bits = 12;
+    double oracle_fix_prob = 0.8;
+
+    // Memory subsystem selection and parameters.
+    MemSubsystem subsys = MemSubsystem::MdtSfc;
+    LsqParams lsq;
+    SfcParams sfc;
+    MdtParams mdt;
+    MemDepParams memdep;
+
+    /** +1 cycle store latency modelling the SFC tag check (Section 3). */
+    bool sfc_store_extra_cycle = true;
+    /** +1 cycle violation penalty modelling the MDT tag check. */
+    Cycle mdt_violation_extra_penalty = 1;
+    /** Stall-bit replay throttling (Section 2.4.3). */
+    bool stall_bits = true;
+    /** SFC partial match: merge missing bytes from the cache (true) or
+     *  replay the load (false) — Section 2.3 allows either. */
+    bool partial_match_merges = true;
+    /** ROB-head instructions bypass the MDT/SFC (Section 2.2). */
+    bool head_bypass = true;
+    /** Output-dependence violations mark the SFC entry corrupt instead
+     *  of flushing (Section 2.4.2 alternative policy). */
+    bool output_dep_marks_corrupt = false;
+    /** ValueReplay: re-check only loads that issued past an unresolved
+     *  older store (vulnerability filtering) instead of every load. */
+    bool value_replay_filtered = true;
+
+    // Cache hierarchy (Figure 4 defaults).
+    CacheGeometry l1i{"l1i", 8 * 1024, 2, 128, 10};
+    CacheGeometry l1d{"l1d", 8 * 1024, 4, 64, 10};
+    CacheGeometry l2{"l2", 512 * 1024, 8, 128, 100};
+
+    // Run control.
+    std::uint64_t max_insts = 1'000'000;
+    std::uint64_t max_cycles = 0;        ///< 0 = unlimited
+    std::uint64_t rng_seed = 1;
+    bool validate = true;                ///< lockstep golden-model checks
+
+    /** Baseline 4-wide configuration (Figure 4, left column). */
+    static CoreConfig baseline();
+
+    /** Aggressive 8-wide configuration (Figure 4, right column). */
+    static CoreConfig aggressive();
+};
+
+} // namespace slf
+
+#endif // SLFWD_CPU_CORE_CONFIG_HH_

@@ -1,0 +1,798 @@
+#include "ooo_core.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace slf
+{
+
+OooCore::OooCore(const CoreConfig &cfg, const Program &prog)
+    : cfg_(cfg),
+      prog_(prog),
+      caches_(cfg.l1i, cfg.l1d, cfg.l2),
+      gshare_(cfg.gshare_bits, cfg.gshare_history_bits),
+      oracle_rng_(cfg.rng_seed),
+      memdep_(cfg.memdep),
+      golden_(prog),
+      stats_("core"),
+      insts_retired_(stats_.counter("insts_retired")),
+      loads_retired_(stats_.counter("loads_retired")),
+      stores_retired_(stats_.counter("stores_retired")),
+      branches_retired_(stats_.counter("branches_retired")),
+      mispredicts_(stats_.counter("branch_mispredicts")),
+      oracle_fixes_(stats_.counter("oracle_fixed_mispredicts")),
+      replays_(stats_.counter("mem_replays")),
+      violation_flushes_true_(stats_.counter("violation_flushes_true")),
+      violation_flushes_anti_(stats_.counter("violation_flushes_anti")),
+      violation_flushes_output_(stats_.counter("violation_flushes_output")),
+      spurious_violations_(stats_.counter("spurious_violations")),
+      dispatch_stalls_(stats_.counter("dispatch_stall_cycles"))
+{
+    if (cfg_.width == 0 || cfg_.num_fus == 0 || cfg_.rob_entries == 0 ||
+        cfg_.sched_entries == 0) {
+        fatal("OooCore: pipeline dimensions must be nonzero");
+    }
+
+    mem_.loadInitialImage(prog);
+    memu_ = makeMemUnit(cfg_, mem_, caches_, memdep_);
+
+    // Precompute the architectural control trace (fetch oracle + path
+    // tracking). It must cover everything fetch can reach before the
+    // retirement limit stops the run.
+    {
+        FuncSim tracer(prog);
+        const std::uint64_t limit = cfg_.max_insts + cfg_.rob_entries +
+                                    cfg_.fetch_queue_entries + 64;
+        trace_pc_.reserve(limit);
+        trace_next_pc_.reserve(limit);
+        trace_taken_.reserve(limit);
+        while (!tracer.halted() && trace_pc_.size() < limit) {
+            const RetireRecord rec = tracer.step();
+            trace_pc_.push_back(rec.pc);
+            trace_next_pc_.push_back(rec.next_pc);
+            trace_taken_.push_back(rec.taken ? 1 : 0);
+        }
+    }
+
+    // Physical register file: arch regs plus one rename slot per window
+    // entry. preg 0 is the hardwired zero register and is never freed.
+    const std::size_t npregs =
+        kNumArchRegs + cfg_.rob_entries + cfg_.width * 2;
+    if (npregs > kInvalidPhysReg)
+        fatal("OooCore: physical register file too large for PhysRegIndex");
+    preg_val_.assign(npregs, 0);
+    preg_ready_.assign(npregs, 1);
+    for (std::size_t p = npregs; p-- > 1;)
+        preg_free_.push_back(static_cast<PhysRegIndex>(p));
+    rat_.fill(0);
+
+    tag_ready_.assign(memdep_.numTags(), 1);
+    tag_owner_seq_.assign(memdep_.numTags(), kInvalidSeqNum);
+}
+
+SeqNum
+OooCore::oldestInflightSeq() const
+{
+    if (!rob_.empty())
+        return rob_.front().seq;
+    if (!fetchq_.empty())
+        return fetchq_.front().seq;
+    return next_seq_;
+}
+
+DynInst *
+OooCore::findInst(SeqNum seq)
+{
+    auto it = std::lower_bound(
+        rob_.begin(), rob_.end(), seq,
+        [](const DynInst &d, SeqNum s) { return d.seq < s; });
+    if (it != rob_.end() && it->seq == seq)
+        return &*it;
+    return nullptr;
+}
+
+bool
+OooCore::sourcesReady(const DynInst &inst) const
+{
+    if (readsSrc1(inst.si.op) && !preg_ready_[inst.src1_preg])
+        return false;
+    if (readsSrc2(inst.si.op) && !preg_ready_[inst.src2_preg])
+        return false;
+    return true;
+}
+
+bool
+OooCore::consumedTagReady(const DynInst &inst) const
+{
+    if (!inst.has_consumed_tag)
+        return true;
+    if (tag_ready_[inst.consumed_tag])
+        return true;
+    // The tag was recycled to another producer: the original producer is
+    // gone (retired or squashed), so the dependence is satisfied.
+    return tag_owner_seq_[inst.consumed_tag] != inst.consumed_tag_owner;
+}
+
+Cycle
+OooCore::opLatency(Op op) const
+{
+    if (isMul(op))
+        return cfg_.mul_latency;
+    if (op == Op::FDIV)
+        return cfg_.fp_latency * 3;
+    if (isFpClass(op))
+        return cfg_.fp_latency;
+    return cfg_.alu_latency;
+}
+
+void
+OooCore::scheduleCompletion(DynInst &inst, Cycle latency)
+{
+    completions_.emplace_back(cycle_ + std::max<Cycle>(latency, 1),
+                              inst.seq);
+}
+
+void
+OooCore::writebackDst(DynInst &inst)
+{
+    if (inst.dst_preg == kInvalidPhysReg)
+        return;
+    preg_val_[inst.dst_preg] = inst.result;
+    preg_ready_[inst.dst_preg] = 1;
+}
+
+void
+OooCore::readyProducedTag(DynInst &inst)
+{
+    if (inst.has_produced_tag)
+        tag_ready_[inst.produced_tag] = 1;
+}
+
+// ---------------------------------------------------------------------
+// Recovery
+// ---------------------------------------------------------------------
+
+std::uint64_t
+OooCore::squashFrom(SeqNum seq)
+{
+    std::uint64_t squashed = 0;
+
+    while (!fetchq_.empty() && fetchq_.back().seq >= seq) {
+        fetchq_.pop_back();
+        ++squashed;
+    }
+
+    while (!rob_.empty() && rob_.back().seq >= seq) {
+        DynInst &d = rob_.back();
+        if (d.in_scheduler) {
+            if (d.stalled && stalled_count_ > 0)
+                --stalled_count_;
+            sched_.erase(d.seq);
+        }
+        if (d.dst_preg != kInvalidPhysReg) {
+            rat_[d.dst_arch] = d.old_dst_preg;
+            if (d.dst_preg != 0)
+                preg_free_.push_back(d.dst_preg);
+        }
+        if (d.has_produced_tag) {
+            tag_ready_[d.produced_tag] = 1;
+            memdep_.releaseTag(d.produced_tag);
+        }
+        rob_.pop_back();
+        ++squashed;
+    }
+
+    memu_->squashFrom(seq);
+    if (squashed > 0)
+        ++squash_count_;
+    return squashed;
+}
+
+void
+OooCore::clearStallBits()
+{
+    if (stalled_count_ == 0)
+        return;
+    for (auto &[seq, inst] : sched_)
+        inst->stalled = false;
+    stalled_count_ = 0;
+}
+
+void
+OooCore::recoverBranchMispredict(DynInst &branch)
+{
+    ++mispredicts_;
+
+    // Capture restore state before the squash invalidates references.
+    const std::uint64_t redirect_pc = branch.actual_next_pc;
+    const bool on_cp = branch.on_correct_path;
+    const std::uint64_t cp_index = branch.cp_index;
+    const std::uint16_t ghist = branch.ghist;
+    const bool taken = branch.taken;
+    const SeqNum squash_seq = branch.seq + 1;
+
+    const SeqNum squash_to = next_seq_ - 1;
+    const std::uint64_t squashed = squashFrom(squash_seq);
+    if (squashed > 0)
+        memu_->onPartialFlush(squash_seq, squash_to);
+
+    gshare_.restoreHistory(ghist);
+    gshare_.updateHistory(taken);
+
+    fetch_pc_ = redirect_pc;
+    if (on_cp && cp_index < trace_next_pc_.size()) {
+        fetch_on_cp_ = (redirect_pc == trace_next_pc_[cp_index]);
+    } else {
+        fetch_on_cp_ = false;
+    }
+    fetch_cp_index_ = cp_index + 1;
+    fetch_halted_ = false;
+    fetch_ready_cycle_ = cycle_ + cfg_.mispredict_penalty;
+
+    clearStallBits();
+}
+
+void
+OooCore::recoverViolation(const MemIssueOutcome &outcome)
+{
+    // Locate the oldest in-flight instruction at or after the squash
+    // point; the fetch stage restarts at its PC with its recorded
+    // fetch-path state.
+    DynInst *victim = nullptr;
+    auto it = std::lower_bound(
+        rob_.begin(), rob_.end(), outcome.squash_from,
+        [](const DynInst &d, SeqNum s) { return d.seq < s; });
+    if (it != rob_.end()) {
+        victim = &*it;
+    } else {
+        for (auto &d : fetchq_) {
+            if (d.seq >= outcome.squash_from) {
+                victim = &d;
+                break;
+            }
+        }
+    }
+
+    if (!victim) {
+        // Violation relative to canceled instructions only: nothing to
+        // do (the MDT is conservative about stale state).
+        ++spurious_violations_;
+        return;
+    }
+
+    switch (outcome.dep_kind) {
+      case DepKind::True: ++violation_flushes_true_; break;
+      case DepKind::Anti: ++violation_flushes_anti_; break;
+      case DepKind::Output: ++violation_flushes_output_; break;
+    }
+
+    const std::uint64_t redirect_pc = victim->pc;
+    const bool on_cp = victim->on_correct_path;
+    const std::uint64_t cp_index = victim->cp_index;
+    const std::uint16_t ghist = victim->ghist;
+
+    const SeqNum squash_to = next_seq_ - 1;
+    const std::uint64_t squashed = squashFrom(outcome.squash_from);
+    if (squashed > 0)
+        memu_->onPartialFlush(outcome.squash_from, squash_to);
+
+    gshare_.restoreHistory(ghist);
+    fetch_pc_ = redirect_pc;
+    fetch_on_cp_ = on_cp;
+    fetch_cp_index_ = cp_index;
+    fetch_halted_ = false;
+
+    Cycle penalty = cfg_.mispredict_penalty;
+    if (cfg_.subsys == MemSubsystem::MdtSfc)
+        penalty += cfg_.mdt_violation_extra_penalty;
+    fetch_ready_cycle_ = cycle_ + penalty;
+
+    clearStallBits();
+}
+
+// ---------------------------------------------------------------------
+// Retire
+// ---------------------------------------------------------------------
+
+void
+OooCore::validateRetirement(const DynInst &inst)
+{
+    const RetireRecord g = golden_.step();
+    auto mismatch = [&](const char *what) {
+        std::ostringstream oss;
+        oss << "retirement validation failed (" << what << "): seq "
+            << inst.seq << " pc " << inst.pc << " ("
+            << disassemble(inst.si) << ") result 0x" << std::hex
+            << inst.result << " addr 0x" << inst.addr
+            << " vs golden pc 0x" << g.pc << " result 0x" << g.result
+            << " addr 0x" << g.addr;
+        panic(oss.str());
+    };
+
+    if (g.pc != inst.pc)
+        mismatch("pc");
+    if (g.op != inst.si.op)
+        mismatch("opcode");
+    if (g.wrote_reg) {
+        if (inst.dst_preg == kInvalidPhysReg || inst.result != g.result)
+            mismatch("result");
+    }
+    if (g.is_mem) {
+        if (inst.addr != g.addr || inst.size != g.size)
+            mismatch("address");
+        if (isStore(g.op) && inst.store_value != g.store_value)
+            mismatch("store value");
+    }
+    if (g.is_control) {
+        if (inst.taken != g.taken || inst.actual_next_pc != g.next_pc)
+            mismatch("control flow");
+    }
+}
+
+void
+OooCore::retireStage()
+{
+    for (unsigned n = 0; n < cfg_.width && !rob_.empty() && !done_; ++n) {
+        DynInst &head = rob_.front();
+        if (!head.completed)
+            break;
+
+        if (head.isLoadInst() && !memu_->retireLoad(head)) {
+            // Retirement-time value check failed (value-replay scheme):
+            // flush from the load itself and refetch. This is the large
+            // recovery penalty the paper attributes to retirement-time
+            // disambiguation in big-window processors (Section 4).
+            MemIssueOutcome out;
+            out.kind = MemIssueOutcome::Kind::Violation;
+            out.dep_kind = DepKind::True;
+            out.squash_from = head.seq;
+            recoverViolation(out);
+            break;
+        }
+
+        if (cfg_.validate)
+            validateRetirement(head);
+
+        if (head.isLoadInst()) {
+            ++loads_retired_;
+        } else if (head.isStoreInst()) {
+            memu_->retireStore(head);
+            ++stores_retired_;
+        } else if (isControl(head.si.op)) {
+            ++branches_retired_;
+        }
+
+        if (head.has_produced_tag) {
+            tag_ready_[head.produced_tag] = 1;
+            memdep_.releaseTag(head.produced_tag);
+        }
+        if (head.dst_preg != kInvalidPhysReg && head.old_dst_preg != 0)
+            preg_free_.push_back(head.old_dst_preg);
+
+        const bool was_halt = head.si.op == Op::HALT;
+        ++insts_retired_;
+        last_retire_cycle_ = cycle_;
+        rob_.pop_front();
+
+        if (was_halt || insts_retired_.value() >= cfg_.max_insts)
+            done_ = true;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Complete
+// ---------------------------------------------------------------------
+
+void
+OooCore::completeInst(DynInst &inst)
+{
+    inst.completed = true;
+    writebackDst(inst);
+
+    if (inst.isCondBranch()) {
+        gshare_.train(inst.pc, inst.ghist, inst.taken);
+        if (inst.mispredicted)
+            recoverBranchMispredict(inst);
+    }
+}
+
+void
+OooCore::completeStage()
+{
+    // Gather events due this cycle, process in sequence order for
+    // determinism, and drop events for squashed instructions.
+    std::vector<SeqNum> due;
+    for (std::size_t i = 0; i < completions_.size();) {
+        if (completions_[i].first <= cycle_) {
+            due.push_back(completions_[i].second);
+            completions_[i] = completions_.back();
+            completions_.pop_back();
+        } else {
+            ++i;
+        }
+    }
+    std::sort(due.begin(), due.end());
+
+    for (SeqNum seq : due) {
+        DynInst *inst = findInst(seq);
+        if (!inst || inst->completed)
+            continue;   // squashed in the meantime
+        completeInst(*inst);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Issue
+// ---------------------------------------------------------------------
+
+bool
+OooCore::executeAtIssue(DynInst &inst)
+{
+    const Op op = inst.si.op;
+    const std::uint64_t v1 =
+        readsSrc1(op) ? preg_val_[inst.src1_preg] : 0;
+    const std::uint64_t v2 =
+        readsSrc2(op) ? preg_val_[inst.src2_preg] : 0;
+
+    if (isBranch(op)) {
+        inst.taken = branchTaken(op, v1, v2);
+        inst.actual_next_pc =
+            inst.taken ? inst.si.branchTarget : inst.pc + 1;
+        inst.mispredicted = inst.actual_next_pc != inst.predicted_next_pc;
+        scheduleCompletion(inst, cfg_.alu_latency);
+        return true;
+    }
+
+    if (isLoad(op) || isStore(op)) {
+        inst.addr = v1 + static_cast<std::uint64_t>(inst.si.imm);
+        inst.size = memAccessSize(op);
+        const bool at_head = !rob_.empty() && rob_.front().seq == inst.seq;
+
+        MemIssueOutcome out;
+        if (isLoad(op)) {
+            out = memu_->issueLoad(inst, at_head);
+        } else {
+            const unsigned bits = inst.size * 8;
+            inst.store_value =
+                bits >= 64 ? v2 : (v2 & ((std::uint64_t{1} << bits) - 1));
+            out = memu_->issueStore(inst, at_head);
+        }
+
+        switch (out.kind) {
+          case MemIssueOutcome::Kind::Complete:
+            if (isLoad(op))
+                inst.result = out.load_value;
+            readyProducedTag(inst);
+            scheduleCompletion(inst,
+                               (isLoad(op) ? cfg_.load_latency
+                                           : cfg_.store_latency) +
+                                   out.extra_latency);
+            return true;
+
+          case MemIssueOutcome::Kind::Replay:
+            ++replays_;
+            ++inst.replays;
+            if (cfg_.stall_bits)
+                inst.stalled = true;
+            inst.retry_cycle = cycle_ + cfg_.replay_delay;
+            return false;
+
+          case MemIssueOutcome::Kind::Violation:
+            if (isStore(op)) {
+                // The store itself completes; the flush point is
+                // strictly younger.
+                inst.result = 0;
+                readyProducedTag(inst);
+                scheduleCompletion(inst,
+                                   cfg_.store_latency + out.extra_latency);
+                recoverViolation(out);
+                return true;
+            }
+            // Anti violation: the executing load itself is squashed.
+            recoverViolation(out);
+            return true;   // no reinsertion: instruction is gone
+        }
+    }
+
+    // Plain ALU / FP-class instruction.
+    inst.result = executeAlu(op, v1, v2, inst.si.imm);
+    scheduleCompletion(inst, opLatency(op));
+    return true;
+}
+
+void
+OooCore::issueStage()
+{
+    const unsigned limit = std::min(cfg_.width, cfg_.num_fus);
+    unsigned issued = 0;
+
+    std::vector<std::pair<SeqNum, DynInst *>> candidates(sched_.begin(),
+                                                         sched_.end());
+    const std::uint64_t epoch = squash_count_;
+    for (auto &[seq, snap] : candidates) {
+        if (issued >= limit)
+            break;
+        // Snapshot pointers stay valid until the first squash; after
+        // one, re-resolve through the ROB.
+        DynInst *inst = squash_count_ == epoch ? snap : findInst(seq);
+        if (!inst || !inst->in_scheduler)
+            continue;   // squashed by an earlier candidate's recovery
+
+        const bool at_head = !rob_.empty() && rob_.front().seq == seq;
+        if (inst->stalled && !at_head)
+            continue;
+        if (cycle_ < inst->retry_cycle && !at_head)
+            continue;
+        if (!sourcesReady(*inst))
+            continue;
+        if (!consumedTagReady(*inst) && !at_head)
+            continue;
+
+        sched_.erase(seq);
+        if (inst->stalled && stalled_count_ > 0) {
+            --stalled_count_;
+            inst->stalled = false;
+        }
+        inst->in_scheduler = false;
+        inst->issued = true;
+        ++issued;
+
+        if (!executeAtIssue(*inst)) {
+            // Replayed: back into the scheduler.
+            sched_.emplace(seq, inst);
+            inst->in_scheduler = true;
+            inst->issued = false;
+            if (inst->stalled)
+                ++stalled_count_;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------
+
+void
+OooCore::dispatchStage()
+{
+    bool stalled = false;
+    for (unsigned n = 0; n < cfg_.width && !fetchq_.empty(); ++n) {
+        DynInst &inst = fetchq_.front();
+        const Op op = inst.si.op;
+        const bool completes_at_dispatch =
+            op == Op::NOP || op == Op::HALT || op == Op::JMP;
+        const bool has_dst = writesDst(op) && inst.si.dst != 0;
+        const bool is_mem = isMem(op);
+
+        // Side-effect-free resource checks first.
+        if (rob_.size() >= cfg_.rob_entries ||
+            (!completes_at_dispatch &&
+             sched_.size() >= cfg_.sched_entries) ||
+            (has_dst && preg_free_.empty()) ||
+            (isLoad(op) && !memu_->canDispatchLoad()) ||
+            (isStore(op) && !memu_->canDispatchStore())) {
+            stalled = true;
+            break;
+        }
+
+        // Memory dependence prediction (may stall on tag exhaustion).
+        if (is_mem) {
+            auto lookup = memdep_.dispatch(inst.pc, isLoad(op), isStore(op));
+            if (!lookup) {
+                stalled = true;
+                break;
+            }
+            if (lookup->consumed) {
+                inst.has_consumed_tag = true;
+                inst.consumed_tag = *lookup->consumed;
+                inst.consumed_tag_owner = tag_owner_seq_[*lookup->consumed];
+            }
+            if (lookup->produced) {
+                inst.has_produced_tag = true;
+                inst.produced_tag = *lookup->produced;
+                tag_ready_[*lookup->produced] = 0;
+                tag_owner_seq_[*lookup->produced] = inst.seq;
+            }
+        }
+
+        // Commit remaining resources.
+        if (isLoad(op)) {
+            if (!memu_->dispatchLoad(inst))
+                panic("dispatchLoad failed after capacity check");
+        } else if (isStore(op)) {
+            if (!memu_->dispatchStore(inst))
+                panic("dispatchStore failed after capacity check");
+        }
+
+        // Rename.
+        if (readsSrc1(op))
+            inst.src1_preg = rat_[inst.si.src1];
+        if (readsSrc2(op))
+            inst.src2_preg = rat_[inst.si.src2];
+        if (has_dst) {
+            inst.dst_arch = inst.si.dst;
+            inst.old_dst_preg = rat_[inst.si.dst];
+            inst.dst_preg = preg_free_.back();
+            preg_free_.pop_back();
+            preg_ready_[inst.dst_preg] = 0;
+            rat_[inst.si.dst] = inst.dst_preg;
+        }
+
+        if (completes_at_dispatch) {
+            inst.completed = true;
+            if (op == Op::JMP) {
+                inst.taken = true;
+                inst.actual_next_pc = inst.si.branchTarget;
+            } else if (op == Op::HALT) {
+                inst.actual_next_pc = inst.pc;
+            }
+        } else {
+            inst.in_scheduler = true;
+        }
+
+        rob_.push_back(inst);
+        if (rob_.back().in_scheduler)
+            sched_.emplace(rob_.back().seq, &rob_.back());
+        fetchq_.pop_front();
+    }
+    if (stalled)
+        ++dispatch_stalls_;
+}
+
+// ---------------------------------------------------------------------
+// Fetch
+// ---------------------------------------------------------------------
+
+void
+OooCore::fetchStage()
+{
+    if (done_ || fetch_halted_ || cycle_ < fetch_ready_cycle_)
+        return;
+    if (fetchq_.size() >= cfg_.fetch_queue_entries)
+        return;
+
+    // One I-cache access per fetch group; a miss stalls fetch.
+    const Cycle ilat =
+        caches_.accessInst(kTextBase + fetch_pc_ * kInstBytes);
+    if (ilat > 0) {
+        fetch_ready_cycle_ = cycle_ + ilat;
+        return;
+    }
+
+    unsigned branches = 0;
+    for (unsigned i = 0; i < cfg_.width; ++i) {
+        if (fetchq_.size() >= cfg_.fetch_queue_entries)
+            break;
+        if (!prog_.validPc(fetch_pc_)) {
+            // Ran off the text segment (only reachable on a wrong path);
+            // stall until a flush redirects us.
+            fetch_halted_ = true;
+            break;
+        }
+
+        const StaticInst &si = prog_.inst(fetch_pc_);
+        if (isControl(si.op) && branches >= cfg_.max_branches_per_fetch)
+            break;
+
+        DynInst d;
+        d.seq = next_seq_++;
+        d.pc = fetch_pc_;
+        d.si = si;
+        d.on_correct_path = fetch_on_cp_;
+        d.cp_index = fetch_cp_index_;
+        d.ghist = gshare_.history();
+
+        if (fetch_on_cp_ && fetch_cp_index_ < trace_pc_.size() &&
+            trace_pc_[fetch_cp_index_] != fetch_pc_) {
+            panic("fetch: correct-path tracking diverged from trace");
+        }
+
+        if (si.op == Op::HALT) {
+            d.predicted_next_pc = fetch_pc_;
+            fetchq_.push_back(d);
+            if (fetch_on_cp_)
+                ++fetch_cp_index_;
+            fetch_halted_ = true;
+            break;
+        }
+
+        std::uint64_t next = fetch_pc_ + 1;
+        bool pred_taken = false;
+        if (si.op == Op::JMP) {
+            ++branches;
+            pred_taken = true;
+            next = si.branchTarget;
+        } else if (isBranch(si.op)) {
+            ++branches;
+            pred_taken = gshare_.predict(fetch_pc_);
+            if (fetch_on_cp_ && fetch_cp_index_ < trace_taken_.size()) {
+                const bool actual = trace_taken_[fetch_cp_index_] != 0;
+                if (pred_taken != actual &&
+                    oracle_rng_.chance(cfg_.oracle_fix_prob)) {
+                    // Figure 4: the oracle turns 80% of would-be
+                    // mispredictions into correct predictions.
+                    pred_taken = actual;
+                    ++oracle_fixes_;
+                }
+            }
+            gshare_.updateHistory(pred_taken);
+            next = pred_taken ? si.branchTarget : fetch_pc_ + 1;
+        }
+
+        d.predicted_taken = pred_taken;
+        d.predicted_next_pc = next;
+        fetchq_.push_back(d);
+
+        // Path tracking for the fetch oracle.
+        if (fetch_on_cp_) {
+            if (fetch_cp_index_ < trace_next_pc_.size()) {
+                const std::uint64_t correct_next =
+                    trace_next_pc_[fetch_cp_index_];
+                if (next != correct_next)
+                    fetch_on_cp_ = false;
+            } else {
+                fetch_on_cp_ = false;
+            }
+        }
+        ++fetch_cp_index_;
+        fetch_pc_ = next;
+
+        if (isControl(si.op) && pred_taken)
+            break;   // taken redirect: resume at the target next cycle
+    }
+}
+
+// ---------------------------------------------------------------------
+// Top level
+// ---------------------------------------------------------------------
+
+bool
+OooCore::tick()
+{
+    if (done_)
+        return false;
+
+    memu_->setOldestInflight(oldestInflightSeq());
+
+    // Section 2.4.3: clear every stall bit whenever the MDT or SFC
+    // evicts an entry.
+    const std::uint64_t evictions = memu_->evictionCount();
+    if (evictions != last_eviction_count_) {
+        last_eviction_count_ = evictions;
+        clearStallBits();
+    }
+
+    retireStage();
+    if (!done_) {
+        completeStage();
+        issueStage();
+        dispatchStage();
+        fetchStage();
+    }
+    ++cycle_;
+
+    if (cfg_.max_cycles && cycle_ >= cfg_.max_cycles)
+        done_ = true;
+
+    if (!rob_.empty() && cycle_ - last_retire_cycle_ > 500000) {
+        std::ostringstream oss;
+        oss << "OooCore deadlock: no retirement for 500000 cycles at cycle "
+            << cycle_ << ", ROB head seq " << rob_.front().seq << " pc "
+            << rob_.front().pc << " (" << disassemble(rob_.front().si)
+            << ")";
+        panic(oss.str());
+    }
+
+    return !done_;
+}
+
+void
+OooCore::run()
+{
+    while (tick()) {
+    }
+}
+
+} // namespace slf

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Execution-driven out-of-order superscalar core (paper Section 3).
+ *
+ * The core executes *all* instructions, including wrong-path ones, and
+ * validates every retiring instruction against a lockstep architectural
+ * simulator, matching the paper's methodology. It models:
+ *
+ *  - fetch along the predicted path (gshare + the Figure-4 oracle that
+ *    converts 80% of correct-path mispredictions into correct
+ *    predictions), with a per-cycle branch limit;
+ *  - checkpointed, Alpha-style renaming with one recovery point per
+ *    window slot (implemented as ROB-walk rename-map rollback, which is
+ *    functionally identical to per-instruction RAT checkpoints);
+ *  - a scheduler that enforces predicted memory dependences through
+ *    dependence tags, does not speculatively wake consumers of loads
+ *    before the load completes, and supports memory-unit replay with
+ *    stall-bit throttling (Section 2.4.3);
+ *  - a pluggable memory-ordering unit: idealized LSQ, or SFC + MDT +
+ *    store FIFO;
+ *  - partial-flush recovery for branch mispredictions and memory
+ *    ordering violations (full flushes only occur between programs).
+ *
+ * The memory-unit access is evaluated at issue time; the access outcome
+ * (complete / replay / violation) is therefore known when the paper's
+ * idealized scheduler needs it, making the "oracle that avoids waking
+ * consumers of replayed producers" exact rather than approximate.
+ */
+
+#ifndef SLFWD_CPU_OOO_CORE_HH_
+#define SLFWD_CPU_OOO_CORE_HH_
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "arch/func_sim.hh"
+#include "cpu/core_config.hh"
+#include "cpu/dyn_inst.hh"
+#include "cpu/mem_unit.hh"
+#include "mem/cache.hh"
+#include "mem/main_memory.hh"
+#include "pred/gshare.hh"
+#include "pred/memdep.hh"
+#include "prog/program.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+
+namespace slf
+{
+
+class OooCore
+{
+  public:
+    /** @param prog must outlive the core (held by reference). */
+    OooCore(const CoreConfig &cfg, const Program &prog);
+
+    /** Run until HALT retires, max_insts retire, or max_cycles pass. */
+    void run();
+
+    /** Single-step one cycle (returns false once finished). */
+    bool tick();
+
+    bool finished() const { return done_; }
+    Cycle cycles() const { return cycle_; }
+    std::uint64_t instsRetired() const { return insts_retired_.value(); }
+    double ipc() const
+    {
+        return cycle_ ? double(instsRetired()) / double(cycle_) : 0.0;
+    }
+
+    // Introspection for stats harvesting and tests.
+    StatGroup &coreStats() { return stats_; }
+    MemUnit &memUnit() { return *memu_; }
+    MemDepPredictor &memDep() { return memdep_; }
+    GsharePredictor &gshare() { return gshare_; }
+    CacheHierarchy &caches() { return caches_; }
+    const MainMemory &committedMemory() const { return mem_; }
+    const CoreConfig &config() const { return cfg_; }
+    std::size_t robOccupancy() const { return rob_.size(); }
+
+  private:
+    // --- pipeline stages (called once per cycle, in this order) --------
+    void retireStage();
+    void completeStage();
+    void issueStage();
+    void dispatchStage();
+    void fetchStage();
+
+    // --- helpers ---------------------------------------------------------
+    DynInst *findInst(SeqNum seq);
+    bool sourcesReady(const DynInst &inst) const;
+    bool consumedTagReady(const DynInst &inst) const;
+    void scheduleCompletion(DynInst &inst, Cycle latency);
+    void completeInst(DynInst &inst);
+    void writebackDst(DynInst &inst);
+    void readyProducedTag(DynInst &inst);
+
+    /** Issue-time evaluation of one instruction. @return false if it was
+     *  replayed (stays in the scheduler). */
+    bool executeAtIssue(DynInst &inst);
+
+    void recoverBranchMispredict(DynInst &branch);
+    void recoverViolation(const MemIssueOutcome &outcome);
+    /** Squash every in-flight instruction with seq >= @p seq.
+     *  @return number of instructions squashed. */
+    std::uint64_t squashFrom(SeqNum seq);
+    void clearStallBits();
+    void validateRetirement(const DynInst &inst);
+
+    Cycle opLatency(Op op) const;
+    SeqNum oldestInflightSeq() const;
+
+    // --- configuration & substrate --------------------------------------
+    CoreConfig cfg_;
+    const Program &prog_;
+
+    MainMemory mem_;            ///< committed architectural memory
+    CacheHierarchy caches_;
+    GsharePredictor gshare_;
+    Rng oracle_rng_;
+    MemDepPredictor memdep_;
+    std::unique_ptr<MemUnit> memu_;
+
+    /** Lockstep golden model for retirement validation. */
+    FuncSim golden_;
+
+    /** Precomputed architectural control trace for the fetch oracle. */
+    std::vector<std::uint64_t> trace_pc_;
+    std::vector<std::uint64_t> trace_next_pc_;
+    std::vector<std::uint8_t> trace_taken_;
+
+    // --- rename state ---------------------------------------------------
+    std::vector<std::uint64_t> preg_val_;
+    std::vector<std::uint8_t> preg_ready_;
+    std::vector<PhysRegIndex> preg_free_;
+    std::array<PhysRegIndex, kNumArchRegs> rat_{};
+
+    // --- dependence tag scoreboard ---------------------------------------
+    std::vector<std::uint8_t> tag_ready_;
+    std::vector<SeqNum> tag_owner_seq_;
+
+    // --- windows ---------------------------------------------------------
+    std::deque<DynInst> fetchq_;
+    std::deque<DynInst> rob_;
+    /**
+     * Scheduler window: sequence number -> instruction. The pointers are
+     * stable: std::deque never relocates elements on push/pop at the
+     * ends, scheduler residents are incomplete (never at the retiring
+     * head), and squashFrom() removes an instruction from this map
+     * before destroying it.
+     */
+    std::map<SeqNum, DynInst *> sched_;
+    /** Bumped by every squash; invalidates scheduler-pointer snapshots. */
+    std::uint64_t squash_count_ = 0;
+    /** Number of scheduler residents with the stall bit set. */
+    std::uint64_t stalled_count_ = 0;
+
+    /** Pending completion events: (due cycle, seq). */
+    std::vector<std::pair<Cycle, SeqNum>> completions_;
+
+    // --- fetch state -----------------------------------------------------
+    std::uint64_t fetch_pc_ = 0;
+    bool fetch_on_cp_ = true;
+    std::uint64_t fetch_cp_index_ = 0;
+    Cycle fetch_ready_cycle_ = 0;
+    bool fetch_halted_ = false;
+
+    // --- global state ---------------------------------------------------
+    Cycle cycle_ = 0;
+    SeqNum next_seq_ = 1;
+    bool done_ = false;
+    Cycle last_retire_cycle_ = 0;
+    std::uint64_t last_eviction_count_ = 0;
+
+    // --- statistics -------------------------------------------------------
+    StatGroup stats_;
+    Counter &insts_retired_;
+    Counter &loads_retired_;
+    Counter &stores_retired_;
+    Counter &branches_retired_;
+    Counter &mispredicts_;
+    Counter &oracle_fixes_;
+    Counter &replays_;
+    Counter &violation_flushes_true_;
+    Counter &violation_flushes_anti_;
+    Counter &violation_flushes_output_;
+    Counter &spurious_violations_;
+    Counter &dispatch_stalls_;
+};
+
+} // namespace slf
+
+#endif // SLFWD_CPU_OOO_CORE_HH_

@@ -1,0 +1,143 @@
+#include "runner.hh"
+
+#include "cpu/ooo_core.hh"
+#include "sim/logging.hh"
+
+namespace slf
+{
+
+SimResult
+runWorkload(const CoreConfig &cfg, const Program &prog)
+{
+    OooCore core(cfg, prog);
+    core.run();
+
+    SimResult r;
+    r.workload = prog.name();
+    r.cls = prog.workloadClass();
+    r.cycles = core.cycles();
+    r.insts = core.instsRetired();
+    r.ipc = core.ipc();
+
+    StatGroup &cs = core.coreStats();
+    r.loads_retired = cs.counterValue("loads_retired");
+    r.stores_retired = cs.counterValue("stores_retired");
+    r.branches_retired = cs.counterValue("branches_retired");
+    r.mispredicts = cs.counterValue("branch_mispredicts");
+    r.oracle_fixes = cs.counterValue("oracle_fixed_mispredicts");
+    r.replays = cs.counterValue("mem_replays");
+    r.flushes_true = cs.counterValue("violation_flushes_true");
+    r.flushes_anti = cs.counterValue("violation_flushes_anti");
+    r.flushes_output = cs.counterValue("violation_flushes_output");
+    r.spurious_violations = cs.counterValue("spurious_violations");
+
+    StatGroup &us = core.memUnit().unitStats();
+    r.load_replays_sfc_corrupt = us.counterValue("load_replays_sfc_corrupt");
+    r.load_replays_sfc_partial = us.counterValue("load_replays_sfc_partial");
+    r.load_replays_mdt_conflict =
+        us.counterValue("load_replays_mdt_conflict");
+    r.store_replays_sfc_conflict =
+        us.counterValue("store_replays_sfc_conflict");
+    r.store_replays_mdt_conflict =
+        us.counterValue("store_replays_mdt_conflict");
+    r.sfc_forwards = us.counterValue("sfc_forwards");
+    r.lsq_forwards = us.counterValue("full_forwards");
+    r.head_bypasses = us.counterValue("head_bypasses");
+
+    if (auto *unit = dynamic_cast<MdtSfcUnit *>(&core.memUnit())) {
+        const StatGroup &ms = unit->mdt().stats();
+        r.viol_true = ms.counterValue("violations_true");
+        r.viol_anti = ms.counterValue("violations_anti");
+        r.viol_output = ms.counterValue("violations_output");
+        r.mdt_accesses = ms.counterValue("accesses");
+        const StatGroup &ss = unit->sfc().stats();
+        r.sfc_accesses =
+            ss.counterValue("load_reads") + ss.counterValue("store_writes");
+    } else if (auto *lunit = dynamic_cast<LsqUnit *>(&core.memUnit())) {
+        const StatGroup &ls = lunit->lsq().stats();
+        r.viol_true = ls.counterValue("violations_true");
+        r.cam_entries_examined = ls.counterValue("cam_entries_examined");
+        r.lsq_searches =
+            ls.counterValue("lq_searches") + ls.counterValue("sq_searches");
+    } else {
+        StatGroup &vs = core.memUnit().unitStats();
+        r.viol_true = vs.counterValue("retire_violations");
+        r.cam_entries_examined = vs.counterValue("cam_entries_examined");
+        r.lsq_searches = vs.counterValue("sq_searches");
+    }
+
+    return r;
+}
+
+void
+applyOverrides(CoreConfig &cfg, const Config &ov)
+{
+    cfg.width = static_cast<unsigned>(ov.getUInt("width", cfg.width));
+    cfg.rob_entries =
+        static_cast<unsigned>(ov.getUInt("rob", cfg.rob_entries));
+    cfg.sched_entries =
+        static_cast<unsigned>(ov.getUInt("sched", cfg.sched_entries));
+    cfg.num_fus = static_cast<unsigned>(ov.getUInt("fus", cfg.num_fus));
+
+    if (ov.has("subsys")) {
+        const std::string s = ov.getString("subsys");
+        if (s == "lsq")
+            cfg.subsys = MemSubsystem::LsqBaseline;
+        else if (s == "mdtsfc")
+            cfg.subsys = MemSubsystem::MdtSfc;
+        else if (s == "vbr")
+            cfg.subsys = MemSubsystem::ValueReplay;
+        else
+            fatal("unknown subsys '" + s + "' (lsq|mdtsfc|vbr)");
+    }
+
+    cfg.sfc.sets = ov.getUInt("sfc.sets", cfg.sfc.sets);
+    cfg.sfc.assoc =
+        static_cast<unsigned>(ov.getUInt("sfc.assoc", cfg.sfc.assoc));
+    cfg.sfc.use_flush_endpoints =
+        ov.getBool("sfc.flush_endpoints", cfg.sfc.use_flush_endpoints);
+    cfg.sfc.max_flush_ranges = static_cast<unsigned>(
+        ov.getUInt("sfc.max_flush_ranges", cfg.sfc.max_flush_ranges));
+    cfg.mdt.sets = ov.getUInt("mdt.sets", cfg.mdt.sets);
+    cfg.mdt.assoc =
+        static_cast<unsigned>(ov.getUInt("mdt.assoc", cfg.mdt.assoc));
+    cfg.mdt.granularity = static_cast<unsigned>(
+        ov.getUInt("mdt.granularity", cfg.mdt.granularity));
+    cfg.mdt.tagged = ov.getBool("mdt.tagged", cfg.mdt.tagged);
+    cfg.mdt.optimized_true_recovery = ov.getBool(
+        "optimized_true_recovery", cfg.mdt.optimized_true_recovery);
+
+    cfg.lsq.lq_entries = ov.getUInt("lsq.lq", cfg.lsq.lq_entries);
+    cfg.lsq.sq_entries = ov.getUInt("lsq.sq", cfg.lsq.sq_entries);
+
+    if (ov.has("memdep.mode")) {
+        const std::string m = ov.getString("memdep.mode");
+        if (m == "lsq")
+            cfg.memdep.mode = MemDepMode::LsqStoreSet;
+        else if (m == "true")
+            cfg.memdep.mode = MemDepMode::EnforceTrueOnly;
+        else if (m == "all")
+            cfg.memdep.mode = MemDepMode::EnforceAll;
+        else if (m == "total")
+            cfg.memdep.mode = MemDepMode::EnforceAllTotalOrder;
+        else
+            fatal("unknown memdep.mode '" + m + "' (lsq|true|all|total)");
+    }
+
+    cfg.max_insts = ov.getUInt("max_insts", cfg.max_insts);
+    cfg.max_cycles = ov.getUInt("max_cycles", cfg.max_cycles);
+    cfg.rng_seed = ov.getUInt("seed", cfg.rng_seed);
+    cfg.validate = ov.getBool("validate", cfg.validate);
+    cfg.oracle_fix_prob =
+        ov.getDouble("oracle_fix_prob", cfg.oracle_fix_prob);
+    cfg.stall_bits = ov.getBool("stall_bits", cfg.stall_bits);
+    cfg.partial_match_merges =
+        ov.getBool("partial_match_merges", cfg.partial_match_merges);
+    cfg.head_bypass = ov.getBool("head_bypass", cfg.head_bypass);
+    cfg.output_dep_marks_corrupt = ov.getBool(
+        "output_dep_marks_corrupt", cfg.output_dep_marks_corrupt);
+    cfg.value_replay_filtered =
+        ov.getBool("value_replay_filtered", cfg.value_replay_filtered);
+}
+
+} // namespace slf

@@ -1,0 +1,230 @@
+#include "inst.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace slf
+{
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::NOP: return "nop";
+      case Op::ADD: return "add";
+      case Op::SUB: return "sub";
+      case Op::AND: return "and";
+      case Op::OR: return "or";
+      case Op::XOR: return "xor";
+      case Op::SLT: return "slt";
+      case Op::MUL: return "mul";
+      case Op::SHL: return "shl";
+      case Op::SHR: return "shr";
+      case Op::ADDI: return "addi";
+      case Op::ANDI: return "andi";
+      case Op::ORI: return "ori";
+      case Op::XORI: return "xori";
+      case Op::SLTI: return "slti";
+      case Op::SHLI: return "shli";
+      case Op::SHRI: return "shri";
+      case Op::MOVI: return "movi";
+      case Op::FADD: return "fadd";
+      case Op::FMUL: return "fmul";
+      case Op::FDIV: return "fdiv";
+      case Op::LD1: return "ld1";
+      case Op::LD2: return "ld2";
+      case Op::LD4: return "ld4";
+      case Op::LD8: return "ld8";
+      case Op::ST1: return "st1";
+      case Op::ST2: return "st2";
+      case Op::ST4: return "st4";
+      case Op::ST8: return "st8";
+      case Op::BEQ: return "beq";
+      case Op::BNE: return "bne";
+      case Op::BLT: return "blt";
+      case Op::BGE: return "bge";
+      case Op::JMP: return "jmp";
+      case Op::HALT: return "halt";
+      default: return "???";
+    }
+}
+
+bool
+isLoad(Op op)
+{
+    return op == Op::LD1 || op == Op::LD2 || op == Op::LD4 || op == Op::LD8;
+}
+
+bool
+isStore(Op op)
+{
+    return op == Op::ST1 || op == Op::ST2 || op == Op::ST4 || op == Op::ST8;
+}
+
+bool
+isBranch(Op op)
+{
+    return op == Op::BEQ || op == Op::BNE || op == Op::BLT || op == Op::BGE;
+}
+
+bool
+isControl(Op op)
+{
+    return isBranch(op) || op == Op::JMP;
+}
+
+bool
+isFpClass(Op op)
+{
+    return op == Op::FADD || op == Op::FMUL || op == Op::FDIV;
+}
+
+bool
+isMul(Op op)
+{
+    return op == Op::MUL;
+}
+
+unsigned
+memAccessSize(Op op)
+{
+    switch (op) {
+      case Op::LD1: case Op::ST1: return 1;
+      case Op::LD2: case Op::ST2: return 2;
+      case Op::LD4: case Op::ST4: return 4;
+      case Op::LD8: case Op::ST8: return 8;
+      default: return 0;
+    }
+}
+
+bool
+writesDst(Op op)
+{
+    switch (op) {
+      case Op::NOP:
+      case Op::ST1: case Op::ST2: case Op::ST4: case Op::ST8:
+      case Op::BEQ: case Op::BNE: case Op::BLT: case Op::BGE:
+      case Op::JMP:
+      case Op::HALT:
+        return false;
+      default:
+        return true;
+    }
+}
+
+bool
+readsSrc1(Op op)
+{
+    switch (op) {
+      case Op::NOP:
+      case Op::MOVI:
+      case Op::JMP:
+      case Op::HALT:
+        return false;
+      default:
+        return true;
+    }
+}
+
+bool
+readsSrc2(Op op)
+{
+    switch (op) {
+      case Op::ADD: case Op::SUB: case Op::AND: case Op::OR:
+      case Op::XOR: case Op::SLT: case Op::MUL: case Op::SHL:
+      case Op::SHR:
+      case Op::FADD: case Op::FMUL: case Op::FDIV:
+      case Op::ST1: case Op::ST2: case Op::ST4: case Op::ST8:
+      case Op::BEQ: case Op::BNE: case Op::BLT: case Op::BGE:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::uint64_t
+executeAlu(Op op, std::uint64_t a, std::uint64_t b, std::int64_t imm)
+{
+    const std::uint64_t uimm = static_cast<std::uint64_t>(imm);
+    switch (op) {
+      case Op::ADD: return a + b;
+      case Op::SUB: return a - b;
+      case Op::AND: return a & b;
+      case Op::OR: return a | b;
+      case Op::XOR: return a ^ b;
+      case Op::SLT:
+        return static_cast<std::int64_t>(a) < static_cast<std::int64_t>(b)
+            ? 1 : 0;
+      case Op::MUL: return a * b;
+      case Op::SHL: return a << (b & 63);
+      case Op::SHR: return a >> (b & 63);
+      case Op::ADDI: return a + uimm;
+      case Op::ANDI: return a & uimm;
+      case Op::ORI: return a | uimm;
+      case Op::XORI: return a ^ uimm;
+      case Op::SLTI:
+        return static_cast<std::int64_t>(a) < imm ? 1 : 0;
+      case Op::SHLI: return a << (uimm & 63);
+      case Op::SHRI: return a >> (uimm & 63);
+      case Op::MOVI: return uimm;
+      // FP-class ops use fixed-point semantics so the golden model and the
+      // timing model agree exactly; only their latency class differs.
+      case Op::FADD: return a + b;
+      case Op::FMUL: return a * b + 1;
+      case Op::FDIV: return b ? a / b : ~std::uint64_t{0};
+      default:
+        panic(std::string("executeAlu: non-ALU opcode ") + opName(op));
+    }
+}
+
+bool
+branchTaken(Op op, std::uint64_t a, std::uint64_t b)
+{
+    switch (op) {
+      case Op::BEQ: return a == b;
+      case Op::BNE: return a != b;
+      case Op::BLT:
+        return static_cast<std::int64_t>(a) < static_cast<std::int64_t>(b);
+      case Op::BGE:
+        return static_cast<std::int64_t>(a) >= static_cast<std::int64_t>(b);
+      case Op::JMP: return true;
+      default:
+        panic(std::string("branchTaken: non-branch opcode ") + opName(op));
+    }
+}
+
+std::string
+disassemble(const StaticInst &inst)
+{
+    std::ostringstream oss;
+    oss << opName(inst.op);
+    const Op op = inst.op;
+    auto reg = [](RegIndex r) { return "r" + std::to_string(r); };
+
+    if (op == Op::NOP || op == Op::HALT) {
+        // mnemonic only
+    } else if (op == Op::MOVI) {
+        oss << ' ' << reg(inst.dst) << ", " << inst.imm;
+    } else if (isLoad(op)) {
+        oss << ' ' << reg(inst.dst) << ", " << inst.imm << '('
+            << reg(inst.src1) << ')';
+    } else if (isStore(op)) {
+        oss << ' ' << reg(inst.src2) << ", " << inst.imm << '('
+            << reg(inst.src1) << ')';
+    } else if (isBranch(op)) {
+        oss << ' ' << reg(inst.src1) << ", " << reg(inst.src2) << ", @"
+            << inst.branchTarget;
+    } else if (op == Op::JMP) {
+        oss << " @" << inst.branchTarget;
+    } else if (readsSrc2(op)) {
+        oss << ' ' << reg(inst.dst) << ", " << reg(inst.src1) << ", "
+            << reg(inst.src2);
+    } else {
+        oss << ' ' << reg(inst.dst) << ", " << reg(inst.src1) << ", "
+            << inst.imm;
+    }
+    return oss.str();
+}
+
+} // namespace slf

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Definition of the simulated 64-bit RISC ISA.
+ *
+ * The ISA is deliberately small but covers everything the paper's memory
+ * subsystem exercises: sub-word loads/stores (1/2/4/8 bytes) for the
+ * SFC's valid-mask logic, conditional branches for wrong-path execution,
+ * and an FP-class opcode group (fixed-point semantics, FP-like latencies)
+ * so that specint/specfp workload classes remain meaningful.
+ *
+ * Programs are sequences of StaticInst; the program counter is an
+ * instruction index. Branch targets are absolute instruction indices.
+ */
+
+#ifndef SLFWD_ISA_INST_HH_
+#define SLFWD_ISA_INST_HH_
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace slf
+{
+
+/** Number of architectural integer registers; r0 is hardwired to zero. */
+inline constexpr unsigned kNumArchRegs = 32;
+
+/** Base byte address of the simulated text segment (for the I-cache). */
+inline constexpr Addr kTextBase = 0x0000000010000000ull;
+
+/** Bytes per encoded instruction (for I-cache address computation). */
+inline constexpr unsigned kInstBytes = 8;
+
+/** Opcodes. Keep kNumOps in sync when extending. */
+enum class Op : std::uint8_t
+{
+    NOP = 0,
+
+    // Integer ALU, register-register.
+    ADD, SUB, AND, OR, XOR, SLT, MUL, SHL, SHR,
+
+    // Integer ALU, register-immediate (src2 unused).
+    ADDI, ANDI, ORI, XORI, SLTI, SHLI, SHRI, MOVI,
+
+    // FP-class ops (fixed-point semantics, FP latency class).
+    FADD, FMUL, FDIV,
+
+    // Loads: dst <- zero_extend(M[src1 + imm], size).
+    LD1, LD2, LD4, LD8,
+
+    // Stores: M[src1 + imm] <- low bytes of src2.
+    ST1, ST2, ST4, ST8,
+
+    // Control: conditional branches compare src1/src2, target = branchTarget.
+    BEQ, BNE, BLT, BGE,
+    JMP,        ///< unconditional direct jump
+
+    HALT,       ///< terminate the program
+
+    kNumOps
+};
+
+/** @return mnemonic for an opcode ("add", "ld4", ...). */
+const char *opName(Op op);
+
+/**
+ * A static (decoded) instruction.
+ *
+ * Fields not used by a given opcode are zero. `imm` is the ALU immediate
+ * or the load/store displacement; `branchTarget` is an absolute
+ * instruction index.
+ */
+struct StaticInst
+{
+    Op op = Op::NOP;
+    RegIndex dst = 0;
+    RegIndex src1 = 0;
+    RegIndex src2 = 0;
+    std::int64_t imm = 0;
+    std::uint32_t branchTarget = 0;
+};
+
+/** Classification helpers. */
+bool isLoad(Op op);
+bool isStore(Op op);
+inline bool isMem(Op op) { return isLoad(op) || isStore(op); }
+bool isBranch(Op op);       ///< conditional branches only
+bool isControl(Op op);      ///< branches + JMP (not HALT)
+bool isFpClass(Op op);
+bool isMul(Op op);
+
+/** @return access size in bytes for a load/store opcode; 0 otherwise. */
+unsigned memAccessSize(Op op);
+
+/** @return true if the opcode writes its dst register. */
+bool writesDst(Op op);
+
+/** @return true if the opcode reads src1 / src2. */
+bool readsSrc1(Op op);
+bool readsSrc2(Op op);
+
+/**
+ * Pure ALU semantics shared by the functional simulator and the
+ * out-of-order core, so the two can never disagree.
+ *
+ * @param op   ALU or FP-class opcode.
+ * @param a    value of src1.
+ * @param b    value of src2 (register-register forms).
+ * @param imm  immediate (register-immediate forms).
+ * @return the 64-bit result.
+ */
+std::uint64_t executeAlu(Op op, std::uint64_t a, std::uint64_t b,
+                         std::int64_t imm);
+
+/**
+ * Branch condition evaluation (signed comparisons for BLT/BGE).
+ *
+ * @return true if the branch is taken.
+ */
+bool branchTaken(Op op, std::uint64_t a, std::uint64_t b);
+
+/** Render one instruction as text, e.g. "add r3, r1, r2". */
+std::string disassemble(const StaticInst &inst);
+
+} // namespace slf
+
+#endif // SLFWD_ISA_INST_HH_

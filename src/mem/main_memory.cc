@@ -1,0 +1,62 @@
+#include "main_memory.hh"
+
+#include "prog/program.hh"
+
+namespace slf
+{
+
+const MainMemory::Page *
+MainMemory::findPage(Addr addr) const
+{
+    auto it = pages_.find(addr >> kPageBits);
+    return it == pages_.end() ? nullptr : it->second.get();
+}
+
+MainMemory::Page &
+MainMemory::touchPage(Addr addr)
+{
+    auto &slot = pages_[addr >> kPageBits];
+    if (!slot) {
+        slot = std::make_unique<Page>();
+        slot->fill(0);
+    }
+    return *slot;
+}
+
+std::uint8_t
+MainMemory::read8(Addr addr) const
+{
+    const Page *page = findPage(addr);
+    return page ? (*page)[addr & (kPageSize - 1)] : 0;
+}
+
+void
+MainMemory::write8(Addr addr, std::uint8_t value)
+{
+    touchPage(addr)[addr & (kPageSize - 1)] = value;
+}
+
+std::uint64_t
+MainMemory::readBytes(Addr addr, unsigned size) const
+{
+    std::uint64_t value = 0;
+    for (unsigned i = 0; i < size; ++i)
+        value |= std::uint64_t{read8(addr + i)} << (8 * i);
+    return value;
+}
+
+void
+MainMemory::writeBytes(Addr addr, std::uint64_t value, unsigned size)
+{
+    for (unsigned i = 0; i < size; ++i)
+        write8(addr + i, static_cast<std::uint8_t>(value >> (8 * i)));
+}
+
+void
+MainMemory::loadInitialImage(const Program &prog)
+{
+    for (const auto &[addr, byte] : prog.initialData())
+        write8(addr, byte);
+}
+
+} // namespace slf

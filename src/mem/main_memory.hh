@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Sparse, byte-addressable 64-bit main memory.
+ *
+ * Backed by 4 KiB pages allocated on first touch; untouched bytes read
+ * as zero. All multi-byte accesses are little-endian and may straddle
+ * page boundaries.
+ */
+
+#ifndef SLFWD_MEM_MAIN_MEMORY_HH_
+#define SLFWD_MEM_MAIN_MEMORY_HH_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "sim/types.hh"
+
+namespace slf
+{
+
+class Program;
+
+class MainMemory
+{
+  public:
+    static constexpr unsigned kPageBits = 12;
+    static constexpr std::size_t kPageSize = std::size_t{1} << kPageBits;
+
+    MainMemory() = default;
+
+    /** Read one byte (zero if never written). */
+    std::uint8_t read8(Addr addr) const;
+
+    /** Write one byte. */
+    void write8(Addr addr, std::uint8_t value);
+
+    /** Read @p size little-endian bytes, zero-extended to 64 bits. */
+    std::uint64_t readBytes(Addr addr, unsigned size) const;
+
+    /** Write the low @p size bytes of @p value, little-endian. */
+    void writeBytes(Addr addr, std::uint64_t value, unsigned size);
+
+    /** Load a program's initial data image. */
+    void loadInitialImage(const Program &prog);
+
+    /** Number of pages currently allocated (for tests). */
+    std::size_t allocatedPages() const { return pages_.size(); }
+
+  private:
+    using Page = std::array<std::uint8_t, kPageSize>;
+
+    const Page *findPage(Addr addr) const;
+    Page &touchPage(Addr addr);
+
+    std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+};
+
+} // namespace slf
+
+#endif // SLFWD_MEM_MAIN_MEMORY_HH_

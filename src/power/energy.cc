@@ -1,0 +1,38 @@
+#include "energy.hh"
+
+namespace slf
+{
+
+EnergyBreakdown
+EnergyModel::lsqEnergy(const ActivityCounts &counts) const
+{
+    EnergyBreakdown out;
+    out.cam_pj =
+        double(counts.cam_entries_examined) *
+        (params_.cam_matchline_pj + params_.priority_encode_pj);
+    out.total_pj = out.cam_pj;
+    if (counts.mem_ops)
+        out.pj_per_mem_op = out.total_pj / double(counts.mem_ops);
+    return out;
+}
+
+EnergyBreakdown
+EnergyModel::mdtSfcEnergy(const ActivityCounts &counts) const
+{
+    EnergyBreakdown out;
+    const double mdt = double(counts.mdt_accesses) *
+                       double(counts.mdt_assoc) * params_.ram_way_read_pj;
+    const double sfc_r = double(counts.sfc_reads) *
+                         double(counts.sfc_assoc) *
+                         params_.ram_way_read_pj;
+    const double sfc_w = double(counts.sfc_writes) *
+                         double(counts.sfc_assoc) *
+                         params_.ram_way_write_pj;
+    out.indexed_pj = mdt + sfc_r + sfc_w;
+    out.total_pj = out.indexed_pj;
+    if (counts.mem_ops)
+        out.pj_per_mem_op = out.total_pj / double(counts.mem_ops);
+    return out;
+}
+
+} // namespace slf

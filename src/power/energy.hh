@@ -1,0 +1,83 @@
+/**
+ * @file
+ * First-order dynamic-energy model for the memory-ordering structures.
+ *
+ * The paper's core claim is architectural: an associative,
+ * age-prioritized LSQ search fires a CAM match line in every occupied
+ * entry and then priority-encodes the hits, so its energy grows with
+ * occupancy; the SFC and MDT are set-associative RAMs that touch a
+ * constant number of ways per access. This model turns the simulator's
+ * activity counts into picojoules using stated per-event costs (CACTI-
+ * flavoured relative magnitudes — the *ratios* carry the argument, not
+ * the absolute values).
+ */
+
+#ifndef SLFWD_POWER_ENERGY_HH_
+#define SLFWD_POWER_ENERGY_HH_
+
+#include <cstdint>
+
+namespace slf
+{
+
+/** Per-event energy costs in picojoules. */
+struct EnergyParams
+{
+    /** One CAM match line, per occupied entry per search. */
+    double cam_matchline_pj = 1.00;
+    /** Priority-encode contribution, per entry participating. */
+    double priority_encode_pj = 0.20;
+    /** One RAM way read in an indexed structure (tag + data). */
+    double ram_way_read_pj = 0.45;
+    /** One RAM way write. */
+    double ram_way_write_pj = 0.55;
+};
+
+/** Activity counts for one run (harvested from the simulator stats). */
+struct ActivityCounts
+{
+    // LSQ-family (associative) activity.
+    std::uint64_t cam_entries_examined = 0;  ///< match lines fired
+    std::uint64_t cam_searches = 0;
+
+    // Address-indexed activity.
+    std::uint64_t mdt_accesses = 0;
+    unsigned mdt_assoc = 2;
+    std::uint64_t sfc_reads = 0;
+    std::uint64_t sfc_writes = 0;
+    unsigned sfc_assoc = 2;
+
+    std::uint64_t mem_ops = 0;   ///< retired loads + stores (normalizer)
+};
+
+/** Energy totals in picojoules, plus the per-memory-op figure. */
+struct EnergyBreakdown
+{
+    double cam_pj = 0.0;        ///< match lines + priority encoding
+    double indexed_pj = 0.0;    ///< SFC + MDT way reads/writes
+    double total_pj = 0.0;
+    double pj_per_mem_op = 0.0;
+};
+
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(const EnergyParams &params = EnergyParams{})
+        : params_(params)
+    {}
+
+    /** Energy of the associative (LSQ-style) activity. */
+    EnergyBreakdown lsqEnergy(const ActivityCounts &counts) const;
+
+    /** Energy of the address-indexed (SFC/MDT) activity. */
+    EnergyBreakdown mdtSfcEnergy(const ActivityCounts &counts) const;
+
+    const EnergyParams &params() const { return params_; }
+
+  private:
+    EnergyParams params_;
+};
+
+} // namespace slf
+
+#endif // SLFWD_POWER_ENERGY_HH_

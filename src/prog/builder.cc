@@ -1,0 +1,165 @@
+#include "builder.hh"
+
+#include <cstdint>
+#include <limits>
+
+#include "sim/logging.hh"
+
+namespace slf
+{
+
+namespace
+{
+constexpr std::uint32_t kUnbound = std::numeric_limits<std::uint32_t>::max();
+} // namespace
+
+ProgramBuilder::ProgramBuilder(std::string name, WorkloadClass cls)
+    : prog_(std::move(name), cls)
+{}
+
+Label
+ProgramBuilder::newLabel()
+{
+    label_targets_.push_back(kUnbound);
+    return Label{static_cast<std::uint32_t>(label_targets_.size() - 1)};
+}
+
+void
+ProgramBuilder::bind(Label label)
+{
+    if (label.id >= label_targets_.size())
+        fatal("ProgramBuilder::bind: unknown label");
+    if (label_targets_[label.id] != kUnbound)
+        fatal("ProgramBuilder::bind: label bound twice");
+    label_targets_[label.id] = here();
+}
+
+std::uint32_t
+ProgramBuilder::here() const
+{
+    return static_cast<std::uint32_t>(prog_.text().size());
+}
+
+void
+ProgramBuilder::checkReg(RegIndex r) const
+{
+    if (r >= kNumArchRegs)
+        fatal("ProgramBuilder: register index out of range");
+}
+
+void
+ProgramBuilder::rrr(Op op, RegIndex d, RegIndex a, RegIndex b)
+{
+    checkReg(d);
+    checkReg(a);
+    checkReg(b);
+    StaticInst inst;
+    inst.op = op;
+    inst.dst = d;
+    inst.src1 = a;
+    inst.src2 = b;
+    prog_.text().push_back(inst);
+}
+
+void
+ProgramBuilder::rri(Op op, RegIndex d, RegIndex a, std::int64_t imm)
+{
+    checkReg(d);
+    checkReg(a);
+    StaticInst inst;
+    inst.op = op;
+    inst.dst = d;
+    inst.src1 = a;
+    inst.imm = imm;
+    prog_.text().push_back(inst);
+}
+
+void
+ProgramBuilder::ld(Op op, RegIndex d, RegIndex base, std::int64_t disp)
+{
+    checkReg(d);
+    checkReg(base);
+    StaticInst inst;
+    inst.op = op;
+    inst.dst = d;
+    inst.src1 = base;
+    inst.imm = disp;
+    prog_.text().push_back(inst);
+}
+
+void
+ProgramBuilder::st(Op op, RegIndex v, RegIndex base, std::int64_t disp)
+{
+    checkReg(v);
+    checkReg(base);
+    StaticInst inst;
+    inst.op = op;
+    inst.src1 = base;
+    inst.src2 = v;
+    inst.imm = disp;
+    prog_.text().push_back(inst);
+}
+
+void
+ProgramBuilder::br(Op op, RegIndex a, RegIndex b, Label t)
+{
+    checkReg(a);
+    checkReg(b);
+    if (t.id >= label_targets_.size())
+        fatal("ProgramBuilder: branch to unknown label");
+    StaticInst inst;
+    inst.op = op;
+    inst.src1 = a;
+    inst.src2 = b;
+    fixups_.emplace_back(here(), t.id);
+    prog_.text().push_back(inst);
+}
+
+void
+ProgramBuilder::nop()
+{
+    prog_.text().push_back(StaticInst{});
+}
+
+void
+ProgramBuilder::halt()
+{
+    StaticInst inst;
+    inst.op = Op::HALT;
+    prog_.text().push_back(inst);
+}
+
+void
+ProgramBuilder::poke64(Addr addr, std::uint64_t value)
+{
+    prog_.poke64(addr, value);
+}
+
+void
+ProgramBuilder::pokeBytes(Addr addr, std::uint64_t value, unsigned size)
+{
+    prog_.pokeBytes(addr, value, size);
+}
+
+Program
+ProgramBuilder::build()
+{
+    if (built_)
+        fatal("ProgramBuilder::build called twice");
+    built_ = true;
+
+    if (prog_.text().empty() || prog_.text().back().op != Op::HALT)
+        halt();
+
+    for (const auto &[inst_idx, label_id] : fixups_) {
+        std::uint32_t target = label_targets_[label_id];
+        if (target == kUnbound)
+            fatal("ProgramBuilder::build: branch to unbound label");
+        if (target >= prog_.text().size())
+            fatal("ProgramBuilder::build: branch target out of range");
+        prog_.text()[inst_idx].branchTarget = target;
+    }
+    return std::move(prog_);
+}
+
+} // namespace slf

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * ProgramBuilder: a tiny assembler-like API for constructing programs.
+ *
+ * Labels are forward-referenceable:
+ * @code
+ *   ProgramBuilder b("loop_demo", WorkloadClass::Int);
+ *   b.movi(1, 0);
+ *   Label top = b.newLabel();
+ *   b.bind(top);
+ *   b.addi(1, 1, 1);
+ *   b.blt(1, 2, top);
+ *   b.halt();
+ *   Program p = b.build();   // verifies all labels bound & targets valid
+ * @endcode
+ */
+
+#ifndef SLFWD_PROG_BUILDER_HH_
+#define SLFWD_PROG_BUILDER_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "prog/program.hh"
+
+namespace slf
+{
+
+/** Opaque label handle issued by ProgramBuilder::newLabel(). */
+struct Label
+{
+    std::uint32_t id = 0;
+};
+
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(std::string name,
+                            WorkloadClass cls = WorkloadClass::Int);
+
+    /** Allocate a fresh, unbound label. */
+    Label newLabel();
+
+    /** Bind @p label to the next emitted instruction. */
+    void bind(Label label);
+
+    /** @return the index the next instruction will occupy. */
+    std::uint32_t here() const;
+
+    // ALU register-register.
+    void add(RegIndex d, RegIndex a, RegIndex b) { rrr(Op::ADD, d, a, b); }
+    void sub(RegIndex d, RegIndex a, RegIndex b) { rrr(Op::SUB, d, a, b); }
+    void and_(RegIndex d, RegIndex a, RegIndex b) { rrr(Op::AND, d, a, b); }
+    void or_(RegIndex d, RegIndex a, RegIndex b) { rrr(Op::OR, d, a, b); }
+    void xor_(RegIndex d, RegIndex a, RegIndex b) { rrr(Op::XOR, d, a, b); }
+    void slt(RegIndex d, RegIndex a, RegIndex b) { rrr(Op::SLT, d, a, b); }
+    void mul(RegIndex d, RegIndex a, RegIndex b) { rrr(Op::MUL, d, a, b); }
+    void shl(RegIndex d, RegIndex a, RegIndex b) { rrr(Op::SHL, d, a, b); }
+    void shr(RegIndex d, RegIndex a, RegIndex b) { rrr(Op::SHR, d, a, b); }
+
+    // FP-class.
+    void fadd(RegIndex d, RegIndex a, RegIndex b) { rrr(Op::FADD, d, a, b); }
+    void fmul(RegIndex d, RegIndex a, RegIndex b) { rrr(Op::FMUL, d, a, b); }
+    void fdiv(RegIndex d, RegIndex a, RegIndex b) { rrr(Op::FDIV, d, a, b); }
+
+    // ALU register-immediate.
+    void addi(RegIndex d, RegIndex a, std::int64_t i) { rri(Op::ADDI, d, a, i); }
+    void andi(RegIndex d, RegIndex a, std::int64_t i) { rri(Op::ANDI, d, a, i); }
+    void ori(RegIndex d, RegIndex a, std::int64_t i) { rri(Op::ORI, d, a, i); }
+    void xori(RegIndex d, RegIndex a, std::int64_t i) { rri(Op::XORI, d, a, i); }
+    void slti(RegIndex d, RegIndex a, std::int64_t i) { rri(Op::SLTI, d, a, i); }
+    void shli(RegIndex d, RegIndex a, std::int64_t i) { rri(Op::SHLI, d, a, i); }
+    void shri(RegIndex d, RegIndex a, std::int64_t i) { rri(Op::SHRI, d, a, i); }
+    void movi(RegIndex d, std::int64_t i) { rri(Op::MOVI, d, 0, i); }
+
+    // Memory: address = base + disp.
+    void ld1(RegIndex d, RegIndex base, std::int64_t disp) { ld(Op::LD1, d, base, disp); }
+    void ld2(RegIndex d, RegIndex base, std::int64_t disp) { ld(Op::LD2, d, base, disp); }
+    void ld4(RegIndex d, RegIndex base, std::int64_t disp) { ld(Op::LD4, d, base, disp); }
+    void ld8(RegIndex d, RegIndex base, std::int64_t disp) { ld(Op::LD8, d, base, disp); }
+    void st1(RegIndex v, RegIndex base, std::int64_t disp) { st(Op::ST1, v, base, disp); }
+    void st2(RegIndex v, RegIndex base, std::int64_t disp) { st(Op::ST2, v, base, disp); }
+    void st4(RegIndex v, RegIndex base, std::int64_t disp) { st(Op::ST4, v, base, disp); }
+    void st8(RegIndex v, RegIndex base, std::int64_t disp) { st(Op::ST8, v, base, disp); }
+
+    // Control.
+    void beq(RegIndex a, RegIndex b, Label t) { br(Op::BEQ, a, b, t); }
+    void bne(RegIndex a, RegIndex b, Label t) { br(Op::BNE, a, b, t); }
+    void blt(RegIndex a, RegIndex b, Label t) { br(Op::BLT, a, b, t); }
+    void bge(RegIndex a, RegIndex b, Label t) { br(Op::BGE, a, b, t); }
+    void jmp(Label t) { br(Op::JMP, 0, 0, t); }
+
+    void nop();
+    void halt();
+
+    /** Initial data image helpers (little-endian). */
+    void poke64(Addr addr, std::uint64_t value);
+    void pokeBytes(Addr addr, std::uint64_t value, unsigned size);
+
+    /**
+     * Finalize: patch every branch target, verify all used labels are
+     * bound and that the program ends in HALT (appends one otherwise).
+     * The builder must not be reused afterwards.
+     */
+    Program build();
+
+  private:
+    void rrr(Op op, RegIndex d, RegIndex a, RegIndex b);
+    void rri(Op op, RegIndex d, RegIndex a, std::int64_t imm);
+    void ld(Op op, RegIndex d, RegIndex base, std::int64_t disp);
+    void st(Op op, RegIndex v, RegIndex base, std::int64_t disp);
+    void br(Op op, RegIndex a, RegIndex b, Label t);
+    void checkReg(RegIndex r) const;
+
+    Program prog_;
+    /// label id -> bound instruction index (or UINT32_MAX if unbound)
+    std::vector<std::uint32_t> label_targets_;
+    /// (instruction index, label id) fixups
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> fixups_;
+    bool built_ = false;
+};
+
+} // namespace slf
+
+#endif // SLFWD_PROG_BUILDER_HH_

@@ -1,0 +1,24 @@
+#include "program.hh"
+
+#include <sstream>
+
+namespace slf
+{
+
+void
+Program::pokeBytes(Addr addr, std::uint64_t value, unsigned size)
+{
+    for (unsigned i = 0; i < size; ++i)
+        init_data_[addr + i] = static_cast<std::uint8_t>(value >> (8 * i));
+}
+
+std::string
+Program::disassembleText() const
+{
+    std::ostringstream oss;
+    for (std::size_t i = 0; i < text_.size(); ++i)
+        oss << i << ":\t" << disassemble(text_[i]) << '\n';
+    return oss.str();
+}
+
+} // namespace slf

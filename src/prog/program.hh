@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Program representation: the text segment (a vector of StaticInst), an
+ * initial data image, and workload metadata (name, int/fp class).
+ */
+
+#ifndef SLFWD_PROG_PROGRAM_HH_
+#define SLFWD_PROG_PROGRAM_HH_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/inst.hh"
+#include "sim/types.hh"
+
+namespace slf
+{
+
+/** Workload class, mirroring the paper's specint/specfp split. */
+enum class WorkloadClass { Int, Fp };
+
+/**
+ * A complete runnable program.
+ *
+ * The PC is an index into text(). Initial memory contents are byte
+ * granular; untouched bytes read as zero.
+ */
+class Program
+{
+  public:
+    Program() = default;
+    Program(std::string name, WorkloadClass cls)
+        : name_(std::move(name)), class_(cls)
+    {}
+
+    const std::string &name() const { return name_; }
+    void setName(std::string name) { name_ = std::move(name); }
+
+    WorkloadClass workloadClass() const { return class_; }
+    void setWorkloadClass(WorkloadClass cls) { class_ = cls; }
+
+    const std::vector<StaticInst> &text() const { return text_; }
+    std::vector<StaticInst> &text() { return text_; }
+
+    std::size_t size() const { return text_.size(); }
+
+    const StaticInst &
+    inst(std::uint64_t pc) const
+    {
+        return text_.at(pc);
+    }
+
+    /** @return true if @p pc addresses a valid instruction. */
+    bool validPc(std::uint64_t pc) const { return pc < text_.size(); }
+
+    /** Initial data image: byte address -> byte value. */
+    const std::map<Addr, std::uint8_t> &initialData() const
+    {
+        return init_data_;
+    }
+
+    /** Set one byte of the initial image. */
+    void
+    poke8(Addr addr, std::uint8_t value)
+    {
+        init_data_[addr] = value;
+    }
+
+    /** Set @p size little-endian bytes of the initial image. */
+    void pokeBytes(Addr addr, std::uint64_t value, unsigned size);
+
+    /** Set a 64-bit little-endian word of the initial image. */
+    void poke64(Addr addr, std::uint64_t value) { pokeBytes(addr, value, 8); }
+
+    /** Render the whole text segment as disassembly. */
+    std::string disassembleText() const;
+
+  private:
+    std::string name_ = "anonymous";
+    WorkloadClass class_ = WorkloadClass::Int;
+    std::vector<StaticInst> text_;
+    std::map<Addr, std::uint8_t> init_data_;
+};
+
+} // namespace slf
+
+#endif // SLFWD_PROG_PROGRAM_HH_

@@ -1,0 +1,162 @@
+#include "config.hh"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace slf
+{
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    values_[key] = value;
+}
+
+void
+Config::setInt(const std::string &key, std::int64_t value)
+{
+    values_[key] = std::to_string(value);
+}
+
+void
+Config::setUInt(const std::string &key, std::uint64_t value)
+{
+    values_[key] = std::to_string(value);
+}
+
+void
+Config::setBool(const std::string &key, bool value)
+{
+    values_[key] = value ? "true" : "false";
+}
+
+void
+Config::setDouble(const std::string &key, double value)
+{
+    std::ostringstream oss;
+    oss.precision(17);
+    oss << value;
+    values_[key] = oss.str();
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return values_.count(key) != 0;
+}
+
+std::string
+Config::getString(const std::string &key, const std::string &dflt) const
+{
+    auto it = values_.find(key);
+    return it == values_.end() ? dflt : it->second;
+}
+
+std::int64_t
+Config::getInt(const std::string &key, std::int64_t dflt) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return dflt;
+    size_t pos = 0;
+    std::int64_t v = std::stoll(it->second, &pos, 0);
+    if (pos != it->second.size()) {
+        throw std::invalid_argument(
+            "config key '" + key + "': bad integer '" + it->second + "'");
+    }
+    return v;
+}
+
+std::uint64_t
+Config::getUInt(const std::string &key, std::uint64_t dflt) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return dflt;
+    size_t pos = 0;
+    std::uint64_t v = std::stoull(it->second, &pos, 0);
+    if (pos != it->second.size()) {
+        throw std::invalid_argument(
+            "config key '" + key + "': bad integer '" + it->second + "'");
+    }
+    return v;
+}
+
+bool
+Config::getBool(const std::string &key, bool dflt) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return dflt;
+    const std::string &s = it->second;
+    if (s == "true" || s == "1" || s == "yes" || s == "on")
+        return true;
+    if (s == "false" || s == "0" || s == "no" || s == "off")
+        return false;
+    throw std::invalid_argument(
+        "config key '" + key + "': bad boolean '" + s + "'");
+}
+
+double
+Config::getDouble(const std::string &key, double dflt) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return dflt;
+    size_t pos = 0;
+    double v = std::stod(it->second, &pos);
+    if (pos != it->second.size()) {
+        throw std::invalid_argument(
+            "config key '" + key + "': bad number '" + it->second + "'");
+    }
+    return v;
+}
+
+bool
+Config::parseAssignment(const std::string &text)
+{
+    auto eq = text.find('=');
+    if (eq == std::string::npos || eq == 0)
+        return false;
+    set(text.substr(0, eq), text.substr(eq + 1));
+    return true;
+}
+
+void
+Config::parseAssignments(const std::vector<std::string> &assignments)
+{
+    for (const auto &a : assignments) {
+        if (!parseAssignment(a)) {
+            throw std::invalid_argument(
+                "expected key=value assignment, got '" + a + "'");
+        }
+    }
+}
+
+void
+Config::merge(const Config &other)
+{
+    for (const auto &kv : other.values_)
+        values_[kv.first] = kv.second;
+}
+
+std::vector<std::string>
+Config::keys() const
+{
+    std::vector<std::string> out;
+    out.reserve(values_.size());
+    for (const auto &kv : values_)
+        out.push_back(kv.first);
+    return out;
+}
+
+std::string
+Config::toString() const
+{
+    std::ostringstream oss;
+    for (const auto &kv : values_)
+        oss << kv.first << '=' << kv.second << '\n';
+    return oss.str();
+}
+
+} // namespace slf

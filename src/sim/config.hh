@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Lightweight typed key/value configuration store.
+ *
+ * A Config is a flat map from dotted string keys ("sfc.sets") to string
+ * values, with typed accessors and defaults. Benches and examples build
+ * Config objects programmatically or parse "key=value" pairs.
+ */
+
+#ifndef SLFWD_SIM_CONFIG_HH_
+#define SLFWD_SIM_CONFIG_HH_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace slf
+{
+
+class Config
+{
+  public:
+    Config() = default;
+
+    /** Set a raw string value, overwriting any previous value. */
+    void set(const std::string &key, const std::string &value);
+
+    /** Convenience setters. */
+    void setInt(const std::string &key, std::int64_t value);
+    void setUInt(const std::string &key, std::uint64_t value);
+    void setBool(const std::string &key, bool value);
+    void setDouble(const std::string &key, double value);
+
+    /** @return true if the key has been set. */
+    bool has(const std::string &key) const;
+
+    /**
+     * Typed getters. Missing keys return the supplied default; malformed
+     * values throw std::invalid_argument (user error -> fatal).
+     */
+    std::string getString(const std::string &key,
+                          const std::string &dflt = "") const;
+    std::int64_t getInt(const std::string &key, std::int64_t dflt) const;
+    std::uint64_t getUInt(const std::string &key, std::uint64_t dflt) const;
+    bool getBool(const std::string &key, bool dflt) const;
+    double getDouble(const std::string &key, double dflt) const;
+
+    /**
+     * Parse a "key=value" assignment and apply it.
+     * @return false if the text is not of that form.
+     */
+    bool parseAssignment(const std::string &text);
+
+    /** Apply a list of assignments (e.g. from argv). */
+    void parseAssignments(const std::vector<std::string> &assignments);
+
+    /** Merge another config over this one (other wins on conflicts). */
+    void merge(const Config &other);
+
+    /** All keys in sorted order (for dumps). */
+    std::vector<std::string> keys() const;
+
+    /** Render as newline-separated "key=value" text. */
+    std::string toString() const;
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace slf
+
+#endif // SLFWD_SIM_CONFIG_HH_

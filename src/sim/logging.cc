@@ -1,0 +1,99 @@
+#include "logging.hh"
+
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <sstream>
+
+namespace slf
+{
+
+namespace
+{
+
+std::set<std::string> &
+flagSet()
+{
+    static std::set<std::string> flags = [] {
+        std::set<std::string> initial;
+        if (const char *env = std::getenv("SLFWD_DEBUG")) {
+            std::stringstream ss(env);
+            std::string item;
+            while (std::getline(ss, item, ','))
+                if (!item.empty())
+                    initial.insert(item);
+        }
+        return initial;
+    }();
+    return flags;
+}
+
+std::mutex &
+flagMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+} // namespace
+
+void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+void
+fatal(const std::string &msg)
+{
+    throw FatalError(msg);
+}
+
+void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+inform(const std::string &msg)
+{
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+bool
+Debug::enabled(const std::string &flag)
+{
+    std::lock_guard<std::mutex> lock(flagMutex());
+    const auto &flags = flagSet();
+    return flags.count(flag) != 0 || flags.count("All") != 0;
+}
+
+void
+Debug::setFlag(const std::string &flag, bool on)
+{
+    std::lock_guard<std::mutex> lock(flagMutex());
+    if (on)
+        flagSet().insert(flag);
+    else
+        flagSet().erase(flag);
+}
+
+void
+Debug::trace(const std::string &flag, const std::string &msg)
+{
+    std::fprintf(stderr, "[%s] %s\n", flag.c_str(), msg.c_str());
+}
+
+std::uint64_t
+Debug::watchAddr()
+{
+    static const std::uint64_t addr = [] {
+        const char *env = std::getenv("SLFWD_WATCH_ADDR");
+        return env ? std::strtoull(env, nullptr, 0) : 0ull;
+    }();
+    return addr;
+}
+
+} // namespace slf

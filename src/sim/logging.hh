@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Error/status reporting helpers in the gem5 idiom: panic() for simulator
+ * bugs (aborts), fatal() for user errors (throws), warn()/inform() for
+ * status, plus compile-time-cheap debug tracing gated by named flags.
+ */
+
+#ifndef SLFWD_SIM_LOGGING_HH_
+#define SLFWD_SIM_LOGGING_HH_
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace slf
+{
+
+/** Thrown by fatal(): a user-caused, cleanly reportable error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what_arg)
+        : std::runtime_error(what_arg)
+    {}
+};
+
+/**
+ * Report an internal simulator bug and abort. Never returns.
+ */
+[[noreturn]] void panic(const std::string &msg);
+
+/**
+ * Report an unrecoverable user error (bad config, bad workload).
+ * Throws FatalError so callers (tests) can observe it.
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Non-fatal warning to stderr. */
+void warn(const std::string &msg);
+
+/** Informational message to stderr. */
+void inform(const std::string &msg);
+
+/**
+ * Debug trace control. Flags are free-form strings ("Fetch", "MDT", ...);
+ * enable them programmatically or via the SLFWD_DEBUG environment
+ * variable (comma-separated list, read once at startup).
+ */
+class Debug
+{
+  public:
+    /** @return true if tracing for @p flag is enabled. */
+    static bool enabled(const std::string &flag);
+
+    /** Enable/disable a flag at runtime. */
+    static void setFlag(const std::string &flag, bool on);
+
+    /** Emit a trace line if the flag is enabled. */
+    static void trace(const std::string &flag, const std::string &msg);
+
+    /**
+     * Watched byte address for targeted memory-system tracing, from the
+     * SLFWD_WATCH_ADDR environment variable (0 = none). The SFC and MDT
+     * report every event touching it.
+     */
+    static std::uint64_t watchAddr();
+};
+
+} // namespace slf
+
+/** Trace macro: evaluates the message only when the flag is on. */
+#define SLF_DPRINTF(flag, ...)                                          \
+    do {                                                                \
+        if (::slf::Debug::enabled(flag)) {                              \
+            char slf_dprintf_buf_[512];                                 \
+            std::snprintf(slf_dprintf_buf_, sizeof(slf_dprintf_buf_),   \
+                          __VA_ARGS__);                                 \
+            ::slf::Debug::trace(flag, slf_dprintf_buf_);                \
+        }                                                               \
+    } while (0)
+
+#endif // SLFWD_SIM_LOGGING_HH_

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator used throughout the
+ * simulator and the synthetic workload generators.
+ *
+ * All simulated randomness (oracle branch correction, workload address
+ * streams) must come from seeded Rng instances so that every run is
+ * bit-for-bit reproducible.
+ */
+
+#ifndef SLFWD_SIM_RNG_HH_
+#define SLFWD_SIM_RNG_HH_
+
+#include <cstdint>
+
+namespace slf
+{
+
+/**
+ * xorshift128+ generator: fast, decent quality, fully deterministic.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // SplitMix64 seeding to avoid correlated low-entropy states.
+        std::uint64_t z = seed;
+        for (int i = 0; i < 2; ++i) {
+            z += 0x9e3779b97f4a7c15ull;
+            std::uint64_t t = z;
+            t = (t ^ (t >> 30)) * 0xbf58476d1ce4e5b9ull;
+            t = (t ^ (t >> 27)) * 0x94d049bb133111ebull;
+            state_[i] = t ^ (t >> 31);
+        }
+        if (state_[0] == 0 && state_[1] == 0)
+            state_[0] = 1;
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t s1 = state_[0];
+        const std::uint64_t s0 = state_[1];
+        state_[0] = s0;
+        s1 ^= s1 << 23;
+        state_[1] = s1 ^ s0 ^ (s1 >> 18) ^ (s0 >> 5);
+        return state_[1] + s0;
+    }
+
+    /** Uniform integer in [0, bound). bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Bernoulli draw: true with probability p (0..1). */
+    bool
+    chance(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return (next() >> 11) * (1.0 / 9007199254740992.0) < p;
+    }
+
+  private:
+    std::uint64_t state_[2];
+};
+
+} // namespace slf
+
+#endif // SLFWD_SIM_RNG_HH_

@@ -1,0 +1,62 @@
+#include "stats.hh"
+
+#include <sstream>
+
+namespace slf
+{
+
+Counter &
+StatGroup::counter(const std::string &stat_name)
+{
+    return counters_[stat_name];
+}
+
+Distribution &
+StatGroup::distribution(const std::string &stat_name)
+{
+    return distributions_[stat_name];
+}
+
+std::uint64_t
+StatGroup::counterValue(const std::string &stat_name) const
+{
+    auto it = counters_.find(stat_name);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+StatGroup::counters() const
+{
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    out.reserve(counters_.size());
+    for (const auto &kv : counters_)
+        out.emplace_back(kv.first, kv.second.value());
+    return out;
+}
+
+void
+StatGroup::reset()
+{
+    for (auto &kv : counters_)
+        kv.second.reset();
+    for (auto &kv : distributions_)
+        kv.second.reset();
+}
+
+std::string
+StatGroup::toString() const
+{
+    std::ostringstream oss;
+    for (const auto &kv : counters_)
+        oss << name_ << '.' << kv.first << ' ' << kv.second.value() << '\n';
+    for (const auto &kv : distributions_) {
+        const auto &d = kv.second;
+        oss << name_ << '.' << kv.first << ".count " << d.count() << '\n';
+        oss << name_ << '.' << kv.first << ".mean " << d.mean() << '\n';
+        oss << name_ << '.' << kv.first << ".min " << d.min() << '\n';
+        oss << name_ << '.' << kv.first << ".max " << d.max() << '\n';
+    }
+    return oss.str();
+}
+
+} // namespace slf

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Named statistics registry: scalar counters, distributions and derived
+ * formulas, in the spirit of gem5's stats package but deliberately small.
+ *
+ * Every simulated structure owns a StatGroup; the simulation driver
+ * harvests all groups into a flat report at end of run.
+ */
+
+#ifndef SLFWD_SIM_STATS_HH_
+#define SLFWD_SIM_STATS_HH_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace slf
+{
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void operator++() { ++value_; }
+    void operator++(int) { ++value_; }
+    void operator+=(std::uint64_t n) { value_ += n; }
+
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Simple accumulating distribution (count/sum/min/max). */
+class Distribution
+{
+  public:
+    void
+    sample(std::uint64_t v)
+    {
+        if (count_ == 0 || v < min_)
+            min_ = v;
+        if (count_ == 0 || v > max_)
+            max_ = v;
+        sum_ += v;
+        ++count_;
+    }
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    std::uint64_t max() const { return count_ ? max_ : 0; }
+    double mean() const
+    {
+        return count_ ? double(sum_) / double(count_) : 0.0;
+    }
+    void reset() { *this = Distribution(); }
+
+  private:
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+/**
+ * A named collection of counters and distributions.
+ *
+ * Members are registered by name on first access; lookup is by string,
+ * so hot paths should cache references (Counter &) at construction time.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+
+    /** Get-or-create a counter. The reference stays valid forever. */
+    Counter &counter(const std::string &stat_name);
+
+    /** Get-or-create a distribution. */
+    Distribution &distribution(const std::string &stat_name);
+
+    /** Read a counter's value; 0 if absent. */
+    std::uint64_t counterValue(const std::string &stat_name) const;
+
+    /** All counters, sorted by name. */
+    std::vector<std::pair<std::string, std::uint64_t>> counters() const;
+
+    /** Reset every member to zero. */
+    void reset();
+
+    /** Render "group.stat value" lines. */
+    std::string toString() const;
+
+  private:
+    std::string name_;
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Distribution> distributions_;
+};
+
+} // namespace slf
+
+#endif // SLFWD_SIM_STATS_HH_

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ */
+
+#ifndef SLFWD_SIM_TYPES_HH_
+#define SLFWD_SIM_TYPES_HH_
+
+#include <cstdint>
+
+namespace slf
+{
+
+/** Simulated memory address (byte-granular, 64-bit). */
+using Addr = std::uint64_t;
+
+/** Simulation time in core clock cycles. */
+using Cycle = std::uint64_t;
+
+/**
+ * Global dynamic-instruction sequence number.
+ *
+ * Sequence numbers impose a total order on all in-flight instructions;
+ * the MDT compares them to detect memory ordering violations (the paper's
+ * basic-timestamp-ordering scheme). 64 bits make wrap-around moot.
+ */
+using SeqNum = std::uint64_t;
+
+/** Sentinel for "no sequence number". */
+inline constexpr SeqNum kInvalidSeqNum = 0;
+
+/** Architectural register index. */
+using RegIndex = std::uint8_t;
+
+/** Physical register index in the renamed core. */
+using PhysRegIndex = std::uint16_t;
+
+/** Sentinel for "no physical register". */
+inline constexpr PhysRegIndex kInvalidPhysReg = 0xffff;
+
+} // namespace slf
+
+#endif // SLFWD_SIM_TYPES_HH_

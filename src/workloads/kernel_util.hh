@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Shared emission helpers for the synthetic workload generators.
+ * Internal to src/workloads.
+ */
+
+#ifndef SLFWD_WORKLOADS_KERNEL_UTIL_HH_
+#define SLFWD_WORKLOADS_KERNEL_UTIL_HH_
+
+#include <cstdint>
+
+#include "prog/builder.hh"
+
+namespace slf::workloads::detail
+{
+
+/** Emit r = r * A + C (a full-period 64-bit LCG step). @p tmp clobbered. */
+inline void
+emitLcg(ProgramBuilder &b, RegIndex r, RegIndex tmp)
+{
+    b.movi(tmp, 0x5851f42d4c957f2dLL);
+    b.mul(r, r, tmp);
+    b.addi(r, r, 0x14057b7ef767814fLL);
+}
+
+/**
+ * Counted-loop scaffolding: emits the preamble (counter setup + label),
+ * returns the loop-top label. Close with endLoop().
+ */
+struct CountedLoop
+{
+    CountedLoop(ProgramBuilder &b, RegIndex counter, std::uint64_t n)
+        : b_(b), counter_(counter)
+    {
+        b_.movi(counter_, static_cast<std::int64_t>(n));
+        top_ = b_.newLabel();
+        b_.bind(top_);
+    }
+
+    /** Emit the decrement-and-branch-back epilogue. */
+    void
+    end()
+    {
+        b_.addi(counter_, counter_, -1);
+        b_.bne(counter_, 0, top_);
+    }
+
+  private:
+    ProgramBuilder &b_;
+    RegIndex counter_;
+    Label top_;
+};
+
+// Distinct data-segment bases per workload family (sparse memory keeps
+// only touched pages, so generous spacing is free).
+inline constexpr std::uint64_t kTableBase = 0x0020'0000;
+inline constexpr std::uint64_t kArrayBase = 0x0100'0000;
+inline constexpr std::uint64_t kNodeBase = 0x0400'0000;
+inline constexpr std::uint64_t kStackBase = 0x0800'0000;
+inline constexpr std::uint64_t kAuxBase = 0x0090'0000;
+
+} // namespace slf::workloads::detail
+
+#endif // SLFWD_WORKLOADS_KERNEL_UTIL_HH_

@@ -1,0 +1,364 @@
+#include "kernels.hh"
+
+#include <vector>
+
+#include "prog/builder.hh"
+#include "sim/rng.hh"
+#include "workloads/kernel_util.hh"
+
+namespace slf::workloads::detail
+{
+
+Program
+hashKernel(const char *name, std::uint64_t iters, unsigned table_bits,
+           unsigned branch_mask, std::uint64_t seed)
+{
+    ProgramBuilder b(name, WorkloadClass::Int);
+    const std::int64_t table = kTableBase;
+    const std::int64_t mask = (std::int64_t{1} << table_bits) - 1;
+
+    b.movi(1, static_cast<std::int64_t>(seed | 1));   // r1: rng state
+    b.movi(6, 0);                                     // r6: checksum
+
+    CountedLoop loop(b, 10, iters);
+    emitLcg(b, 1, 9);
+    b.shri(2, 1, 20);
+    b.andi(2, 2, mask);
+    b.shli(2, 2, 3);
+    b.movi(3, table);
+    b.add(3, 3, 2);        // r3: &table[h]
+    b.ld8(4, 3, 0);
+    b.add(4, 4, 1);
+    b.st8(4, 3, 0);        // read-modify-write
+    // Skewed branch: rare fall-through path.
+    b.andi(9, 1, static_cast<std::int64_t>(branch_mask));
+    Label skip = b.newLabel();
+    b.bne(9, 0, skip);
+    b.add(6, 6, 4);        // rare path
+    b.xori(6, 6, 0x5a);
+    b.bind(skip);
+    b.add(6, 6, 1);
+    loop.end();
+    return b.build();
+}
+
+Program
+stackKernel(const char *name, std::uint64_t iters, unsigned depth,
+            std::uint64_t seed)
+{
+    ProgramBuilder b(name, WorkloadClass::Int);
+    b.movi(1, static_cast<std::int64_t>(kStackBase));  // r1: sp
+    b.movi(2, static_cast<std::int64_t>(seed | 1));    // r2: rng
+    b.movi(6, 0);                                      // checksum
+
+    CountedLoop loop(b, 10, iters);
+    emitLcg(b, 2, 9);
+    for (unsigned d = 0; d < depth; ++d) {
+        b.addi(3, 2, static_cast<std::int64_t>(d * 13 + 1));
+        b.addi(1, 1, -8);
+        b.st8(3, 1, 0);    // push
+    }
+    b.shri(4, 2, 7);
+    b.add(6, 6, 4);
+    for (unsigned d = 0; d < depth; ++d) {
+        b.ld8(5, 1, 0);    // pop: forwards from the matching push
+        b.addi(1, 1, 8);
+        b.add(6, 6, 5);
+    }
+    b.andi(9, 2, 3);       // ~25% taken branch
+    Label skip = b.newLabel();
+    b.bne(9, 0, skip);
+    b.xori(6, 6, 0x77);
+    b.bind(skip);
+    loop.end();
+    return b.build();
+}
+
+Program
+ringKernel(const char *name, std::uint64_t iters, unsigned nodes,
+           std::uint64_t seed, bool add_anti_pattern)
+{
+    ProgramBuilder b(name, WorkloadClass::Int);
+    const std::uint64_t base = kNodeBase;
+    const unsigned node_bytes = 64;
+
+    Rng rng(seed);
+    std::vector<std::uint32_t> order(nodes);
+    for (unsigned i = 0; i < nodes; ++i)
+        order[i] = i;
+    for (unsigned i = nodes - 1; i > 0; --i) {
+        const unsigned j = static_cast<unsigned>(rng.below(i + 1));
+        std::swap(order[i], order[j]);
+    }
+    for (unsigned i = 0; i < nodes; ++i) {
+        const std::uint64_t node = base + order[i] * node_bytes;
+        const std::uint64_t next =
+            base + order[(i + 1) % nodes] * node_bytes;
+        b.poke64(node, next);
+        b.poke64(node + 8, rng.next() & 0xffff);
+    }
+
+    b.movi(1, static_cast<std::int64_t>(base + order[0] * node_bytes));
+    b.movi(2, static_cast<std::int64_t>(seed | 1));
+    b.movi(6, 0);
+
+    CountedLoop loop(b, 10, iters);
+    b.ld8(1, 1, 0);        // chase
+    b.ld8(4, 1, 8);        // payload
+    b.add(4, 4, 2);
+    b.st8(4, 1, 16);       // field update
+    emitLcg(b, 2, 9);
+    if (add_anti_pattern) {
+        // An elder load whose address hangs off a multiply chain, racing
+        // a younger immediately-ready store to the same region: the
+        // store can complete first -> anti-dependence violation.
+        b.mul(7, 2, 2);
+        b.shri(7, 7, 23);
+        b.andi(7, 7, 0x1f8);
+        b.movi(8, static_cast<std::int64_t>(kAuxBase));
+        b.add(8, 8, 7);
+        b.ld8(5, 8, 0);
+        b.add(6, 6, 5);
+        b.andi(7, 2, 0x1f8);
+        b.movi(8, static_cast<std::int64_t>(kAuxBase));
+        b.add(8, 8, 7);
+        b.st8(2, 8, 0);
+    }
+    b.andi(9, 2, 7);       // ~12% taken
+    Label skip = b.newLabel();
+    b.bne(9, 0, skip);
+    b.add(6, 6, 4);
+    b.bind(skip);
+    loop.end();
+    return b.build();
+}
+
+Program
+corruptionKernel(const char *name, std::uint64_t iters, std::uint64_t seed,
+                 bool fp_class)
+{
+    ProgramBuilder b(name,
+                     fp_class ? WorkloadClass::Fp : WorkloadClass::Int);
+    const std::int64_t table = kTableBase;
+    const std::int64_t table_mask = 32760;   // 4096 words, 8-aligned
+
+    // Pre-fill the table so the chained loads see varied data.
+    Rng init_rng(seed ^ 0xc0);
+    for (unsigned i = 0; i < 4608; ++i)
+        b.poke64(static_cast<std::uint64_t>(table) + i * 8,
+                 init_rng.next() & 0xffff);
+
+    b.movi(1, static_cast<std::int64_t>(seed | 1)); // rng
+    b.movi(2, 0);                                   // j: store offset
+    b.movi(4, 0x1111);                              // store data
+    b.movi(5, 1);                                   // probed load value
+    b.movi(6, 0);                                   // checksum
+    b.movi(12, 0);                                  // miss-stream offset
+
+    CountedLoop loop(b, 10, iters);
+    emitLcg(b, 1, 9);
+    // Store address is available early so stores execute eagerly.
+    b.addi(2, 2, 8);
+    b.andi(2, 2, table_mask);
+    b.movi(3, table);
+    b.add(3, 3, 2);        // r3: &table[j]
+    b.addi(4, 4, 3);
+    // A long-latency input stream keeps the window full, so dozens of
+    // executed stores are in flight at every misprediction.
+    b.movi(7, kStackBase);
+    b.add(7, 7, 12);
+    b.ld8(9, 7, 0);
+    b.add(6, 6, 9);
+    b.addi(12, 12, 131200);
+    b.movi(9, 0x7fffff);
+    b.and_(12, 12, 9);
+    // The probing load aims 1..32 slots behind the store pointer (and
+    // sometimes at the taken-arm mirror band): its address comes off
+    // the fast LCG, so it issues early and routinely forwards from the
+    // in-flight stores — and after every flush those same slots are
+    // corrupt, so the probe replays until the canceled writers drain.
+    b.shri(7, 1, 5);
+    b.andi(7, 7, 31);
+    b.shli(7, 7, 3);
+    b.addi(8, 2, -8);
+    b.sub(8, 8, 7);
+    b.andi(8, 8, table_mask);
+    b.shri(9, 1, 11);
+    b.andi(9, 9, 1);
+    b.shli(9, 9, 12);      // random bit -> mirror band at +4096
+    b.xor_(8, 8, 9);
+    b.movi(9, table);
+    b.add(8, 8, 9);
+    b.ld8(5, 8, 0);
+    if (fp_class)
+        b.fadd(6, 6, 5);
+    else
+        b.add(6, 6, 5);
+    // Genuinely unpredictable, late-resolving branch: the condition
+    // mixes a random LCG bit with the loaded value. Both arms store to
+    // table[j], so a mispredicted fetch executes a wrong-path store
+    // that the partial flush must quarantine via the corruption mask.
+    b.shri(9, 1, 17);
+    b.xor_(9, 9, 5);
+    b.andi(9, 9, 1);
+    Label arm1 = b.newLabel();
+    Label join = b.newLabel();
+    b.bne(9, 0, arm1);
+    b.st8(4, 3, 0);
+    if (fp_class)
+        b.fadd(6, 6, 4);
+    else
+        b.add(6, 6, 4);
+    b.jmp(join);
+    b.bind(arm1);
+    // The taken arm stores to the mirror slot: when this store executes
+    // on a mispredicted (wrong) path, the refetched fall-through path
+    // never rewrites it, so its corruption persists until the canceled
+    // writer drains out of the window.
+    b.addi(8, 4, 1);
+    b.st8(8, 3, 4096);
+    if (fp_class)
+        b.fadd(6, 6, 8);
+    else
+        b.add(6, 6, 8);
+    b.bind(join);
+    loop.end();
+    return b.build();
+}
+
+Program
+outputDepKernel(const char *name, std::uint64_t iters, std::uint64_t seed,
+                bool fp_class)
+{
+    ProgramBuilder b(name,
+                     fp_class ? WorkloadClass::Fp : WorkloadClass::Int);
+    const std::int64_t hot = kTableBase;
+    const std::int64_t src = kAuxBase;
+
+    for (unsigned i = 0; i < 64; ++i)
+        b.poke64(static_cast<std::uint64_t>(src) + i * 8,
+                 0x9e37 + i * 0x1f3 + (seed & 0xff));
+
+    b.movi(2, 0);            // h
+    b.movi(5, 0);            // fast value
+    b.movi(7, 0x5115);       // silent-store value (constant)
+    b.movi(6, 0);            // checksum
+
+    CountedLoop loop(b, 10, iters);
+    b.addi(2, 2, 8);
+    b.andi(2, 2, 255);
+    b.movi(3, hot);
+    b.add(3, 3, 2);          // r3: &hot[h]
+    b.movi(9, src);
+    b.add(9, 9, 2);
+    b.ld8(4, 9, 0);          // slow chain feeding store A
+    if (fp_class) {
+        b.fmul(4, 4, 4);
+        b.fmul(4, 4, 4);
+        b.fadd(4, 4, 4);
+    } else {
+        b.mul(4, 4, 4);
+        b.mul(4, 4, 4);
+        b.mul(4, 4, 4);
+    }
+    b.st8(4, 3, 0);          // store A: elder, slow data
+    b.addi(5, 5, 1);
+    b.st8(5, 3, 0);          // store B: younger, ready immediately
+    b.ld8(9, 3, 0);          // consumer load
+    b.add(6, 6, 9);
+    b.st8(7, 3, 2048);       // silent store
+    loop.end();
+    return b.build();
+}
+
+Program
+stencilKernel(const char *name, std::uint64_t iters, unsigned array_mask,
+              std::uint64_t seed)
+{
+    ProgramBuilder b(name, WorkloadClass::Fp);
+    // The output stream sits 2731 MDT-set-widths away from the input so
+    // the two in-flight bands never share sets.
+    const std::int64_t a = kArrayBase;
+    const std::int64_t out = kArrayBase + 0x80000 + 21848;
+
+    Rng rng(seed);
+    for (unsigned i = 0; i <= array_mask / 8 + 2; ++i)
+        b.poke64(static_cast<std::uint64_t>(a) + i * 8, rng.next() & 0xffff);
+
+    b.movi(1, 0);            // i (byte offset)
+    b.movi(7, 3);            // coefficient
+    b.movi(6, 0);            // checksum
+
+    CountedLoop loop(b, 10, iters);
+    b.movi(2, a);
+    b.add(2, 2, 1);
+    b.ld8(4, 2, 0);
+    b.ld8(5, 2, 8);
+    b.ld8(8, 2, 16);
+    b.fadd(4, 4, 5);
+    b.fadd(4, 4, 8);
+    b.fmul(4, 4, 7);
+    b.movi(3, out);
+    b.add(3, 3, 1);
+    b.st8(4, 3, 8);
+    b.fadd(6, 6, 4);
+    b.addi(1, 1, 8);
+    b.andi(1, 1, static_cast<std::int64_t>(array_mask));
+    loop.end();
+    return b.build();
+}
+
+Program
+triadKernel(const char *name, std::uint64_t iters, unsigned array_kib,
+            std::uint64_t seed)
+{
+    ProgramBuilder b(name, WorkloadClass::Fp);
+    const std::int64_t bytes = std::int64_t{array_kib} * 1024;
+    // Stream bases are separated by ~2731 MDT sets so the three
+    // marching in-flight bands never share sets (that pathology belongs
+    // to bzip2/mcf, not swim).
+    const std::int64_t a = kArrayBase;
+    const std::int64_t c = kArrayBase + bytes + 21848;
+    const std::int64_t out = kArrayBase + 2 * bytes + 43696;
+
+    Rng rng(seed);
+    for (std::int64_t i = 0; i < bytes; i += 64) {
+        b.poke64(static_cast<std::uint64_t>(a + i), rng.next() & 0xffff);
+        b.poke64(static_cast<std::uint64_t>(c + i), rng.next() & 0xffff);
+    }
+
+    b.movi(1, 0);            // i
+    b.movi(7, 5);            // scalar s
+    b.movi(6, 0);
+    b.movi(12, 0);           // column-sweep offset
+
+    CountedLoop loop(b, 10, iters);
+    b.movi(2, a);
+    b.add(2, 2, 1);
+    b.ld8(4, 2, 0);
+    b.fmul(4, 4, 7);
+    b.movi(2, c);
+    b.add(2, 2, 1);
+    b.ld8(5, 2, 0);
+    b.fadd(4, 4, 5);
+    b.movi(3, out);
+    b.add(3, 3, 1);
+    b.st8(4, 3, 0);
+    b.fadd(6, 6, 4);
+    // Column access of the 2D grid: a large-stride, cache-defeating
+    // load stream whose MLP wants more in-flight loads than a 120-entry
+    // load queue can hold (the paper's specfp benefit of the MDT).
+    b.movi(2, a + 4 * bytes);
+    b.add(2, 2, 12);
+    b.ld8(5, 2, 0);
+    b.fadd(6, 6, 5);
+    b.addi(12, 12, 16448);
+    b.movi(9, 0x3fffff);
+    b.and_(12, 12, 9);
+    b.addi(1, 1, 8);
+    b.andi(1, 1, bytes - 1);
+    loop.end();
+    return b.build();
+}
+
+} // namespace slf::workloads::detail

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Shared workload kernels parameterized per benchmark analog.
+ * Internal to src/workloads.
+ */
+
+#ifndef SLFWD_WORKLOADS_KERNELS_HH_
+#define SLFWD_WORKLOADS_KERNELS_HH_
+
+#include <cstdint>
+
+#include "prog/program.hh"
+
+namespace slf::workloads::detail
+{
+
+/** Randomized hash-table read-modify-write with a skewed branch. */
+Program hashKernel(const char *name, std::uint64_t iters,
+                   unsigned table_bits, unsigned branch_mask,
+                   std::uint64_t seed);
+
+/** Stack push/pop bursts: dense store-to-load forwarding. */
+Program stackKernel(const char *name, std::uint64_t iters, unsigned depth,
+                    std::uint64_t seed);
+
+/** Cache-resident shuffled-ring walk with field updates. */
+Program ringKernel(const char *name, std::uint64_t iters, unsigned nodes,
+                   std::uint64_t seed, bool add_anti_pattern);
+
+/** Wrong-path stores under an unpredictable branch: SFC corruption. */
+Program corruptionKernel(const char *name, std::uint64_t iters,
+                         std::uint64_t seed, bool fp_class);
+
+/** Out-of-order same-address stores: output-dependence violations. */
+Program outputDepKernel(const char *name, std::uint64_t iters,
+                        std::uint64_t seed, bool fp_class);
+
+/** Unit-stride 3-point stencil: regular FP loop nest. */
+Program stencilKernel(const char *name, std::uint64_t iters,
+                      unsigned array_mask, std::uint64_t seed);
+
+/** Stream triad over large arrays: b[i] = a[i]*s + c[i]. */
+Program triadKernel(const char *name, std::uint64_t iters,
+                    unsigned array_kib, std::uint64_t seed);
+
+} // namespace slf::workloads::detail
+
+#endif // SLFWD_WORKLOADS_KERNELS_HH_

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Micro-workloads for unit/integration tests and examples.
+ */
+
+#include <cstdint>
+
+#include "prog/builder.hh"
+#include "workloads/kernel_util.hh"
+#include "workloads/workloads.hh"
+
+namespace slf::workloads
+{
+
+using detail::CountedLoop;
+
+Program
+microForwardChain(std::uint64_t iterations)
+{
+    ProgramBuilder b("micro_forward_chain", WorkloadClass::Int);
+    const std::int64_t hot = detail::kTableBase;
+    b.movi(1, hot);
+    b.movi(2, 1);
+    CountedLoop loop(b, 10, iterations);
+    b.addi(2, 2, 3);
+    b.st8(2, 1, 0);
+    b.ld8(3, 1, 0);    // forwards from the store just above
+    b.add(2, 2, 3);
+    b.st8(2, 1, 8);
+    b.ld8(4, 1, 8);
+    b.add(2, 3, 4);
+    loop.end();
+    return b.build();
+}
+
+Program
+microCorruptionExample(std::uint64_t iterations)
+{
+    // The scenario of Section 2.3: [1] store, [2] load, an
+    // unpredictable branch, [3] a store to the same address that often
+    // executes on the wrong path, then [4] a load that must never
+    // observe a canceled [3]'s value.
+    ProgramBuilder b("micro_corruption", WorkloadClass::Int);
+    const std::int64_t addr = detail::kTableBase + 0xb000;
+    b.movi(1, 0x1d);       // rng state
+    b.movi(2, addr);
+    b.movi(5, 0xa1a1);
+    b.movi(6, 0xb2b2);
+    b.movi(14, 3);         // slow serial chain state
+    b.movi(15, 0x9e37);
+    CountedLoop loop(b, 10, iterations);
+    // A slow independent chain keeps older work in flight so the
+    // refetched load [4] is not at the ROB head (where it would bypass
+    // the SFC and miss the corruption entirely).
+    b.mul(14, 14, 15);
+    b.addi(14, 14, 1);
+    b.mul(14, 14, 15);
+    b.addi(14, 14, 1);
+    b.st8(5, 2, 0);        // [1]
+    b.ld8(3, 2, 0);        // [2]
+    detail::emitLcg(b, 1, 9);
+    b.shri(4, 1, 13);
+    b.andi(4, 4, 1);
+    Label skip = b.newLabel();
+    b.bne(4, 0, skip);     // ~50/50: frequently mispredicted
+    b.st8(6, 2, 0);        // [3] wrong-path store when mispredicted taken
+    b.bind(skip);
+    b.ld8(7, 2, 0);        // [4]
+    b.add(8, 3, 7);
+    b.addi(5, 8, 0x11);
+    loop.end();
+    return b.build();
+}
+
+Program
+microStreaming(std::uint64_t iterations)
+{
+    ProgramBuilder b("micro_streaming", WorkloadClass::Int);
+    const std::int64_t src = detail::kArrayBase;
+    const std::int64_t dst = detail::kArrayBase + 0x100000;
+    b.movi(1, 0);
+    b.movi(6, 0);
+    CountedLoop loop(b, 10, iterations);
+    b.movi(2, src);
+    b.add(2, 2, 1);
+    b.ld8(4, 2, 0);
+    b.movi(3, dst);
+    b.add(3, 3, 1);
+    b.st8(4, 3, 0);
+    b.add(6, 6, 4);
+    b.addi(1, 1, 8);
+    b.andi(1, 1, 0xffff);
+    loop.end();
+    return b.build();
+}
+
+Program
+microOutputViolations(std::uint64_t iterations)
+{
+    ProgramBuilder b("micro_output_violations", WorkloadClass::Int);
+    const std::int64_t hot = detail::kTableBase;
+    b.movi(1, hot);
+    b.movi(4, 9);
+    b.movi(5, 0);
+    b.movi(6, 0);
+    CountedLoop loop(b, 10, iterations);
+    // Elder store's data comes off a long multiply chain; the younger
+    // store to the same address is ready immediately.
+    b.mul(4, 4, 4);
+    b.mul(4, 4, 4);
+    b.addi(4, 4, 1);
+    b.st8(4, 1, 0);      // elder, slow
+    b.addi(5, 5, 1);
+    b.st8(5, 1, 0);      // younger, fast: completes first
+    b.ld8(7, 1, 0);
+    b.add(6, 6, 7);
+    loop.end();
+    return b.build();
+}
+
+Program
+microTrueViolations(std::uint64_t iterations)
+{
+    ProgramBuilder b("micro_true_violations", WorkloadClass::Int);
+    const std::int64_t hot = detail::kTableBase;
+    b.movi(1, hot);
+    b.movi(4, 3);
+    b.movi(6, 0);
+    CountedLoop loop(b, 10, iterations);
+    // Elder store waits on a multiply chain while the younger load's
+    // address is ready at once -> the load runs ahead and reads stale
+    // data until the predictor learns the dependence.
+    b.mul(4, 4, 4);
+    b.mul(4, 4, 4);
+    b.addi(4, 4, 5);
+    b.st8(4, 1, 0);
+    b.ld8(5, 1, 0);
+    b.add(6, 6, 5);
+    loop.end();
+    return b.build();
+}
+
+Program
+microAluLoop(std::uint64_t iterations)
+{
+    ProgramBuilder b("micro_alu_loop", WorkloadClass::Int);
+    b.movi(1, 1);
+    b.movi(2, 2);
+    b.movi(6, 0);
+    CountedLoop loop(b, 10, iterations);
+    b.add(1, 1, 2);
+    b.xor_(2, 2, 1);
+    b.shri(3, 1, 3);
+    b.add(6, 6, 3);
+    b.sub(4, 1, 2);
+    b.or_(6, 6, 4);
+    loop.end();
+    return b.build();
+}
+
+} // namespace slf::workloads

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Synthetic analogs of the SPEC CPU2000 floating-point benchmarks. The
+ * FP class uses FADD/FMUL/FDIV (fixed-point semantics, FP latencies) in
+ * long regular loops, matching the paper's specfp character: high ILP,
+ * few ordering violations — except ammp and equake, which carry the
+ * SFC-corruption pathology of Section 3.2.
+ */
+
+#include <cstdint>
+
+#include "prog/builder.hh"
+#include "sim/rng.hh"
+#include "workloads/kernel_util.hh"
+#include "workloads/kernels.hh"
+#include "workloads/workloads.hh"
+
+namespace slf::workloads
+{
+
+using detail::CountedLoop;
+
+Program
+ammp(const WorkloadParams &p)
+{
+    return detail::corruptionKernel("ammp", 12000 * p.scale,
+                                    p.seed ^ 0xa1, true);
+}
+
+Program
+applu(const WorkloadParams &p)
+{
+    return detail::stencilKernel("applu", 16000 * p.scale, 0x7fff,
+                                 p.seed ^ 0x2);
+}
+
+Program
+apsi(const WorkloadParams &p)
+{
+    // Stencil plus an indirect table update: a mixed regular/irregular
+    // FP workload with occasional FDIV.
+    ProgramBuilder b("apsi", WorkloadClass::Fp);
+    const std::int64_t a = detail::kArrayBase;
+    const std::int64_t tab = detail::kTableBase;
+
+    Rng rng(p.seed ^ 0xa51);
+    for (unsigned i = 0; i < 2048; ++i)
+        b.poke64(static_cast<std::uint64_t>(a) + i * 8,
+                 (rng.next() & 0xffff) | 1);
+
+    b.movi(1, 0);            // i
+    b.movi(6, 1);            // accumulator (nonzero for fdiv)
+    b.movi(7, 7);            // coefficient
+
+    CountedLoop loop(b, 10, 11000 * p.scale);
+    b.movi(2, a);
+    b.add(2, 2, 1);
+    b.ld8(4, 2, 0);
+    b.fmul(5, 4, 7);
+    b.fadd(6, 6, 5);
+    // Indirect FP table update.
+    b.andi(8, 4, 0x3f8);
+    b.movi(3, tab);
+    b.add(3, 3, 8);
+    b.ld8(9, 3, 0);
+    b.fadd(9, 9, 5);
+    b.st8(9, 3, 0);
+    // Occasional normalize via FDIV (every 16th iteration).
+    b.andi(8, 1, 0x78);
+    Label skip = b.newLabel();
+    b.bne(8, 0, skip);
+    b.fdiv(6, 6, 7);
+    b.addi(6, 6, 1);
+    b.bind(skip);
+    b.addi(1, 1, 8);
+    b.andi(1, 1, 0x3fff);
+    loop.end();
+    return b.build();
+}
+
+Program
+art(const WorkloadParams &p)
+{
+    // Neural-net-style weight scan: streaming reduction with a store of
+    // the updated activation every iteration.
+    ProgramBuilder b("art", WorkloadClass::Fp);
+    // Stream bases offset by ~2731 MDT sets so the marching bands do
+    // not alias (art is not a conflict benchmark).
+    const std::int64_t w = detail::kArrayBase;
+    const std::int64_t f = detail::kArrayBase + 0x40000 + 21848;
+    const std::int64_t out = detail::kArrayBase + 0x80000 + 43696;
+
+    Rng rng(p.seed ^ 0xa27);
+    for (unsigned i = 0; i < 8192; ++i) {
+        b.poke64(static_cast<std::uint64_t>(w) + i * 8, rng.next() & 0xff);
+        b.poke64(static_cast<std::uint64_t>(f) + i * 8, rng.next() & 0xff);
+    }
+
+    b.movi(1, 0);
+    b.movi(6, 0);
+
+    CountedLoop loop(b, 10, 15000 * p.scale);
+    b.movi(2, w);
+    b.add(2, 2, 1);
+    b.ld8(4, 2, 0);
+    b.movi(2, f);
+    b.add(2, 2, 1);
+    b.ld8(5, 2, 0);
+    b.fmul(4, 4, 5);
+    b.fadd(6, 6, 4);
+    b.movi(3, out);
+    b.add(3, 3, 1);
+    b.st8(6, 3, 0);
+    b.addi(1, 1, 8);
+    b.movi(2, 0x7ffff);
+    b.and_(1, 1, 2);
+    loop.end();
+    return b.build();
+}
+
+Program
+equake(const WorkloadParams &p)
+{
+    return detail::corruptionKernel("equake", 12000 * p.scale,
+                                    p.seed ^ 0xe9, true);
+}
+
+Program
+mesa(const WorkloadParams &p)
+{
+    return detail::outputDepKernel("mesa", 13000 * p.scale,
+                                   p.seed ^ 0x3e5a, true);
+}
+
+Program
+mgrid(const WorkloadParams &p)
+{
+    return detail::stencilKernel("mgrid", 17000 * p.scale, 0x3fff,
+                                 p.seed ^ 0x317d);
+}
+
+Program
+swim(const WorkloadParams &p)
+{
+    return detail::triadKernel("swim", 16000 * p.scale, 1024,
+                               p.seed ^ 0x5317);
+}
+
+} // namespace slf::workloads

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Synthetic analogs of the SPEC CPU2000 integer benchmarks the paper
+ * evaluates. Each generator documents which memory-system behaviour it
+ * is engineered to reproduce (see DESIGN.md Section 5).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "prog/builder.hh"
+#include "sim/rng.hh"
+#include "workloads/kernel_util.hh"
+#include "workloads/kernels.hh"
+#include "workloads/workloads.hh"
+
+namespace slf::workloads
+{
+
+using detail::CountedLoop;
+
+Program
+bzip2(const WorkloadParams &p)
+{
+    // SFC set-conflict pathology (Section 3.2: ">50% of dynamic stores
+    // must be replayed"). The block-sort-like store stream revisits each
+    // SFC set every 24 iterations with a *different* word (word stride
+    // 512 = one full sweep of the 512-set SFC, which also aliases the
+    // 128-set SFC). A 128-entry window holds ~1 visit per set (no
+    // conflicts); a 1024-entry window holds ~3 visits x 2 arrays = 6
+    // distinct words per 2-way set, so stores replay heavily.
+    ProgramBuilder b("bzip2", WorkloadClass::Int);
+    const std::int64_t base = detail::kArrayBase;
+    const std::int64_t big = detail::kNodeBase;   // L2-thrashing stream
+
+    b.movi(1, 0);          // i mod 24, scaled by 264 bytes
+    b.movi(4, 0);          // (i / 24) mod 16, scaled by 4096 bytes
+    b.movi(11, 0);         // i mod 24 (counter for wrap detection)
+    b.movi(12, 0);         // big-stream offset
+    b.movi(3, 0x1234);     // data
+    b.movi(6, 0);          // checksum
+
+    CountedLoop loop(b, 10, 14000 * p.scale);
+    b.movi(7, base);
+    b.add(2, 7, 1);        // base + (i%24)*264
+    b.add(2, 2, 4);        //      + ((i/24)%16)*4096
+    b.addi(3, 3, 7);
+    b.st8(3, 2, 0);        // array 0
+    b.st8(3, 2, 131072);   // array 1: +16384 words = same SFC set
+    b.ld8(5, 2, 0);
+    b.add(6, 6, 5);
+    b.ld8(5, 2, 131072);
+    b.add(6, 6, 5);
+    // A long-latency input stream (the block being sorted): L2-sized
+    // strides stall retirement so executed stores pile up in the window.
+    b.movi(7, big);
+    b.add(7, 7, 12);
+    b.ld8(5, 7, 0);
+    b.add(6, 6, 5);
+    b.addi(12, 12, 131200);          // new L2 set each iteration
+    b.movi(9, 0x7fffff);
+    b.and_(12, 12, 9);
+    // Advance (i % 24) and, on wrap, (i / 24) % 16.
+    b.addi(1, 1, 264);
+    b.addi(11, 11, 1);
+    b.slti(9, 11, 24);
+    Label no_wrap = b.newLabel();
+    b.bne(9, 0, no_wrap);
+    b.movi(1, 0);
+    b.movi(11, 0);
+    b.addi(4, 4, 4096);
+    b.andi(4, 4, 0xffff);
+    b.bind(no_wrap);
+    loop.end();
+    return b.build();
+}
+
+Program
+mcf(const WorkloadParams &p)
+{
+    // MDT set-conflict pathology (Section 3.2: ">16% of dynamic loads
+    // must be replayed"). Two serial pointer chases march through a
+    // two-level address pattern engineered so that every chase load of
+    // both chains lands in one of just 12 MDT sets, with the same set
+    // revisited every 12 steps by a *different* block (the second-level
+    // stride of 128 KiB is a multiple of both MDT spans, so it moves
+    // the block but not the set). A 128-entry window keeps ~3 blocks
+    // per 2-way set (mild); a 1024-entry window keeps ~25, so chase
+    // loads replay until older registered loads retire — and because
+    // the chase is serial, every replay cycle lengthens the critical
+    // path. The 128 KiB strides also defeat the L1D, giving mcf its
+    // memory-bound character.
+    ProgramBuilder b("mcf", WorkloadClass::Int);
+    const std::uint64_t arcs0 = detail::kNodeBase;
+    const std::uint64_t arcs1 = detail::kNodeBase + 0x800000;
+
+    auto pattern_off = [](unsigned i) {
+        return (i % 12) * std::uint64_t{264} +
+               ((i / 12) % 16) * std::uint64_t{131072};
+    };
+
+    Rng rng(p.seed);
+    const unsigned cycle = 192;   // full two-level pattern period
+    for (unsigned i = 0; i < cycle; ++i) {
+        const std::uint64_t next = pattern_off((i + 1) % cycle);
+        b.poke64(arcs0 + pattern_off(i), arcs0 + next);
+        b.poke64(arcs1 + pattern_off(i), arcs1 + next);
+        b.poke64(arcs0 + pattern_off(i) + 8, rng.next() & 0xffff);
+        b.poke64(arcs1 + pattern_off(i) + 8, rng.next() & 0xffff);
+    }
+
+    b.movi(1, static_cast<std::int64_t>(arcs0));   // chain 0 cursor
+    b.movi(2, static_cast<std::int64_t>(arcs1));   // chain 1 cursor
+    b.movi(6, 0);                                  // checksum
+
+    CountedLoop loop(b, 10, 16000 * p.scale);
+    b.ld8(1, 1, 0);        // serial chase, chain 0
+    b.ld8(2, 2, 0);        // serial chase, chain 1
+    b.ld8(5, 1, 8);        // payload
+    b.add(6, 6, 5);
+    b.ld8(5, 2, 8);
+    b.add(6, 6, 5);
+    b.xor_(6, 6, 1);
+    loop.end();
+    return b.build();
+}
+
+Program
+crafty(const WorkloadParams &p)
+{
+    return detail::hashKernel("crafty", 14000 * p.scale, 11, 15, p.seed);
+}
+
+Program
+gap(const WorkloadParams &p)
+{
+    return detail::ringKernel("gap", 16000 * p.scale, 96, p.seed, false);
+}
+
+Program
+gcc(const WorkloadParams &p)
+{
+    return detail::stackKernel("gcc", 9000 * p.scale, 4, p.seed);
+}
+
+Program
+gzip(const WorkloadParams &p)
+{
+    return detail::outputDepKernel("gzip", 14000 * p.scale, p.seed, false);
+}
+
+Program
+parser(const WorkloadParams &p)
+{
+    return detail::stackKernel("parser", 10000 * p.scale, 3,
+                               p.seed ^ 0x1234);
+}
+
+Program
+perl(const WorkloadParams &p)
+{
+    return detail::hashKernel("perl", 14000 * p.scale, 10, 7,
+                              p.seed ^ 0x77);
+}
+
+Program
+twolf(const WorkloadParams &p)
+{
+    return detail::ringKernel("twolf", 13000 * p.scale, 128,
+                              p.seed ^ 0xabc, true);
+}
+
+Program
+vortex(const WorkloadParams &p)
+{
+    return detail::hashKernel("vortex", 12000 * p.scale, 14, 31,
+                              p.seed ^ 0x9e3);
+}
+
+Program
+vprPlace(const WorkloadParams &p)
+{
+    return detail::ringKernel("vpr_place", 15000 * p.scale, 64,
+                              p.seed ^ 0x51, false);
+}
+
+Program
+vprRoute(const WorkloadParams &p)
+{
+    return detail::corruptionKernel("vpr_route", 13000 * p.scale,
+                                    p.seed ^ 0xf00, false);
+}
+
+} // namespace slf::workloads

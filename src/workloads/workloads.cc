@@ -1,0 +1,64 @@
+#include "workloads.hh"
+
+namespace slf
+{
+
+const std::vector<WorkloadInfo> &
+spec2000Analogs()
+{
+    static const std::vector<WorkloadInfo> table = {
+        {"bzip2", WorkloadClass::Int, &workloads::bzip2,
+         "power-of-2-strided store bursts -> SFC set conflicts"},
+        {"crafty", WorkloadClass::Int, &workloads::crafty,
+         "hash-table RMW, 16KiB working set, skewed branches"},
+        {"gap", WorkloadClass::Int, &workloads::gap,
+         "cache-resident ring walk with field updates"},
+        {"gcc", WorkloadClass::Int, &workloads::gcc,
+         "stack push/pop bursts: dense store-to-load forwarding"},
+        {"gzip", WorkloadClass::Int, &workloads::gzip,
+         "out-of-order same-address stores -> output violations"},
+        {"mcf", WorkloadClass::Int, &workloads::mcf,
+         "64KiB-strided pointer chasing -> MDT set conflicts"},
+        {"parser", WorkloadClass::Int, &workloads::parser,
+         "stack push/pop bursts (shallower than gcc)"},
+        {"perl", WorkloadClass::Int, &workloads::perl,
+         "hash-table RMW, 8KiB working set"},
+        {"twolf", WorkloadClass::Int, &workloads::twolf,
+         "ring walk plus anti-dependence (slow load vs eager store)"},
+        {"vortex", WorkloadClass::Int, &workloads::vortex,
+         "hash-table RMW, 128KiB working set (L2 pressure)"},
+        {"vpr_place", WorkloadClass::Int, &workloads::vprPlace,
+         "ring walk, predictable branches"},
+        {"vpr_route", WorkloadClass::Int, &workloads::vprRoute,
+         "stores under unpredictable branches -> SFC corruption"},
+
+        {"ammp", WorkloadClass::Fp, &workloads::ammp,
+         "FP corruption pathology (wrong-path stores)"},
+        {"applu", WorkloadClass::Fp, &workloads::applu,
+         "3-point stencil over 32KiB"},
+        {"apsi", WorkloadClass::Fp, &workloads::apsi,
+         "stencil + indirect FP table update + occasional FDIV"},
+        {"art", WorkloadClass::Fp, &workloads::art,
+         "streaming weight-scan reduction"},
+        {"equake", WorkloadClass::Fp, &workloads::equake,
+         "FP corruption pathology (wrong-path stores)"},
+        {"mesa", WorkloadClass::Fp, &workloads::mesa,
+         "FP output-dependence pathology + silent stores"},
+        {"mgrid", WorkloadClass::Fp, &workloads::mgrid,
+         "3-point stencil over 16KiB"},
+        {"swim", WorkloadClass::Fp, &workloads::swim,
+         "stream triad over 64KiB arrays"},
+    };
+    return table;
+}
+
+const WorkloadInfo *
+findWorkload(const std::string &name)
+{
+    for (const auto &info : spec2000Analogs())
+        if (name == info.name)
+            return &info;
+    return nullptr;
+}
+
+} // namespace slf

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Synthetic SPEC CPU2000 workload analogs.
+ *
+ * The paper evaluates on 19 SPEC 2000 benchmarks with MinneSPEC inputs.
+ * We substitute deterministic synthetic generators, one per benchmark,
+ * each engineered to exhibit the *memory behaviour* the paper attributes
+ * to that program (DESIGN.md Section 5):
+ *
+ *  - bzip2:      power-of-2-strided store bursts -> SFC set conflicts
+ *  - mcf:        64KiB-strided pointer chasing  -> MDT set conflicts
+ *  - vpr_route / ammp / equake: stores under unpredictable branches ->
+ *                wrong-path stores -> SFC corruption replays
+ *  - gzip / mesa: out-of-order same-address stores (incl. silent ones)
+ *                -> output-dependence violations that ENF removes
+ *  - remaining specint: hash/stack/graph kernels with moderate
+ *                dependence density and predictable-to-moderate branches
+ *  - remaining specfp: regular stencils/streams/reductions with high ILP
+ *
+ * Every generator is deterministic given (scale, seed); `scale`
+ * multiplies iteration counts (scale=1 retires a few hundred thousand
+ * instructions).
+ */
+
+#ifndef SLFWD_WORKLOADS_WORKLOADS_HH_
+#define SLFWD_WORKLOADS_WORKLOADS_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "prog/program.hh"
+
+namespace slf
+{
+
+struct WorkloadParams
+{
+    std::uint64_t scale = 1;
+    std::uint64_t seed = 42;
+};
+
+using WorkloadFactory = Program (*)(const WorkloadParams &);
+
+struct WorkloadInfo
+{
+    const char *name;
+    WorkloadClass cls;
+    WorkloadFactory make;
+    /** Which pathology the generator reproduces (documentation). */
+    const char *behaviour;
+};
+
+/** The 19 SPEC 2000 analogs, in the paper's figure order (int, then fp). */
+const std::vector<WorkloadInfo> &spec2000Analogs();
+
+/** Look up an analog by name; nullptr if unknown. */
+const WorkloadInfo *findWorkload(const std::string &name);
+
+namespace workloads
+{
+
+// Individual generators (also reachable via the registry).
+Program bzip2(const WorkloadParams &p);
+Program crafty(const WorkloadParams &p);
+Program gap(const WorkloadParams &p);
+Program gcc(const WorkloadParams &p);
+Program gzip(const WorkloadParams &p);
+Program mcf(const WorkloadParams &p);
+Program parser(const WorkloadParams &p);
+Program perl(const WorkloadParams &p);
+Program twolf(const WorkloadParams &p);
+Program vortex(const WorkloadParams &p);
+Program vprPlace(const WorkloadParams &p);
+Program vprRoute(const WorkloadParams &p);
+
+Program ammp(const WorkloadParams &p);
+Program applu(const WorkloadParams &p);
+Program apsi(const WorkloadParams &p);
+Program art(const WorkloadParams &p);
+Program equake(const WorkloadParams &p);
+Program mesa(const WorkloadParams &p);
+Program mgrid(const WorkloadParams &p);
+Program swim(const WorkloadParams &p);
+
+// Micro-workloads for tests and examples.
+
+/** Tight store->load forwarding chain over one hot address. */
+Program microForwardChain(std::uint64_t iterations);
+
+/** The paper's Section 2.3 example: store, mispredicted branch over a
+ *  wrong-path store to the same address, then a load. */
+Program microCorruptionExample(std::uint64_t iterations);
+
+/** Independent strided stores and loads (no conflicts, no violations). */
+Program microStreaming(std::uint64_t iterations);
+
+/** Out-of-order same-address stores provoking output violations. */
+Program microOutputViolations(std::uint64_t iterations);
+
+/** Slow store feeding an eager younger load: true violations. */
+Program microTrueViolations(std::uint64_t iterations);
+
+/** Pure ALU loop (no memory), for pipeline sanity checks. */
+Program microAluLoop(std::uint64_t iterations);
+
+} // namespace workloads
+
+} // namespace slf
+
+#endif // SLFWD_WORKLOADS_WORKLOADS_HH_

@@ -1,0 +1,154 @@
+/** @file Unit tests for ProgramBuilder and Program. */
+
+#include <gtest/gtest.h>
+
+#include "prog/builder.hh"
+#include "sim/logging.hh"
+
+using namespace slf;
+
+TEST(ProgramBuilder, EmitsInstructionsInOrder)
+{
+    ProgramBuilder b("p");
+    b.movi(1, 5);
+    b.add(2, 1, 1);
+    b.halt();
+    const Program p = b.build();
+    ASSERT_EQ(p.size(), 3u);
+    EXPECT_EQ(p.inst(0).op, Op::MOVI);
+    EXPECT_EQ(p.inst(1).op, Op::ADD);
+    EXPECT_EQ(p.inst(2).op, Op::HALT);
+}
+
+TEST(ProgramBuilder, AppendsHaltIfMissing)
+{
+    ProgramBuilder b("p");
+    b.movi(1, 5);
+    const Program p = b.build();
+    ASSERT_EQ(p.size(), 2u);
+    EXPECT_EQ(p.inst(1).op, Op::HALT);
+}
+
+TEST(ProgramBuilder, EmptyProgramGetsHalt)
+{
+    ProgramBuilder b("p");
+    const Program p = b.build();
+    ASSERT_EQ(p.size(), 1u);
+    EXPECT_EQ(p.inst(0).op, Op::HALT);
+}
+
+TEST(ProgramBuilder, BackwardBranchTarget)
+{
+    ProgramBuilder b("p");
+    Label top = b.newLabel();
+    b.bind(top);
+    b.addi(1, 1, 1);
+    b.bne(1, 2, top);
+    const Program p = b.build();
+    EXPECT_EQ(p.inst(1).branchTarget, 0u);
+}
+
+TEST(ProgramBuilder, ForwardBranchTarget)
+{
+    ProgramBuilder b("p");
+    Label skip = b.newLabel();
+    b.beq(1, 1, skip);
+    b.movi(2, 1);
+    b.bind(skip);
+    b.movi(3, 1);
+    const Program p = b.build();
+    EXPECT_EQ(p.inst(0).branchTarget, 2u);
+}
+
+TEST(ProgramBuilder, JmpTargetPatched)
+{
+    ProgramBuilder b("p");
+    Label end = b.newLabel();
+    b.jmp(end);
+    b.nop();
+    b.bind(end);
+    b.halt();
+    const Program p = b.build();
+    EXPECT_EQ(p.inst(0).op, Op::JMP);
+    EXPECT_EQ(p.inst(0).branchTarget, 2u);
+}
+
+TEST(ProgramBuilder, UnboundLabelFails)
+{
+    ProgramBuilder b("p");
+    Label l = b.newLabel();
+    b.beq(1, 2, l);
+    EXPECT_THROW(b.build(), FatalError);
+}
+
+TEST(ProgramBuilder, DoubleBindFails)
+{
+    ProgramBuilder b("p");
+    Label l = b.newLabel();
+    b.bind(l);
+    EXPECT_THROW(b.bind(l), FatalError);
+}
+
+TEST(ProgramBuilder, RegisterRangeChecked)
+{
+    ProgramBuilder b("p");
+    EXPECT_THROW(b.add(32, 0, 0), FatalError);
+    EXPECT_THROW(b.ld8(1, 40, 0), FatalError);
+}
+
+TEST(ProgramBuilder, BuildTwiceFails)
+{
+    ProgramBuilder b("p");
+    b.halt();
+    b.build();
+    EXPECT_THROW(b.build(), FatalError);
+}
+
+TEST(ProgramBuilder, StoreOperandLayout)
+{
+    ProgramBuilder b("p");
+    b.st4(7, 2, 24);   // value r7, base r2, disp 24
+    const Program p = b.build();
+    EXPECT_EQ(p.inst(0).src2, 7);
+    EXPECT_EQ(p.inst(0).src1, 2);
+    EXPECT_EQ(p.inst(0).imm, 24);
+}
+
+TEST(Program, InitialDataLittleEndian)
+{
+    ProgramBuilder b("p");
+    b.poke64(0x1000, 0x0102030405060708ull);
+    const Program p = b.build();
+    const auto &img = p.initialData();
+    EXPECT_EQ(img.at(0x1000), 0x08);
+    EXPECT_EQ(img.at(0x1007), 0x01);
+}
+
+TEST(Program, PokeBytesPartial)
+{
+    Program p;
+    p.pokeBytes(0x2000, 0xaabbccdd, 2);
+    EXPECT_EQ(p.initialData().at(0x2000), 0xdd);
+    EXPECT_EQ(p.initialData().at(0x2001), 0xcc);
+    EXPECT_EQ(p.initialData().count(0x2002), 0u);
+}
+
+TEST(Program, ValidPcBounds)
+{
+    ProgramBuilder b("p");
+    b.halt();
+    const Program p = b.build();
+    EXPECT_TRUE(p.validPc(0));
+    EXPECT_FALSE(p.validPc(1));
+}
+
+TEST(Program, DisassembleTextListsAllInstructions)
+{
+    ProgramBuilder b("p");
+    b.movi(1, 2);
+    b.halt();
+    const Program p = b.build();
+    const std::string text = p.disassembleText();
+    EXPECT_NE(text.find("movi r1, 2"), std::string::npos);
+    EXPECT_NE(text.find("halt"), std::string::npos);
+}

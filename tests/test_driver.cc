@@ -1,0 +1,147 @@
+/** @file Tests for the simulation driver and config plumbing. */
+
+#include <gtest/gtest.h>
+
+#include "driver/runner.hh"
+#include "sim/logging.hh"
+#include "workloads/workloads.hh"
+
+using namespace slf;
+
+TEST(ApplyOverrides, PipelineDimensions)
+{
+    CoreConfig cfg = CoreConfig::baseline();
+    Config ov;
+    ov.setUInt("width", 2);
+    ov.setUInt("rob", 64);
+    ov.setUInt("sched", 32);
+    ov.setUInt("fus", 3);
+    applyOverrides(cfg, ov);
+    EXPECT_EQ(cfg.width, 2u);
+    EXPECT_EQ(cfg.rob_entries, 64u);
+    EXPECT_EQ(cfg.sched_entries, 32u);
+    EXPECT_EQ(cfg.num_fus, 3u);
+}
+
+TEST(ApplyOverrides, SubsystemSelection)
+{
+    CoreConfig cfg = CoreConfig::baseline();
+    Config ov;
+    ov.set("subsys", "lsq");
+    applyOverrides(cfg, ov);
+    EXPECT_EQ(cfg.subsys, MemSubsystem::LsqBaseline);
+    ov.set("subsys", "mdtsfc");
+    applyOverrides(cfg, ov);
+    EXPECT_EQ(cfg.subsys, MemSubsystem::MdtSfc);
+    ov.set("subsys", "bogus");
+    EXPECT_THROW(applyOverrides(cfg, ov), FatalError);
+}
+
+TEST(ApplyOverrides, StructureGeometry)
+{
+    CoreConfig cfg = CoreConfig::baseline();
+    Config ov;
+    ov.setUInt("sfc.sets", 64);
+    ov.setUInt("sfc.assoc", 4);
+    ov.setUInt("mdt.sets", 2048);
+    ov.setUInt("mdt.granularity", 16);
+    ov.setBool("mdt.tagged", false);
+    ov.setUInt("lsq.lq", 10);
+    ov.setUInt("lsq.sq", 11);
+    applyOverrides(cfg, ov);
+    EXPECT_EQ(cfg.sfc.sets, 64u);
+    EXPECT_EQ(cfg.sfc.assoc, 4u);
+    EXPECT_EQ(cfg.mdt.sets, 2048u);
+    EXPECT_EQ(cfg.mdt.granularity, 16u);
+    EXPECT_FALSE(cfg.mdt.tagged);
+    EXPECT_EQ(cfg.lsq.lq_entries, 10u);
+    EXPECT_EQ(cfg.lsq.sq_entries, 11u);
+}
+
+TEST(ApplyOverrides, MemDepModes)
+{
+    CoreConfig cfg = CoreConfig::baseline();
+    Config ov;
+    for (const auto &[name, mode] :
+         std::initializer_list<std::pair<const char *, MemDepMode>>{
+             {"lsq", MemDepMode::LsqStoreSet},
+             {"true", MemDepMode::EnforceTrueOnly},
+             {"all", MemDepMode::EnforceAll},
+             {"total", MemDepMode::EnforceAllTotalOrder}}) {
+        ov.set("memdep.mode", name);
+        applyOverrides(cfg, ov);
+        EXPECT_EQ(cfg.memdep.mode, mode) << name;
+    }
+    ov.set("memdep.mode", "bogus");
+    EXPECT_THROW(applyOverrides(cfg, ov), FatalError);
+}
+
+TEST(ApplyOverrides, PolicyFlags)
+{
+    CoreConfig cfg = CoreConfig::baseline();
+    Config ov;
+    ov.setBool("stall_bits", false);
+    ov.setBool("partial_match_merges", false);
+    ov.setBool("head_bypass", false);
+    ov.setBool("output_dep_marks_corrupt", true);
+    ov.setBool("optimized_true_recovery", true);
+    ov.setDouble("oracle_fix_prob", 0.5);
+    applyOverrides(cfg, ov);
+    EXPECT_FALSE(cfg.stall_bits);
+    EXPECT_FALSE(cfg.partial_match_merges);
+    EXPECT_FALSE(cfg.head_bypass);
+    EXPECT_TRUE(cfg.output_dep_marks_corrupt);
+    EXPECT_TRUE(cfg.mdt.optimized_true_recovery);
+    EXPECT_DOUBLE_EQ(cfg.oracle_fix_prob, 0.5);
+}
+
+TEST(Presets, FigureFourValues)
+{
+    const CoreConfig base = CoreConfig::baseline();
+    EXPECT_EQ(base.width, 4u);
+    EXPECT_EQ(base.rob_entries, 128u);
+    EXPECT_EQ(base.mdt.sets, 4096u);
+    EXPECT_EQ(base.sfc.sets, 128u);
+    EXPECT_EQ(base.memdep.table_entries, 16384u);
+    EXPECT_EQ(base.memdep.lfpt_entries, 512u);
+    EXPECT_EQ(base.mispredict_penalty, 8u);
+
+    const CoreConfig agg = CoreConfig::aggressive();
+    EXPECT_EQ(agg.width, 8u);
+    EXPECT_EQ(agg.rob_entries, 1024u);
+    EXPECT_EQ(agg.mdt.sets, 8192u);
+    EXPECT_EQ(agg.sfc.sets, 512u);
+    EXPECT_EQ(agg.max_branches_per_fetch, 8u);
+    EXPECT_EQ(agg.memdep.mode, MemDepMode::EnforceAllTotalOrder);
+}
+
+TEST(Runner, ResultDerivedRatesConsistent)
+{
+    const Program prog = workloads::microForwardChain(1000);
+    CoreConfig cfg = CoreConfig::baseline();
+    cfg.subsys = MemSubsystem::MdtSfc;
+    const SimResult r = runWorkload(cfg, prog);
+    EXPECT_EQ(r.memOps(), r.loads_retired + r.stores_retired);
+    EXPECT_GE(r.ipc, 0.0);
+    EXPECT_NEAR(r.ipc, double(r.insts) / double(r.cycles), 1e-9);
+    EXPECT_EQ(r.workload, "micro_forward_chain");
+}
+
+TEST(Runner, HarvestsSubsystemSpecificStats)
+{
+    const Program prog = workloads::microForwardChain(500);
+    CoreConfig sfc_cfg = CoreConfig::baseline();
+    sfc_cfg.subsys = MemSubsystem::MdtSfc;
+    const SimResult rs = runWorkload(sfc_cfg, prog);
+    EXPECT_GT(rs.mdt_accesses, 0u);
+    EXPECT_GT(rs.sfc_accesses, 0u);
+    EXPECT_EQ(rs.cam_entries_examined, 0u);
+
+    CoreConfig lsq_cfg = CoreConfig::baseline();
+    lsq_cfg.subsys = MemSubsystem::LsqBaseline;
+    lsq_cfg.memdep.mode = MemDepMode::LsqStoreSet;
+    const SimResult rl = runWorkload(lsq_cfg, prog);
+    EXPECT_GT(rl.lsq_searches, 0u);
+    EXPECT_GT(rl.cam_entries_examined, 0u);
+    EXPECT_EQ(rl.mdt_accesses, 0u);
+}

@@ -1,0 +1,73 @@
+/** @file Tests for the first-order energy model. */
+
+#include <gtest/gtest.h>
+
+#include "power/energy.hh"
+
+using namespace slf;
+
+TEST(EnergyModel, CamEnergyScalesWithMatchLines)
+{
+    EnergyModel model;
+    ActivityCounts a;
+    a.cam_entries_examined = 100;
+    a.mem_ops = 10;
+    const EnergyBreakdown e1 = model.lsqEnergy(a);
+    a.cam_entries_examined = 200;
+    const EnergyBreakdown e2 = model.lsqEnergy(a);
+    EXPECT_DOUBLE_EQ(e2.cam_pj, 2 * e1.cam_pj);
+    EXPECT_DOUBLE_EQ(e1.total_pj, e1.cam_pj);
+    EXPECT_DOUBLE_EQ(e1.pj_per_mem_op, e1.total_pj / 10.0);
+}
+
+TEST(EnergyModel, IndexedEnergyScalesWithWaysTouched)
+{
+    EnergyModel model;
+    ActivityCounts a;
+    a.mdt_accesses = 10;
+    a.mdt_assoc = 2;
+    a.sfc_reads = 4;
+    a.sfc_writes = 6;
+    a.sfc_assoc = 2;
+    a.mem_ops = 5;
+    const EnergyBreakdown e = model.mdtSfcEnergy(a);
+    const EnergyParams p;
+    const double expect = 10 * 2 * p.ram_way_read_pj +
+                          4 * 2 * p.ram_way_read_pj +
+                          6 * 2 * p.ram_way_write_pj;
+    EXPECT_DOUBLE_EQ(e.indexed_pj, expect);
+    EXPECT_DOUBLE_EQ(e.pj_per_mem_op, expect / 5.0);
+}
+
+TEST(EnergyModel, HigherAssociativityCostsMore)
+{
+    EnergyModel model;
+    ActivityCounts a;
+    a.mdt_accesses = 100;
+    a.mdt_assoc = 2;
+    a.mem_ops = 1;
+    const double two_way = model.mdtSfcEnergy(a).total_pj;
+    a.mdt_assoc = 16;
+    const double sixteen_way = model.mdtSfcEnergy(a).total_pj;
+    EXPECT_DOUBLE_EQ(sixteen_way, 8 * two_way);
+}
+
+TEST(EnergyModel, ZeroOpsYieldZeroPerOp)
+{
+    EnergyModel model;
+    ActivityCounts a;
+    a.cam_entries_examined = 50;
+    EXPECT_DOUBLE_EQ(model.lsqEnergy(a).pj_per_mem_op, 0.0);
+}
+
+TEST(EnergyModel, CustomParametersRespected)
+{
+    EnergyParams p;
+    p.cam_matchline_pj = 2.0;
+    p.priority_encode_pj = 0.0;
+    EnergyModel model(p);
+    ActivityCounts a;
+    a.cam_entries_examined = 7;
+    a.mem_ops = 1;
+    EXPECT_DOUBLE_EQ(model.lsqEnergy(a).total_pj, 14.0);
+}

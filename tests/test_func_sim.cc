@@ -1,0 +1,237 @@
+/** @file Unit tests for the functional golden-model simulator. */
+
+#include <gtest/gtest.h>
+
+#include "arch/func_sim.hh"
+#include "prog/builder.hh"
+
+using namespace slf;
+
+namespace
+{
+
+Program
+singleOpProgram(Op op, std::uint64_t a, std::uint64_t b, std::int64_t imm)
+{
+    ProgramBuilder pb("single");
+    pb.movi(1, static_cast<std::int64_t>(a));
+    pb.movi(2, static_cast<std::int64_t>(b));
+    StaticInst inst;
+    inst.op = op;
+    inst.dst = 3;
+    inst.src1 = 1;
+    inst.src2 = 2;
+    inst.imm = imm;
+    Program p = pb.build();
+    // Insert before the final HALT.
+    p.text().insert(p.text().end() - 1, inst);
+    return p;
+}
+
+} // namespace
+
+TEST(FuncSim, AluOpWritesRegister)
+{
+    const Program p = singleOpProgram(Op::ADD, 4, 5, 0);
+    FuncSim sim(p);
+    sim.run(10);
+    EXPECT_TRUE(sim.halted());
+    EXPECT_EQ(sim.readReg(3), 9u);
+}
+
+TEST(FuncSim, RegisterZeroStaysZero)
+{
+    ProgramBuilder b("p");
+    b.movi(0, 77);
+    b.addi(0, 0, 5);
+    const Program prog = b.build();
+    FuncSim sim(prog);
+    sim.run(10);
+    EXPECT_EQ(sim.readReg(0), 0u);
+}
+
+TEST(FuncSim, StoreThenLoadRoundTrip)
+{
+    ProgramBuilder b("p");
+    b.movi(1, 0x1000);
+    b.movi(2, 0x1122334455667788);
+    b.st8(2, 1, 0);
+    b.ld8(3, 1, 0);
+    const Program prog = b.build();
+    FuncSim sim(prog);
+    sim.run(10);
+    EXPECT_EQ(sim.readReg(3), 0x1122334455667788u);
+}
+
+TEST(FuncSim, SubwordStoreTruncates)
+{
+    ProgramBuilder b("p");
+    b.movi(1, 0x1000);
+    b.movi(2, static_cast<std::int64_t>(0xdeadbeefcafebabe));
+    b.st2(2, 1, 0);
+    b.ld8(3, 1, 0);
+    const Program prog = b.build();
+    FuncSim sim(prog);
+    sim.run(10);
+    EXPECT_EQ(sim.readReg(3), 0xbabeu);
+}
+
+TEST(FuncSim, SubwordLoadZeroExtends)
+{
+    ProgramBuilder b("p");
+    b.poke64(0x1000, 0xffffffffffffffffull);
+    b.movi(1, 0x1000);
+    b.ld1(3, 1, 0);
+    b.ld4(4, 1, 0);
+    const Program prog = b.build();
+    FuncSim sim(prog);
+    sim.run(10);
+    EXPECT_EQ(sim.readReg(3), 0xffu);
+    EXPECT_EQ(sim.readReg(4), 0xffffffffu);
+}
+
+TEST(FuncSim, NegativeDisplacement)
+{
+    ProgramBuilder b("p");
+    b.poke64(0x0ff8, 0x42);
+    b.movi(1, 0x1000);
+    b.ld8(3, 1, -8);
+    const Program prog = b.build();
+    FuncSim sim(prog);
+    sim.run(10);
+    EXPECT_EQ(sim.readReg(3), 0x42u);
+}
+
+TEST(FuncSim, UntouchedMemoryReadsZero)
+{
+    ProgramBuilder b("p");
+    b.movi(1, 0x777000);
+    b.ld8(3, 1, 0);
+    const Program prog = b.build();
+    FuncSim sim(prog);
+    sim.run(10);
+    EXPECT_EQ(sim.readReg(3), 0u);
+}
+
+TEST(FuncSim, TakenBranchRedirects)
+{
+    ProgramBuilder b("p");
+    Label skip = b.newLabel();
+    b.movi(1, 1);
+    b.beq(1, 1, skip);
+    b.movi(2, 99);        // skipped
+    b.bind(skip);
+    b.movi(3, 7);
+    const Program prog = b.build();
+    FuncSim sim(prog);
+    sim.run(10);
+    EXPECT_EQ(sim.readReg(2), 0u);
+    EXPECT_EQ(sim.readReg(3), 7u);
+}
+
+TEST(FuncSim, NotTakenBranchFallsThrough)
+{
+    ProgramBuilder b("p");
+    Label skip = b.newLabel();
+    b.movi(1, 1);
+    b.bne(1, 1, skip);
+    b.movi(2, 99);
+    b.bind(skip);
+    const Program prog = b.build();
+    FuncSim sim(prog);
+    sim.run(10);
+    EXPECT_EQ(sim.readReg(2), 99u);
+}
+
+TEST(FuncSim, LoopExecutesExactIterationCount)
+{
+    ProgramBuilder b("p");
+    b.movi(1, 10);
+    b.movi(2, 0);
+    Label top = b.newLabel();
+    b.bind(top);
+    b.addi(2, 2, 1);
+    b.addi(1, 1, -1);
+    b.bne(1, 0, top);
+    const Program prog = b.build();
+    FuncSim sim(prog);
+    sim.run(1000);
+    EXPECT_EQ(sim.readReg(2), 10u);
+}
+
+TEST(FuncSim, HaltStopsAndIsIdempotent)
+{
+    ProgramBuilder b("p");
+    b.movi(1, 1);
+    const Program prog = b.build();
+    FuncSim sim(prog);
+    sim.run(100);
+    EXPECT_TRUE(sim.halted());
+    const std::uint64_t retired = sim.instsRetired();
+    const RetireRecord rec = sim.step();
+    EXPECT_TRUE(rec.is_halt);
+    EXPECT_EQ(sim.instsRetired(), retired);   // no further progress
+}
+
+TEST(FuncSim, RetireRecordForStore)
+{
+    ProgramBuilder b("p");
+    b.movi(1, 0x1000);
+    b.movi(2, 0xabcd);
+    const Program prog = [&] {
+        b.st4(2, 1, 4);
+        return b.build();
+    }();
+    FuncSim sim(prog);
+    sim.step();
+    sim.step();
+    const RetireRecord rec = sim.step();
+    EXPECT_TRUE(rec.is_mem);
+    EXPECT_EQ(rec.addr, 0x1004u);
+    EXPECT_EQ(rec.size, 4u);
+    EXPECT_EQ(rec.store_value, 0xabcdu);
+}
+
+TEST(FuncSim, RetireRecordForBranch)
+{
+    ProgramBuilder b("p");
+    Label t = b.newLabel();
+    b.movi(1, 3);
+    b.blt(0, 1, t);   // 0 < 3: taken
+    b.nop();
+    b.bind(t);
+    const Program prog = b.build();
+    FuncSim sim(prog);
+    sim.step();
+    const RetireRecord rec = sim.step();
+    EXPECT_TRUE(rec.is_control);
+    EXPECT_TRUE(rec.taken);
+    EXPECT_EQ(rec.next_pc, 3u);
+}
+
+TEST(FuncSim, RunHonorsInstructionCap)
+{
+    ProgramBuilder b("p");
+    b.movi(1, 1000000);
+    Label top = b.newLabel();
+    b.bind(top);
+    b.addi(1, 1, -1);
+    b.bne(1, 0, top);
+    const Program prog = b.build();
+    FuncSim sim(prog);
+    const auto trace = sim.run(500);
+    EXPECT_EQ(trace.size(), 500u);
+    EXPECT_FALSE(sim.halted());
+}
+
+TEST(FuncSim, MemoryImageLoadedBeforeExecution)
+{
+    ProgramBuilder b("p");
+    b.poke64(0x3000, 1234);
+    b.movi(1, 0x3000);
+    b.ld8(2, 1, 0);
+    const Program prog = b.build();
+    FuncSim sim(prog);
+    sim.run(10);
+    EXPECT_EQ(sim.readReg(2), 1234u);
+}

@@ -1,0 +1,192 @@
+/** @file Unit tests for the ISA definition and shared semantics. */
+
+#include <gtest/gtest.h>
+
+#include "isa/inst.hh"
+
+using namespace slf;
+
+TEST(IsaClassify, LoadsAndStores)
+{
+    for (Op op : {Op::LD1, Op::LD2, Op::LD4, Op::LD8}) {
+        EXPECT_TRUE(isLoad(op));
+        EXPECT_FALSE(isStore(op));
+        EXPECT_TRUE(isMem(op));
+        EXPECT_TRUE(writesDst(op));
+    }
+    for (Op op : {Op::ST1, Op::ST2, Op::ST4, Op::ST8}) {
+        EXPECT_TRUE(isStore(op));
+        EXPECT_FALSE(isLoad(op));
+        EXPECT_TRUE(isMem(op));
+        EXPECT_FALSE(writesDst(op));
+    }
+}
+
+TEST(IsaClassify, ControlOps)
+{
+    for (Op op : {Op::BEQ, Op::BNE, Op::BLT, Op::BGE}) {
+        EXPECT_TRUE(isBranch(op));
+        EXPECT_TRUE(isControl(op));
+    }
+    EXPECT_FALSE(isBranch(Op::JMP));
+    EXPECT_TRUE(isControl(Op::JMP));
+    EXPECT_FALSE(isControl(Op::HALT));
+    EXPECT_FALSE(isControl(Op::ADD));
+}
+
+TEST(IsaClassify, FpClass)
+{
+    EXPECT_TRUE(isFpClass(Op::FADD));
+    EXPECT_TRUE(isFpClass(Op::FMUL));
+    EXPECT_TRUE(isFpClass(Op::FDIV));
+    EXPECT_FALSE(isFpClass(Op::ADD));
+    EXPECT_FALSE(isFpClass(Op::MUL));
+}
+
+TEST(IsaClassify, MemAccessSizes)
+{
+    EXPECT_EQ(memAccessSize(Op::LD1), 1u);
+    EXPECT_EQ(memAccessSize(Op::LD2), 2u);
+    EXPECT_EQ(memAccessSize(Op::LD4), 4u);
+    EXPECT_EQ(memAccessSize(Op::LD8), 8u);
+    EXPECT_EQ(memAccessSize(Op::ST1), 1u);
+    EXPECT_EQ(memAccessSize(Op::ST8), 8u);
+    EXPECT_EQ(memAccessSize(Op::ADD), 0u);
+}
+
+TEST(IsaClassify, SourceUsage)
+{
+    EXPECT_FALSE(readsSrc1(Op::MOVI));
+    EXPECT_FALSE(readsSrc2(Op::MOVI));
+    EXPECT_TRUE(readsSrc1(Op::ADDI));
+    EXPECT_FALSE(readsSrc2(Op::ADDI));
+    EXPECT_TRUE(readsSrc2(Op::ADD));
+    EXPECT_TRUE(readsSrc2(Op::ST8));   // store data
+    EXPECT_TRUE(readsSrc1(Op::LD8));   // base address
+    EXPECT_FALSE(readsSrc2(Op::LD8));
+    EXPECT_TRUE(readsSrc2(Op::BEQ));
+}
+
+struct AluCase
+{
+    Op op;
+    std::uint64_t a, b;
+    std::int64_t imm;
+    std::uint64_t expect;
+};
+
+class AluSemantics : public ::testing::TestWithParam<AluCase>
+{};
+
+TEST_P(AluSemantics, Matches)
+{
+    const AluCase &c = GetParam();
+    EXPECT_EQ(executeAlu(c.op, c.a, c.b, c.imm), c.expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, AluSemantics,
+    ::testing::Values(
+        AluCase{Op::ADD, 2, 3, 0, 5},
+        AluCase{Op::ADD, ~0ull, 1, 0, 0},            // wraparound
+        AluCase{Op::SUB, 3, 5, 0, ~0ull - 1},
+        AluCase{Op::AND, 0xff00, 0x0ff0, 0, 0x0f00},
+        AluCase{Op::OR, 0xf0, 0x0f, 0, 0xff},
+        AluCase{Op::XOR, 0xff, 0x0f, 0, 0xf0},
+        AluCase{Op::SLT, ~0ull, 1, 0, 1},            // -1 < 1 signed
+        AluCase{Op::SLT, 1, ~0ull, 0, 0},
+        AluCase{Op::MUL, 7, 6, 0, 42},
+        AluCase{Op::SHL, 1, 63, 0, 1ull << 63},
+        AluCase{Op::SHL, 1, 64, 0, 1},               // shift masked to 6 bits
+        AluCase{Op::SHR, 1ull << 63, 63, 0, 1},
+        AluCase{Op::ADDI, 10, 0, -3, 7},
+        AluCase{Op::ANDI, 0xabcd, 0, 0xff, 0xcd},
+        AluCase{Op::ORI, 0x0f, 0, 0xf0, 0xff},
+        AluCase{Op::XORI, 0xff, 0, 0x0f, 0xf0},
+        AluCase{Op::SLTI, 2, 0, 3, 1},
+        AluCase{Op::SLTI, 3, 0, 3, 0},
+        AluCase{Op::SHLI, 3, 0, 2, 12},
+        AluCase{Op::SHRI, 12, 0, 2, 3},
+        AluCase{Op::MOVI, 0, 0, -1,
+                0xffffffffffffffffull},              // sign-extended imm
+        AluCase{Op::FADD, 4, 5, 0, 9},
+        AluCase{Op::FMUL, 4, 5, 0, 21},
+        AluCase{Op::FDIV, 42, 6, 0, 7},
+        AluCase{Op::FDIV, 42, 0, 0, ~0ull}));        // div-by-zero defined
+
+struct BranchCase
+{
+    Op op;
+    std::uint64_t a, b;
+    bool taken;
+};
+
+class BranchSemantics : public ::testing::TestWithParam<BranchCase>
+{};
+
+TEST_P(BranchSemantics, Matches)
+{
+    const BranchCase &c = GetParam();
+    EXPECT_EQ(branchTaken(c.op, c.a, c.b), c.taken);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBranches, BranchSemantics,
+    ::testing::Values(
+        BranchCase{Op::BEQ, 5, 5, true}, BranchCase{Op::BEQ, 5, 6, false},
+        BranchCase{Op::BNE, 5, 6, true}, BranchCase{Op::BNE, 5, 5, false},
+        BranchCase{Op::BLT, ~0ull, 0, true},     // signed: -1 < 0
+        BranchCase{Op::BLT, 0, ~0ull, false},
+        BranchCase{Op::BGE, 0, ~0ull, true},
+        BranchCase{Op::BGE, ~0ull, 0, false},
+        BranchCase{Op::BGE, 3, 3, true},
+        BranchCase{Op::JMP, 0, 0, true}));
+
+TEST(Disassemble, RepresentativeForms)
+{
+    StaticInst i;
+    i.op = Op::ADD;
+    i.dst = 3;
+    i.src1 = 1;
+    i.src2 = 2;
+    EXPECT_EQ(disassemble(i), "add r3, r1, r2");
+
+    i = StaticInst{};
+    i.op = Op::LD4;
+    i.dst = 5;
+    i.src1 = 2;
+    i.imm = 16;
+    EXPECT_EQ(disassemble(i), "ld4 r5, 16(r2)");
+
+    i = StaticInst{};
+    i.op = Op::ST8;
+    i.src1 = 2;
+    i.src2 = 7;
+    i.imm = -8;
+    EXPECT_EQ(disassemble(i), "st8 r7, -8(r2)");
+
+    i = StaticInst{};
+    i.op = Op::BNE;
+    i.src1 = 1;
+    i.src2 = 0;
+    i.branchTarget = 12;
+    EXPECT_EQ(disassemble(i), "bne r1, r0, @12");
+
+    i = StaticInst{};
+    i.op = Op::MOVI;
+    i.dst = 4;
+    i.imm = -7;
+    EXPECT_EQ(disassemble(i), "movi r4, -7");
+
+    i = StaticInst{};
+    i.op = Op::HALT;
+    EXPECT_EQ(disassemble(i), "halt");
+}
+
+TEST(Disassemble, EveryOpcodeHasAName)
+{
+    for (unsigned o = 0; o < static_cast<unsigned>(Op::kNumOps); ++o) {
+        const char *name = opName(static_cast<Op>(o));
+        EXPECT_STRNE(name, "???") << "opcode " << o;
+    }
+}

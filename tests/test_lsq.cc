@@ -1,0 +1,222 @@
+/** @file Unit tests for the idealized LSQ baseline. */
+
+#include <gtest/gtest.h>
+
+#include "lsq/lsq.hh"
+#include "mem/main_memory.hh"
+
+using namespace slf;
+
+namespace
+{
+
+struct LsqFixture : ::testing::Test
+{
+    LsqFixture()
+        : lsq({8, 8}, [this](Addr a) { return mem.read8(a); })
+    {}
+
+    MainMemory mem;
+    Lsq lsq;
+};
+
+} // namespace
+
+TEST_F(LsqFixture, ForwardFromOlderStore)
+{
+    lsq.dispatchStore(1, 10);
+    lsq.dispatchLoad(2, 20);
+    lsq.executeStore(1, 0x100, 8, 0xdead);
+    const LsqLoadResult r = lsq.executeLoad(2, 0x100, 8);
+    EXPECT_EQ(r.forward_mask, 0xff);
+    EXPECT_EQ(r.forward_value, 0xdeadu);
+}
+
+TEST_F(LsqFixture, NoForwardFromYoungerStore)
+{
+    lsq.dispatchLoad(1, 10);
+    lsq.dispatchStore(2, 20);
+    lsq.executeStore(2, 0x100, 8, 0xdead);
+    const LsqLoadResult r = lsq.executeLoad(1, 0x100, 8);
+    EXPECT_EQ(r.forward_mask, 0);
+}
+
+TEST_F(LsqFixture, AgePriorityYoungestOlderStoreWins)
+{
+    lsq.dispatchStore(1, 10);
+    lsq.dispatchStore(2, 11);
+    lsq.dispatchLoad(3, 20);
+    lsq.executeStore(1, 0x100, 8, 0x1111);
+    lsq.executeStore(2, 0x100, 8, 0x2222);
+    const LsqLoadResult r = lsq.executeLoad(3, 0x100, 8);
+    EXPECT_EQ(r.forward_value, 0x2222u);
+}
+
+TEST_F(LsqFixture, ByteAccurateForwardingAcrossStores)
+{
+    lsq.dispatchStore(1, 10);
+    lsq.dispatchStore(2, 11);
+    lsq.dispatchLoad(3, 20);
+    lsq.executeStore(1, 0x100, 4, 0xaaaaaaaa);
+    lsq.executeStore(2, 0x102, 2, 0xbbbb);
+    const LsqLoadResult r = lsq.executeLoad(3, 0x100, 4);
+    EXPECT_EQ(r.forward_mask, 0x0f);
+    EXPECT_EQ(r.forward_value, 0xbbbbaaaau);
+}
+
+TEST_F(LsqFixture, PartialForwardLeavesGaps)
+{
+    lsq.dispatchStore(1, 10);
+    lsq.dispatchLoad(2, 20);
+    lsq.executeStore(1, 0x102, 2, 0xbbbb);
+    const LsqLoadResult r = lsq.executeLoad(2, 0x100, 8);
+    EXPECT_EQ(r.forward_mask, 0b00001100);
+}
+
+TEST_F(LsqFixture, TrueViolationDetectedByValue)
+{
+    lsq.dispatchStore(1, 10);
+    lsq.dispatchLoad(2, 20);
+    // The load runs ahead, reading committed memory (zero).
+    lsq.executeLoad(2, 0x100, 8);
+    lsq.loadCompleted(2, 0);
+    // The older store now writes a different value: violation.
+    const auto v = lsq.executeStore(1, 0x100, 8, 0x1234);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->squash_from, 2u);
+    EXPECT_EQ(v->store_pc, 10u);
+    EXPECT_EQ(v->load_pc, 20u);
+}
+
+TEST_F(LsqFixture, SilentStoreNotFlagged)
+{
+    mem.writeBytes(0x100, 0x1234, 8);
+    lsq.dispatchStore(1, 10);
+    lsq.dispatchLoad(2, 20);
+    lsq.executeLoad(2, 0x100, 8);
+    lsq.loadCompleted(2, 0x1234);
+    // The store writes the value the load already obtained: silent.
+    const auto v = lsq.executeStore(1, 0x100, 8, 0x1234);
+    EXPECT_FALSE(v.has_value());
+    EXPECT_EQ(lsq.stats().counterValue("silent_store_filtered"), 1u);
+}
+
+TEST_F(LsqFixture, InterveningStoreSuppressesViolation)
+{
+    lsq.dispatchStore(1, 10);
+    lsq.dispatchStore(2, 11);
+    lsq.dispatchLoad(3, 20);
+    // The younger store executes and the load correctly forwards it.
+    lsq.executeStore(2, 0x100, 8, 0x2222);
+    lsq.executeLoad(3, 0x100, 8);
+    lsq.loadCompleted(3, 0x2222);
+    // The oldest store finally executes: the load's value is still
+    // correct (store 2 intervenes), so no violation.
+    const auto v = lsq.executeStore(1, 0x100, 8, 0x1111);
+    EXPECT_FALSE(v.has_value());
+}
+
+TEST_F(LsqFixture, ViolationReportsEarliestConflictingLoad)
+{
+    lsq.dispatchStore(1, 10);
+    lsq.dispatchLoad(2, 20);
+    lsq.dispatchLoad(3, 21);
+    lsq.executeLoad(2, 0x100, 8);
+    lsq.loadCompleted(2, 0);
+    lsq.executeLoad(3, 0x100, 8);
+    lsq.loadCompleted(3, 0);
+    const auto v = lsq.executeStore(1, 0x100, 8, 0x7);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->squash_from, 2u);   // the earliest wrong load
+}
+
+TEST_F(LsqFixture, OverlapViolationOnSubword)
+{
+    lsq.dispatchStore(1, 10);
+    lsq.dispatchLoad(2, 20);
+    lsq.executeLoad(2, 0x100, 4);
+    lsq.loadCompleted(2, 0);
+    // A one-byte store inside the loaded range changes byte 2.
+    const auto v = lsq.executeStore(1, 0x102, 1, 0x55);
+    ASSERT_TRUE(v.has_value());
+}
+
+TEST_F(LsqFixture, UncompletedLoadNotChecked)
+{
+    lsq.dispatchStore(1, 10);
+    lsq.dispatchLoad(2, 20);
+    lsq.executeLoad(2, 0x100, 8);
+    // No loadCompleted() yet: the store must not flag it.
+    const auto v = lsq.executeStore(1, 0x100, 8, 0x9);
+    EXPECT_FALSE(v.has_value());
+}
+
+TEST_F(LsqFixture, DispatchFailsWhenQueueFull)
+{
+    for (SeqNum s = 1; s <= 8; ++s)
+        EXPECT_TRUE(lsq.dispatchLoad(s, s));
+    EXPECT_FALSE(lsq.dispatchLoad(9, 9));
+    for (SeqNum s = 11; s <= 18; ++s)
+        EXPECT_TRUE(lsq.dispatchStore(s, s));
+    EXPECT_FALSE(lsq.dispatchStore(19, 19));
+}
+
+TEST_F(LsqFixture, RetireFreesSlots)
+{
+    lsq.dispatchLoad(1, 10);
+    lsq.executeLoad(1, 0x100, 8);
+    lsq.loadCompleted(1, 0);
+    lsq.retireLoad(1);
+    EXPECT_EQ(lsq.loadQueueSize(), 0u);
+
+    lsq.dispatchStore(2, 11);
+    lsq.executeStore(2, 0x200, 4, 0x77);
+    const Lsq::StoreData d = lsq.retireStore(2);
+    EXPECT_EQ(d.addr, 0x200u);
+    EXPECT_EQ(d.value, 0x77u);
+    EXPECT_EQ(lsq.storeQueueSize(), 0u);
+}
+
+TEST_F(LsqFixture, SquashDropsYoungerEntries)
+{
+    lsq.dispatchLoad(1, 10);
+    lsq.dispatchStore(2, 11);
+    lsq.dispatchLoad(3, 12);
+    lsq.dispatchStore(4, 13);
+    lsq.squashFrom(3);
+    EXPECT_EQ(lsq.loadQueueSize(), 1u);
+    EXPECT_EQ(lsq.storeQueueSize(), 1u);
+}
+
+TEST_F(LsqFixture, SquashedStoreNoLongerForwards)
+{
+    lsq.dispatchStore(1, 10);
+    lsq.executeStore(1, 0x100, 8, 0xbad);
+    lsq.squashFrom(1);
+    lsq.dispatchLoad(2, 20);
+    const LsqLoadResult r = lsq.executeLoad(2, 0x100, 8);
+    EXPECT_EQ(r.forward_mask, 0);
+}
+
+TEST_F(LsqFixture, CamActivityCountsGrow)
+{
+    lsq.dispatchStore(1, 10);
+    lsq.dispatchLoad(2, 20);
+    lsq.executeStore(1, 0x100, 8, 1);
+    lsq.executeLoad(2, 0x100, 8);
+    EXPECT_EQ(lsq.stats().counterValue("sq_searches"), 1u);
+    EXPECT_EQ(lsq.stats().counterValue("lq_searches"), 1u);
+    EXPECT_GE(lsq.stats().counterValue("cam_entries_examined"), 2u);
+}
+
+TEST_F(LsqFixture, ValueCheckConsultsCommittedMemory)
+{
+    mem.writeBytes(0x100, 0xabcdef, 8);
+    lsq.dispatchStore(1, 10);
+    lsq.dispatchLoad(2, 20);
+    lsq.executeLoad(2, 0x100, 8);
+    lsq.loadCompleted(2, 0xabcdef);   // read committed value correctly
+    // Store to only the top byte: composed value changes.
+    const auto v = lsq.executeStore(1, 0x107, 1, 0x44);
+    ASSERT_TRUE(v.has_value());
+}

@@ -1,0 +1,83 @@
+/** @file Unit tests for MainMemory. */
+
+#include <gtest/gtest.h>
+
+#include "mem/main_memory.hh"
+#include "prog/builder.hh"
+
+using namespace slf;
+
+TEST(MainMemory, UntouchedBytesReadZero)
+{
+    MainMemory m;
+    EXPECT_EQ(m.read8(0), 0);
+    EXPECT_EQ(m.readBytes(0xdeadbeef, 8), 0u);
+    EXPECT_EQ(m.allocatedPages(), 0u);
+}
+
+TEST(MainMemory, ByteRoundTrip)
+{
+    MainMemory m;
+    m.write8(0x1234, 0xab);
+    EXPECT_EQ(m.read8(0x1234), 0xab);
+    EXPECT_EQ(m.read8(0x1233), 0);
+    EXPECT_EQ(m.read8(0x1235), 0);
+}
+
+TEST(MainMemory, MultiByteLittleEndian)
+{
+    MainMemory m;
+    m.writeBytes(0x100, 0x0102030405060708ull, 8);
+    EXPECT_EQ(m.read8(0x100), 0x08);
+    EXPECT_EQ(m.read8(0x107), 0x01);
+    EXPECT_EQ(m.readBytes(0x100, 8), 0x0102030405060708ull);
+    EXPECT_EQ(m.readBytes(0x100, 4), 0x05060708ull);
+}
+
+TEST(MainMemory, PartialWriteKeepsHighBytes)
+{
+    MainMemory m;
+    m.writeBytes(0x200, 0xffffffffffffffffull, 8);
+    m.writeBytes(0x200, 0xaabb, 2);
+    EXPECT_EQ(m.readBytes(0x200, 8), 0xffffffffffffaabbull);
+}
+
+TEST(MainMemory, CrossPageAccess)
+{
+    MainMemory m;
+    const Addr boundary = MainMemory::kPageSize;
+    m.writeBytes(boundary - 4, 0x1122334455667788ull, 8);
+    EXPECT_EQ(m.readBytes(boundary - 4, 8), 0x1122334455667788ull);
+    EXPECT_EQ(m.allocatedPages(), 2u);
+}
+
+TEST(MainMemory, ReadsDoNotAllocatePages)
+{
+    MainMemory m;
+    m.readBytes(0x5000, 8);
+    EXPECT_EQ(m.allocatedPages(), 0u);
+    m.write8(0x5000, 1);
+    EXPECT_EQ(m.allocatedPages(), 1u);
+    m.readBytes(0x9000000, 8);
+    EXPECT_EQ(m.allocatedPages(), 1u);
+}
+
+TEST(MainMemory, LoadInitialImage)
+{
+    ProgramBuilder b("p");
+    b.poke64(0x4000, 0x55);
+    b.pokeBytes(0x4100, 0xbeef, 2);
+    const Program prog = b.build();
+    MainMemory m;
+    m.loadInitialImage(prog);
+    EXPECT_EQ(m.readBytes(0x4000, 8), 0x55u);
+    EXPECT_EQ(m.readBytes(0x4100, 2), 0xbeefu);
+}
+
+TEST(MainMemory, HighAddressesWork)
+{
+    MainMemory m;
+    const Addr high = 0xfffffffffffffff0ull;
+    m.writeBytes(high, 0x42, 1);
+    EXPECT_EQ(m.read8(high), 0x42);
+}

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Property-based tests: randomly generated programs must execute
+ * identically on the out-of-order core (either memory subsystem, any
+ * configuration) and the architectural golden model.
+ *
+ * The core validates every retiring instruction against the lockstep
+ * golden model internally (mismatch = panic = test failure); these tests
+ * additionally compare the final committed memory image.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/func_sim.hh"
+#include "cpu/ooo_core.hh"
+#include "prog/builder.hh"
+#include "sim/rng.hh"
+
+using namespace slf;
+
+namespace
+{
+
+constexpr Addr kRegionBase = 0x00500000;
+constexpr std::int64_t kRegionMask = 0x3ff8;   // 16 KiB, 8-aligned
+
+/**
+ * Generate a random but always-terminating program: a counted loop whose
+ * body is a random mix of ALU ops, sub-word loads/stores into a masked
+ * region, and forward branches over random spans.
+ *
+ * Register convention: r10 is the loop counter, r11 the region base;
+ * r1..r8 are free data registers.
+ */
+Program
+fuzzProgram(std::uint64_t seed, unsigned body_len, std::uint64_t iters)
+{
+    Rng rng(seed);
+    ProgramBuilder b("fuzz_" + std::to_string(seed), WorkloadClass::Int);
+
+    auto data_reg = [&rng] {
+        return static_cast<RegIndex>(1 + rng.below(8));
+    };
+
+    b.movi(11, static_cast<std::int64_t>(kRegionBase));
+    for (RegIndex r = 1; r <= 8; ++r)
+        b.movi(r, static_cast<std::int64_t>(rng.next() & 0xffff));
+    // Seed some initial data.
+    for (int i = 0; i < 64; ++i)
+        b.poke64(kRegionBase + rng.below(0x4000 / 8) * 8, rng.next());
+
+    b.movi(10, static_cast<std::int64_t>(iters));
+    Label top = b.newLabel();
+    b.bind(top);
+
+    std::vector<std::pair<Label, unsigned>> pending_branches;
+    for (unsigned i = 0; i < body_len; ++i) {
+        // Bind any forward branch whose span has elapsed.
+        for (auto it = pending_branches.begin();
+             it != pending_branches.end();) {
+            if (it->second == 0) {
+                b.bind(it->first);
+                it = pending_branches.erase(it);
+            } else {
+                --it->second;
+                ++it;
+            }
+        }
+
+        switch (rng.below(10)) {
+          case 0:
+          case 1:
+          case 2: {   // ALU register-register
+            static constexpr Op ops[] = {Op::ADD, Op::SUB, Op::AND,
+                                         Op::OR, Op::XOR, Op::SLT,
+                                         Op::MUL, Op::FADD, Op::FMUL};
+            StaticInst inst;
+            inst.op = ops[rng.below(std::size(ops))];
+            inst.dst = data_reg();
+            inst.src1 = data_reg();
+            inst.src2 = data_reg();
+            // Emit via the builder to keep checking invariants.
+            switch (inst.op) {
+              case Op::ADD: b.add(inst.dst, inst.src1, inst.src2); break;
+              case Op::SUB: b.sub(inst.dst, inst.src1, inst.src2); break;
+              case Op::AND: b.and_(inst.dst, inst.src1, inst.src2); break;
+              case Op::OR: b.or_(inst.dst, inst.src1, inst.src2); break;
+              case Op::XOR: b.xor_(inst.dst, inst.src1, inst.src2); break;
+              case Op::SLT: b.slt(inst.dst, inst.src1, inst.src2); break;
+              case Op::MUL: b.mul(inst.dst, inst.src1, inst.src2); break;
+              case Op::FADD: b.fadd(inst.dst, inst.src1, inst.src2); break;
+              default: b.fmul(inst.dst, inst.src1, inst.src2); break;
+            }
+            break;
+          }
+          case 3: {   // ALU immediate
+            const RegIndex d = data_reg();
+            const RegIndex s = data_reg();
+            const auto imm =
+                static_cast<std::int64_t>(rng.next() & 0xffff) - 0x8000;
+            switch (rng.below(3)) {
+              case 0: b.addi(d, s, imm); break;
+              case 1: b.xori(d, s, imm); break;
+              default: b.shri(d, s, static_cast<std::int64_t>(
+                                        rng.below(32))); break;
+            }
+            break;
+          }
+          case 4:
+          case 5: {   // load: compute a masked region address, then load
+            const RegIndex a = data_reg();
+            const RegIndex d = data_reg();
+            b.andi(a, data_reg(), kRegionMask);
+            b.add(a, a, 11);
+            switch (rng.below(4)) {
+              case 0: b.ld1(d, a, static_cast<std::int64_t>(
+                                      rng.below(8))); break;
+              case 1: b.ld2(d, a, 2); break;
+              case 2: b.ld4(d, a, 4); break;
+              default: b.ld8(d, a, 0); break;
+            }
+            break;
+          }
+          case 6:
+          case 7: {   // store
+            const RegIndex a = data_reg();
+            const RegIndex v = data_reg();
+            b.andi(a, data_reg(), kRegionMask);
+            b.add(a, a, 11);
+            switch (rng.below(4)) {
+              case 0: b.st1(v, a, static_cast<std::int64_t>(
+                                      rng.below(8))); break;
+              case 1: b.st2(v, a, 2); break;
+              case 2: b.st4(v, a, 4); break;
+              default: b.st8(v, a, 0); break;
+            }
+            break;
+          }
+          case 8: {   // forward branch over a random span
+            Label skip = b.newLabel();
+            const RegIndex x = data_reg();
+            const RegIndex y = data_reg();
+            switch (rng.below(4)) {
+              case 0: b.beq(x, y, skip); break;
+              case 1: b.bne(x, y, skip); break;
+              case 2: b.blt(x, y, skip); break;
+              default: b.bge(x, y, skip); break;
+            }
+            pending_branches.emplace_back(skip, 1 + rng.below(6));
+            break;
+          }
+          default: {   // mixing op to keep values lively
+            const RegIndex d = data_reg();
+            b.xori(d, d, static_cast<std::int64_t>(rng.next() & 0xff));
+            break;
+          }
+        }
+    }
+    for (auto &[label, span] : pending_branches)
+        b.bind(label);
+
+    b.addi(10, 10, -1);
+    b.bne(10, 0, top);
+    return b.build();
+}
+
+void
+checkAgainstGolden(const Program &prog, const CoreConfig &cfg)
+{
+    OooCore core(cfg, prog);
+    core.run();   // internal per-instruction validation
+
+    FuncSim golden(prog);
+    golden.run(10'000'000);
+    ASSERT_TRUE(golden.halted());
+    ASSERT_EQ(core.instsRetired(), golden.instsRetired());
+
+    for (Addr a = kRegionBase; a < kRegionBase + 0x4010; ++a) {
+        ASSERT_EQ(core.committedMemory().read8(a), golden.memory().read8(a))
+            << "memory mismatch at " << std::hex << a;
+    }
+}
+
+} // namespace
+
+class FuzzMdtSfc : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(FuzzMdtSfc, MatchesGoldenModel)
+{
+    const auto seed = static_cast<std::uint64_t>(GetParam());
+    Rng meta(seed * 77 + 5);
+    const Program prog =
+        fuzzProgram(seed, 10 + unsigned(meta.below(30)), 300);
+    CoreConfig cfg = CoreConfig::baseline();
+    cfg.subsys = MemSubsystem::MdtSfc;
+    // Shrink the structures so conflicts, replays and head bypasses are
+    // actually exercised.
+    cfg.sfc.sets = 4;
+    cfg.mdt.sets = 16;
+    checkAgainstGolden(prog, cfg);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzMdtSfc, ::testing::Range(0, 24));
+
+class FuzzLsq : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(FuzzLsq, MatchesGoldenModel)
+{
+    const auto seed = static_cast<std::uint64_t>(GetParam());
+    Rng meta(seed * 91 + 3);
+    const Program prog =
+        fuzzProgram(seed + 1000, 10 + unsigned(meta.below(30)), 300);
+    CoreConfig cfg = CoreConfig::baseline();
+    cfg.subsys = MemSubsystem::LsqBaseline;
+    cfg.memdep.mode = MemDepMode::LsqStoreSet;
+    cfg.lsq.lq_entries = 12;
+    cfg.lsq.sq_entries = 8;
+    checkAgainstGolden(prog, cfg);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzLsq, ::testing::Range(0, 24));
+
+class FuzzAggressive : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(FuzzAggressive, MatchesGoldenModel)
+{
+    const auto seed = static_cast<std::uint64_t>(GetParam());
+    const Program prog = fuzzProgram(seed + 2000, 24, 300);
+    CoreConfig cfg = CoreConfig::aggressive();
+    cfg.subsys =
+        (seed % 2) ? MemSubsystem::MdtSfc : MemSubsystem::LsqBaseline;
+    if (cfg.subsys == MemSubsystem::LsqBaseline)
+        cfg.memdep.mode = MemDepMode::LsqStoreSet;
+    cfg.sfc.sets = 8;
+    checkAgainstGolden(prog, cfg);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzAggressive, ::testing::Range(0, 12));
+
+class FuzzPolicies : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(FuzzPolicies, AllRecoveryPoliciesMatchGolden)
+{
+    const auto seed = static_cast<std::uint64_t>(GetParam());
+    const Program prog = fuzzProgram(seed + 3000, 20, 250);
+    CoreConfig cfg = CoreConfig::baseline();
+    cfg.subsys = MemSubsystem::MdtSfc;
+    cfg.sfc.sets = 4;
+    cfg.mdt.sets = 16;
+    cfg.mdt.optimized_true_recovery = (seed % 2) != 0;
+    cfg.output_dep_marks_corrupt = (seed % 3) == 0;
+    cfg.sfc.use_flush_endpoints = (seed % 3) == 1;
+    cfg.sfc.max_flush_ranges = (seed % 7) == 0 ? 1 : 8;
+    cfg.partial_match_merges = (seed % 4) != 0;
+    cfg.stall_bits = (seed % 5) != 0;
+    cfg.memdep.mode =
+        (seed % 2) ? MemDepMode::EnforceAll : MemDepMode::EnforceTrueOnly;
+    checkAgainstGolden(prog, cfg);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPolicies, ::testing::Range(0, 16));
+
+class FuzzValueReplay : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(FuzzValueReplay, MatchesGoldenModel)
+{
+    const auto seed = static_cast<std::uint64_t>(GetParam());
+    const Program prog = fuzzProgram(seed + 4000, 20, 250);
+    CoreConfig cfg = CoreConfig::baseline();
+    cfg.subsys = MemSubsystem::ValueReplay;
+    cfg.lsq.lq_entries = 12;
+    cfg.lsq.sq_entries = 8;
+    cfg.value_replay_filtered = (seed % 2) != 0;
+    checkAgainstGolden(prog, cfg);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzValueReplay, ::testing::Range(0, 16));

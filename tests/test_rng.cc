@@ -1,0 +1,73 @@
+/** @file Unit tests for the deterministic PRNG. */
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hh"
+
+using namespace slf;
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const std::uint64_t v = r.range(3, 5);
+        ASSERT_GE(v, 3u);
+        ASSERT_LE(v, 5u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(11);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceRoughlyCalibrated)
+{
+    Rng r(13);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += r.chance(0.8);
+    EXPECT_NEAR(double(hits) / n, 0.8, 0.01);
+}
+
+TEST(Rng, ZeroSeedStillWorks)
+{
+    Rng r(0);
+    std::uint64_t acc = 0;
+    for (int i = 0; i < 10; ++i)
+        acc |= r.next();
+    EXPECT_NE(acc, 0u);
+}

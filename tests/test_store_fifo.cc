@@ -1,0 +1,99 @@
+/** @file Unit tests for the store FIFO. */
+
+#include <gtest/gtest.h>
+
+#include "core/store_fifo.hh"
+
+using namespace slf;
+
+TEST(StoreFifo, AllocateFillRetire)
+{
+    StoreFifo fifo(4);
+    EXPECT_TRUE(fifo.allocate(5));
+    fifo.fill(5, 0x100, 8, 0xabcd);
+    const StoreFifo::Slot slot = fifo.retireHead(5);
+    EXPECT_EQ(slot.addr, 0x100u);
+    EXPECT_EQ(slot.size, 8u);
+    EXPECT_EQ(slot.value, 0xabcdu);
+    EXPECT_TRUE(fifo.empty());
+}
+
+TEST(StoreFifo, FullWhenCapacityReached)
+{
+    StoreFifo fifo(2);
+    EXPECT_TRUE(fifo.allocate(1));
+    EXPECT_TRUE(fifo.allocate(2));
+    EXPECT_TRUE(fifo.full());
+    EXPECT_FALSE(fifo.allocate(3));
+    fifo.fill(1, 0x10, 8, 0);
+    fifo.retireHead(1);
+    EXPECT_TRUE(fifo.allocate(3));
+}
+
+TEST(StoreFifo, OutOfOrderFillInOrderRetire)
+{
+    StoreFifo fifo(4);
+    fifo.allocate(1);
+    fifo.allocate(2);
+    fifo.allocate(3);
+    fifo.fill(3, 0x30, 4, 3);   // youngest executes first
+    fifo.fill(1, 0x10, 4, 1);
+    fifo.fill(2, 0x20, 4, 2);
+    EXPECT_EQ(fifo.retireHead(1).addr, 0x10u);
+    EXPECT_EQ(fifo.retireHead(2).addr, 0x20u);
+    EXPECT_EQ(fifo.retireHead(3).addr, 0x30u);
+}
+
+TEST(StoreFifo, SquashRemovesYoungerSlots)
+{
+    StoreFifo fifo(8);
+    for (SeqNum s : {2, 4, 6, 8})
+        fifo.allocate(s);
+    fifo.squashFrom(5);
+    EXPECT_EQ(fifo.size(), 2u);
+    fifo.fill(2, 0x20, 8, 0);
+    EXPECT_EQ(fifo.retireHead(2).seq, 2u);
+    EXPECT_EQ(fifo.head().seq, 4u);
+}
+
+TEST(StoreFifo, SquashAllLeavesEmpty)
+{
+    StoreFifo fifo(4);
+    fifo.allocate(1);
+    fifo.allocate(2);
+    fifo.squashFrom(1);
+    EXPECT_TRUE(fifo.empty());
+}
+
+TEST(StoreFifo, ClearCountsSquashed)
+{
+    StoreFifo fifo(4);
+    fifo.allocate(1);
+    fifo.allocate(2);
+    fifo.clear();
+    EXPECT_TRUE(fifo.empty());
+    EXPECT_EQ(fifo.stats().counterValue("squashed"), 2u);
+}
+
+TEST(StoreFifoDeath, RetireBeforeFillPanics)
+{
+    StoreFifo fifo(4);
+    fifo.allocate(3);
+    EXPECT_DEATH(fifo.retireHead(3), "retired before executing");
+}
+
+TEST(StoreFifoDeath, OutOfOrderRetirePanics)
+{
+    StoreFifo fifo(4);
+    fifo.allocate(1);
+    fifo.allocate(2);
+    fifo.fill(2, 0x20, 8, 0);
+    EXPECT_DEATH(fifo.retireHead(2), "out-of-order");
+}
+
+TEST(StoreFifoDeath, NonMonotonicAllocatePanics)
+{
+    StoreFifo fifo(4);
+    fifo.allocate(5);
+    EXPECT_DEATH(fifo.allocate(4), "must increase");
+}
