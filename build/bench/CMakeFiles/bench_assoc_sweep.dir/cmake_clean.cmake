@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_assoc_sweep.dir/bench_assoc_sweep.cc.o"
+  "CMakeFiles/bench_assoc_sweep.dir/bench_assoc_sweep.cc.o.d"
+  "bench_assoc_sweep"
+  "bench_assoc_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_assoc_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

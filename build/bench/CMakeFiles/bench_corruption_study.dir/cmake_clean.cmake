@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_corruption_study.dir/bench_corruption_study.cc.o"
+  "CMakeFiles/bench_corruption_study.dir/bench_corruption_study.cc.o.d"
+  "bench_corruption_study"
+  "bench_corruption_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_corruption_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

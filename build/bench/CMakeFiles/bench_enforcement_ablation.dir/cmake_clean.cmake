@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_enforcement_ablation.dir/bench_enforcement_ablation.cc.o"
+  "CMakeFiles/bench_enforcement_ablation.dir/bench_enforcement_ablation.cc.o.d"
+  "bench_enforcement_ablation"
+  "bench_enforcement_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_enforcement_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_baseline.dir/bench_fig5_baseline.cc.o"
+  "CMakeFiles/bench_fig5_baseline.dir/bench_fig5_baseline.cc.o.d"
+  "bench_fig5_baseline"
+  "bench_fig5_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

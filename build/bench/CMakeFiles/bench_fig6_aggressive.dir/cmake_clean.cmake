@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_aggressive.dir/bench_fig6_aggressive.cc.o"
+  "CMakeFiles/bench_fig6_aggressive.dir/bench_fig6_aggressive.cc.o.d"
+  "bench_fig6_aggressive"
+  "bench_fig6_aggressive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_aggressive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

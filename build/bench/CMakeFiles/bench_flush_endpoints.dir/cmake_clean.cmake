@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_flush_endpoints.dir/bench_flush_endpoints.cc.o"
+  "CMakeFiles/bench_flush_endpoints.dir/bench_flush_endpoints.cc.o.d"
+  "bench_flush_endpoints"
+  "bench_flush_endpoints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_flush_endpoints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_granularity_sweep.dir/bench_granularity_sweep.cc.o"
+  "CMakeFiles/bench_granularity_sweep.dir/bench_granularity_sweep.cc.o.d"
+  "bench_granularity_sweep"
+  "bench_granularity_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_granularity_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lsq_size_sweep.dir/bench_lsq_size_sweep.cc.o"
+  "CMakeFiles/bench_lsq_size_sweep.dir/bench_lsq_size_sweep.cc.o.d"
+  "bench_lsq_size_sweep"
+  "bench_lsq_size_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lsq_size_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_recovery_ablation.dir/bench_recovery_ablation.cc.o"
+  "CMakeFiles/bench_recovery_ablation.dir/bench_recovery_ablation.cc.o.d"
+  "bench_recovery_ablation"
+  "bench_recovery_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recovery_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_structures_gbench.dir/bench_structures_gbench.cc.o"
+  "CMakeFiles/bench_structures_gbench.dir/bench_structures_gbench.cc.o.d"
+  "bench_structures_gbench"
+  "bench_structures_gbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_structures_gbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

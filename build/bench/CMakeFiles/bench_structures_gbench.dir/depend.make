@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_structures_gbench.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_value_replay.dir/bench_value_replay.cc.o"
+  "CMakeFiles/bench_value_replay.dir/bench_value_replay.cc.o.d"
+  "bench_value_replay"
+  "bench_value_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_value_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_violation_rates.cc" "bench/CMakeFiles/bench_violation_rates.dir/bench_violation_rates.cc.o" "gcc" "bench/CMakeFiles/bench_violation_rates.dir/bench_violation_rates.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/slf_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/slf_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/slf_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/slf_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/slf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsq/CMakeFiles/slf_lsq.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/slf_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/pred/CMakeFiles/slf_pred.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/slf_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/prog/CMakeFiles/slf_prog.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/slf_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/slf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/slf_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

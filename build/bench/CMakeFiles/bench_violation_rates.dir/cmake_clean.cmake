@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_violation_rates.dir/bench_violation_rates.cc.o"
+  "CMakeFiles/bench_violation_rates.dir/bench_violation_rates.cc.o.d"
+  "bench_violation_rates"
+  "bench_violation_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_violation_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

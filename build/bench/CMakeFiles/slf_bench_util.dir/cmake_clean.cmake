@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slf_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/slf_bench_util.dir/bench_util.cc.o.d"
+  "libslf_bench_util.a"
+  "libslf_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slf_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corruption_demo.dir/corruption_demo.cpp.o"
+  "CMakeFiles/corruption_demo.dir/corruption_demo.cpp.o.d"
+  "corruption_demo"
+  "corruption_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corruption_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

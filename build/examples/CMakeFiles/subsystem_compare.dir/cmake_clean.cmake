@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subsystem_compare.dir/subsystem_compare.cpp.o"
+  "CMakeFiles/subsystem_compare.dir/subsystem_compare.cpp.o.d"
+  "subsystem_compare"
+  "subsystem_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subsystem_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

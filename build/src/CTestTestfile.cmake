@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("isa")
+subdirs("prog")
+subdirs("arch")
+subdirs("mem")
+subdirs("power")
+subdirs("pred")
+subdirs("core")
+subdirs("lsq")
+subdirs("cpu")
+subdirs("workloads")
+subdirs("driver")

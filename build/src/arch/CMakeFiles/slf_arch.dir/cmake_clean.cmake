@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slf_arch.dir/func_sim.cc.o"
+  "CMakeFiles/slf_arch.dir/func_sim.cc.o.d"
+  "libslf_arch.a"
+  "libslf_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slf_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

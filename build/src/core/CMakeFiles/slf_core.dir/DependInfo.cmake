@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/mdt.cc" "src/core/CMakeFiles/slf_core.dir/mdt.cc.o" "gcc" "src/core/CMakeFiles/slf_core.dir/mdt.cc.o.d"
+  "/root/repo/src/core/sfc.cc" "src/core/CMakeFiles/slf_core.dir/sfc.cc.o" "gcc" "src/core/CMakeFiles/slf_core.dir/sfc.cc.o.d"
+  "/root/repo/src/core/store_fifo.cc" "src/core/CMakeFiles/slf_core.dir/store_fifo.cc.o" "gcc" "src/core/CMakeFiles/slf_core.dir/store_fifo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pred/CMakeFiles/slf_pred.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/slf_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slf_core.dir/mdt.cc.o"
+  "CMakeFiles/slf_core.dir/mdt.cc.o.d"
+  "CMakeFiles/slf_core.dir/sfc.cc.o"
+  "CMakeFiles/slf_core.dir/sfc.cc.o.d"
+  "CMakeFiles/slf_core.dir/store_fifo.cc.o"
+  "CMakeFiles/slf_core.dir/store_fifo.cc.o.d"
+  "libslf_core.a"
+  "libslf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/core_config.cc" "src/cpu/CMakeFiles/slf_cpu.dir/core_config.cc.o" "gcc" "src/cpu/CMakeFiles/slf_cpu.dir/core_config.cc.o.d"
+  "/root/repo/src/cpu/mem_unit.cc" "src/cpu/CMakeFiles/slf_cpu.dir/mem_unit.cc.o" "gcc" "src/cpu/CMakeFiles/slf_cpu.dir/mem_unit.cc.o.d"
+  "/root/repo/src/cpu/ooo_core.cc" "src/cpu/CMakeFiles/slf_cpu.dir/ooo_core.cc.o" "gcc" "src/cpu/CMakeFiles/slf_cpu.dir/ooo_core.cc.o.d"
+  "/root/repo/src/cpu/value_replay_unit.cc" "src/cpu/CMakeFiles/slf_cpu.dir/value_replay_unit.cc.o" "gcc" "src/cpu/CMakeFiles/slf_cpu.dir/value_replay_unit.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/slf_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/slf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/slf_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsq/CMakeFiles/slf_lsq.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/slf_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/pred/CMakeFiles/slf_pred.dir/DependInfo.cmake"
+  "/root/repo/build/src/prog/CMakeFiles/slf_prog.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/slf_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slf_cpu.dir/core_config.cc.o"
+  "CMakeFiles/slf_cpu.dir/core_config.cc.o.d"
+  "CMakeFiles/slf_cpu.dir/mem_unit.cc.o"
+  "CMakeFiles/slf_cpu.dir/mem_unit.cc.o.d"
+  "CMakeFiles/slf_cpu.dir/ooo_core.cc.o"
+  "CMakeFiles/slf_cpu.dir/ooo_core.cc.o.d"
+  "CMakeFiles/slf_cpu.dir/value_replay_unit.cc.o"
+  "CMakeFiles/slf_cpu.dir/value_replay_unit.cc.o.d"
+  "libslf_cpu.a"
+  "libslf_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slf_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

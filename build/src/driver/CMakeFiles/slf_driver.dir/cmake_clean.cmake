@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slf_driver.dir/runner.cc.o"
+  "CMakeFiles/slf_driver.dir/runner.cc.o.d"
+  "libslf_driver.a"
+  "libslf_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slf_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

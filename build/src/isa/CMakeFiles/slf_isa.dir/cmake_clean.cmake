@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slf_isa.dir/inst.cc.o"
+  "CMakeFiles/slf_isa.dir/inst.cc.o.d"
+  "libslf_isa.a"
+  "libslf_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slf_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slf_lsq.dir/lsq.cc.o"
+  "CMakeFiles/slf_lsq.dir/lsq.cc.o.d"
+  "libslf_lsq.a"
+  "libslf_lsq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slf_lsq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slf_mem.dir/cache.cc.o"
+  "CMakeFiles/slf_mem.dir/cache.cc.o.d"
+  "CMakeFiles/slf_mem.dir/main_memory.cc.o"
+  "CMakeFiles/slf_mem.dir/main_memory.cc.o.d"
+  "libslf_mem.a"
+  "libslf_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slf_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

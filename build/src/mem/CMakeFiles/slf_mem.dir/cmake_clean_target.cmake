@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libslf_mem.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slf_power.dir/energy.cc.o"
+  "CMakeFiles/slf_power.dir/energy.cc.o.d"
+  "libslf_power.a"
+  "libslf_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slf_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

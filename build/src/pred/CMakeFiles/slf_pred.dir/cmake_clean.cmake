@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slf_pred.dir/gshare.cc.o"
+  "CMakeFiles/slf_pred.dir/gshare.cc.o.d"
+  "CMakeFiles/slf_pred.dir/memdep.cc.o"
+  "CMakeFiles/slf_pred.dir/memdep.cc.o.d"
+  "libslf_pred.a"
+  "libslf_pred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slf_pred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

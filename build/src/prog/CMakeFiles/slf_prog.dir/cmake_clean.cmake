@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slf_prog.dir/builder.cc.o"
+  "CMakeFiles/slf_prog.dir/builder.cc.o.d"
+  "CMakeFiles/slf_prog.dir/program.cc.o"
+  "CMakeFiles/slf_prog.dir/program.cc.o.d"
+  "libslf_prog.a"
+  "libslf_prog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slf_prog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

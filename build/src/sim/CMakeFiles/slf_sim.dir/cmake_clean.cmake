@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slf_sim.dir/config.cc.o"
+  "CMakeFiles/slf_sim.dir/config.cc.o.d"
+  "CMakeFiles/slf_sim.dir/logging.cc.o"
+  "CMakeFiles/slf_sim.dir/logging.cc.o.d"
+  "CMakeFiles/slf_sim.dir/stats.cc.o"
+  "CMakeFiles/slf_sim.dir/stats.cc.o.d"
+  "libslf_sim.a"
+  "libslf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/kernels.cc" "src/workloads/CMakeFiles/slf_workloads.dir/kernels.cc.o" "gcc" "src/workloads/CMakeFiles/slf_workloads.dir/kernels.cc.o.d"
+  "/root/repo/src/workloads/micro.cc" "src/workloads/CMakeFiles/slf_workloads.dir/micro.cc.o" "gcc" "src/workloads/CMakeFiles/slf_workloads.dir/micro.cc.o.d"
+  "/root/repo/src/workloads/spec_fp.cc" "src/workloads/CMakeFiles/slf_workloads.dir/spec_fp.cc.o" "gcc" "src/workloads/CMakeFiles/slf_workloads.dir/spec_fp.cc.o.d"
+  "/root/repo/src/workloads/spec_int.cc" "src/workloads/CMakeFiles/slf_workloads.dir/spec_int.cc.o" "gcc" "src/workloads/CMakeFiles/slf_workloads.dir/spec_int.cc.o.d"
+  "/root/repo/src/workloads/workloads.cc" "src/workloads/CMakeFiles/slf_workloads.dir/workloads.cc.o" "gcc" "src/workloads/CMakeFiles/slf_workloads.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/prog/CMakeFiles/slf_prog.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/slf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/slf_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

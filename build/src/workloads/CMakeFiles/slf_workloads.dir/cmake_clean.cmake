@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slf_workloads.dir/kernels.cc.o"
+  "CMakeFiles/slf_workloads.dir/kernels.cc.o.d"
+  "CMakeFiles/slf_workloads.dir/micro.cc.o"
+  "CMakeFiles/slf_workloads.dir/micro.cc.o.d"
+  "CMakeFiles/slf_workloads.dir/spec_fp.cc.o"
+  "CMakeFiles/slf_workloads.dir/spec_fp.cc.o.d"
+  "CMakeFiles/slf_workloads.dir/spec_int.cc.o"
+  "CMakeFiles/slf_workloads.dir/spec_int.cc.o.d"
+  "CMakeFiles/slf_workloads.dir/workloads.cc.o"
+  "CMakeFiles/slf_workloads.dir/workloads.cc.o.d"
+  "libslf_workloads.a"
+  "libslf_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slf_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

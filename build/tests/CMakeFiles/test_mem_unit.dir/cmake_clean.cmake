@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem_unit.dir/test_mem_unit.cc.o"
+  "CMakeFiles/test_mem_unit.dir/test_mem_unit.cc.o.d"
+  "test_mem_unit"
+  "test_mem_unit.pdb"
+  "test_mem_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memdep.dir/test_memdep.cc.o"
+  "CMakeFiles/test_memdep.dir/test_memdep.cc.o.d"
+  "test_memdep"
+  "test_memdep.pdb"
+  "test_memdep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memdep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_value_replay.dir/test_value_replay.cc.o"
+  "CMakeFiles/test_value_replay.dir/test_value_replay.cc.o.d"
+  "test_value_replay"
+  "test_value_replay.pdb"
+  "test_value_replay[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_value_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

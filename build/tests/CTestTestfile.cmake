@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_builder[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_config[1]_include.cmake")
+include("/root/repo/build/tests/test_core_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_driver[1]_include.cmake")
+include("/root/repo/build/tests/test_energy[1]_include.cmake")
+include("/root/repo/build/tests/test_func_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_gshare[1]_include.cmake")
+include("/root/repo/build/tests/test_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_lsq[1]_include.cmake")
+include("/root/repo/build/tests/test_mdt[1]_include.cmake")
+include("/root/repo/build/tests/test_mem_unit[1]_include.cmake")
+include("/root/repo/build/tests/test_memdep[1]_include.cmake")
+include("/root/repo/build/tests/test_memory[1]_include.cmake")
+include("/root/repo/build/tests/test_property[1]_include.cmake")
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_sfc[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_store_fifo[1]_include.cmake")
+include("/root/repo/build/tests/test_value_replay[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
