@@ -1,5 +1,8 @@
 #include "func_sim.hh"
 
+#include <algorithm>
+#include <sstream>
+
 #include "sim/logging.hh"
 
 namespace slf
@@ -74,6 +77,19 @@ FuncSim::step()
     pc_ = rec.next_pc;
     ++insts_retired_;
     return rec;
+}
+
+std::string
+FuncSim::stateString(unsigned max_regs) const
+{
+    std::ostringstream oss;
+    oss << "pc=0x" << std::hex << pc_ << std::dec << " retired="
+        << insts_retired_ << (halted_ ? " halted" : "");
+    const unsigned n =
+        std::min<unsigned>(max_regs, static_cast<unsigned>(regs_.size()));
+    for (unsigned r = 1; r < n; ++r)
+        oss << " r" << r << "=0x" << std::hex << regs_[r] << std::dec;
+    return oss.str();
 }
 
 std::vector<RetireRecord>

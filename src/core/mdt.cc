@@ -92,6 +92,21 @@ Mdt::scavengeSet(std::uint64_t set)
     }
 }
 
+bool
+Mdt::injectEviction(Rng &rng)
+{
+    const std::size_t n = entries_.size();
+    const std::size_t start = rng.below(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        Entry &e = entries_[(start + i) % n];
+        if (e.valid) {
+            freeEntry(e);
+            return true;
+        }
+    }
+    return false;
+}
+
 Mdt::Entry *
 Mdt::find(std::uint64_t block)
 {

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "pred/memdep.hh"
+#include "sim/rng.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -124,6 +125,15 @@ class Mdt
 
     /** Clear all entries (full pipeline flush / new program). */
     void reset();
+
+    /**
+     * Fault-injection hook: evict one random valid entry, live or dead.
+     * Evicting a live entry erases in-flight ordering records, which the
+     * design does not defend against — escaped violations must then be
+     * caught by the retirement-lockstep checker.
+     * @return false if the table was empty.
+     */
+    bool injectEviction(Rng &rng);
 
     /** Number of currently valid entries (for tests). */
     std::uint64_t validEntries() const;

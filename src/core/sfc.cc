@@ -303,6 +303,44 @@ Sfc::fullFlush()
     flush_ranges_.clear();
 }
 
+bool
+Sfc::injectCorruptMask(Rng &rng)
+{
+    const std::size_t n = entries_.size();
+    const std::size_t start = rng.below(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        Entry &e = entries_[(start + i) % n];
+        if (e.valid && e.valid_mask) {
+            e.corrupt_mask |= e.valid_mask;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+Sfc::injectDataClobber(Rng &rng, std::uint8_t xor_byte)
+{
+    const std::size_t n = entries_.size();
+    const std::size_t start = rng.below(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        Entry &e = entries_[(start + i) % n];
+        if (!e.valid || !e.valid_mask)
+            continue;
+        // Pick a random in-flight byte of this word.
+        unsigned offsets[kSfcWordBytes];
+        unsigned count = 0;
+        for (unsigned off = 0; off < kSfcWordBytes; ++off)
+            if (e.valid_mask & (1u << off))
+                offsets[count++] = off;
+        const unsigned off = offsets[rng.below(count)];
+        e.data[off] ^= static_cast<std::uint8_t>(xor_byte | 1);
+        e.corrupt_mask |= static_cast<std::uint8_t>(1u << off);
+        return true;
+    }
+    return false;
+}
+
 std::uint64_t
 Sfc::validEntries() const
 {

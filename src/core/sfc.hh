@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/rng.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -125,6 +126,22 @@ class Sfc
 
     /** Oldest in-flight sequence number, for dead-entry scavenging. */
     void setOldestInflight(SeqNum seq) { oldest_inflight_ = seq; }
+
+    /**
+     * Fault-injection hook: OR a random live entry's valid mask into its
+     * corrupt mask, modelling poisoning by a canceled same-address store.
+     * The corruption machinery must absorb this (loads replay).
+     * @return false if no entry held in-flight bytes.
+     */
+    bool injectCorruptMask(Rng &rng);
+
+    /**
+     * Fault-injection hook: XOR one in-flight data byte of a random live
+     * entry with @p xor_byte and set that byte's corrupt bit — the state
+     * a canceled store's write leaves behind after the flush marks it.
+     * @return false if no entry held in-flight bytes.
+     */
+    bool injectDataClobber(Rng &rng, std::uint8_t xor_byte);
 
     std::uint64_t validEntries() const;
     std::uint64_t evictionCount() const { return evictions_; }

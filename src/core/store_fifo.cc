@@ -10,7 +10,8 @@ StoreFifo::StoreFifo(std::size_t capacity)
       stats_("store_fifo"),
       allocated_(stats_.counter("allocated")),
       retired_(stats_.counter("retired")),
-      squashed_(stats_.counter("squashed"))
+      squashed_(stats_.counter("squashed")),
+      payload_faults_(stats_.counter("payload_faults"))
 {
     if (capacity == 0)
         fatal("StoreFifo: capacity must be nonzero");
@@ -77,6 +78,16 @@ StoreFifo::clear()
 {
     squashed_ += slots_.size();
     slots_.clear();
+}
+
+bool
+StoreFifo::corruptHeadPayload(std::uint64_t xor_bits)
+{
+    if (slots_.empty() || !slots_.front().data_valid)
+        return false;
+    slots_.front().value ^= xor_bits;
+    ++payload_faults_;
+    return true;
 }
 
 const StoreFifo::Slot &

@@ -66,6 +66,14 @@ class StoreFifo
     /** Access the head slot without draining (for tests). */
     const Slot &head() const;
 
+    /**
+     * Fault-injection hook: XOR the head slot's payload just before it
+     * drains. The corrupted value becomes architectural at retirement,
+     * so an external checker must catch it.
+     * @return false if there was no filled head slot to corrupt.
+     */
+    bool corruptHeadPayload(std::uint64_t xor_bits);
+
     StatGroup &stats() { return stats_; }
 
   private:
@@ -75,6 +83,7 @@ class StoreFifo
     Counter &allocated_;
     Counter &retired_;
     Counter &squashed_;
+    Counter &payload_faults_;
 };
 
 } // namespace slf

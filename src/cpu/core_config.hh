@@ -14,6 +14,7 @@
 #include "mem/cache.hh"
 #include "pred/memdep.hh"
 #include "sim/types.hh"
+#include "verify/fault_inject.hh"
 
 namespace slf
 {
@@ -85,6 +86,20 @@ struct CoreConfig
     std::uint64_t max_cycles = 0;        ///< 0 = unlimited
     std::uint64_t rng_seed = 1;
     bool validate = true;                ///< lockstep golden-model checks
+    /** Panic on the first checker divergence (a divergence is a simulator
+     *  bug); off, divergences are recorded in the SimResult so fault
+     *  campaigns can count detections. */
+    bool check_abort = true;
+
+    // Progress watchdog (both fatal() with an occupancy dump; 0 = off).
+    /** Abort if no instruction retires for this many cycles. */
+    Cycle watchdog_retire_cycles = 500'000;
+    /** Abort once this many cycles pass (unlike max_cycles, which ends
+     *  the run gracefully, this treats reaching the cap as a wedge). */
+    Cycle watchdog_max_cycles = 0;
+
+    /** Fault injection (all rates default to 0 = disabled). */
+    FaultInjectParams fault;
 
     /** Baseline 4-wide configuration (Figure 4, left column). */
     static CoreConfig baseline();

@@ -1,9 +1,11 @@
 #include "mem_unit.hh"
 
 #include <cinttypes>
+#include <sstream>
 
 #include "cpu/value_replay_unit.hh"
 #include "sim/logging.hh"
+#include "verify/fault_inject.hh"
 
 namespace slf
 {
@@ -99,6 +101,8 @@ MdtSfcUnit::issueLoad(DynInst &inst, bool at_rob_head)
         return out;
     }
 
+    if (injector_)
+        injector_->onSfcAccess(sfc_);
     const SfcLoadResult sfc = sfc_.loadRead(inst.addr, inst.size);
     switch (sfc.status) {
       case SfcLoadResult::Status::Corrupt:
@@ -134,6 +138,8 @@ MdtSfcUnit::issueLoad(DynInst &inst, bool at_rob_head)
         break;
     }
 
+    if (injector_)
+        injector_->onMdtAccess(mdt_);
     const MdtAccess mdt =
         mdt_.accessLoad(inst.addr, inst.size, inst.seq, inst.pc);
     if (mdt.status == MdtAccess::Status::Conflict) {
@@ -171,6 +177,8 @@ MdtSfcUnit::issueStore(DynInst &inst, bool at_rob_head)
     // soundness: if the SFC accepted the data while the MDT conflicted,
     // an older load could forward the younger store's value with no
     // store sequence number recorded to trip the anti-dependence check.
+    if (injector_)
+        injector_->onMdtAccess(mdt_);
     const MdtAccess mdt =
         mdt_.accessStore(inst.addr, inst.size, inst.seq, inst.pc);
     if (mdt.status == MdtAccess::Status::Conflict) {
@@ -189,6 +197,8 @@ MdtSfcUnit::issueStore(DynInst &inst, bool at_rob_head)
     }
     inst.mem_registered = true;
 
+    if (injector_)
+        injector_->onSfcAccess(sfc_);
     if (sfc_.storeWrite(inst.addr, inst.size, inst.store_value, inst.seq) ==
         SfcStoreResult::Conflict) {
         if (at_rob_head && cfg_.head_bypass) {
@@ -263,6 +273,14 @@ MdtSfcUnit::retireLoad(DynInst &inst)
 void
 MdtSfcUnit::retireStore(DynInst &inst)
 {
+    // Store-FIFO payload faults land at the drain point so every injected
+    // corruption is architecturally consumed (the slot's value is what
+    // commits to memory) — the golden checker must catch each one.
+    if (injector_) {
+        const std::uint64_t xm = injector_->onStoreRetire(fifo_.head().size);
+        if (xm)
+            fifo_.corruptHeadPayload(xm);
+    }
     const StoreFifo::Slot slot = fifo_.retireHead(inst.seq);
     mem_.writeBytes(slot.addr, slot.value, slot.size);
     caches_.accessData(slot.addr);   // commit allocates in the L1D
@@ -299,6 +317,16 @@ std::uint64_t
 MdtSfcUnit::evictionCount() const
 {
     return mdt_.evictionCount() + sfc_.evictionCount();
+}
+
+std::string
+MdtSfcUnit::occupancyDump() const
+{
+    std::ostringstream os;
+    os << "mdt valid=" << mdt_.validEntries()
+       << " sfc valid=" << sfc_.validEntries()
+       << " store_fifo=" << fifo_.size() << "/" << fifo_.capacity();
+    return os.str();
 }
 
 // ---------------------------------------------------------------------
@@ -399,6 +427,15 @@ void
 LsqUnit::squashFrom(SeqNum seq)
 {
     lsq_.squashFrom(seq);
+}
+
+std::string
+LsqUnit::occupancyDump() const
+{
+    std::ostringstream os;
+    os << "lq=" << lsq_.loadQueueSize() << "/" << lsq_.params().lq_entries
+       << " sq=" << lsq_.storeQueueSize() << "/" << lsq_.params().sq_entries;
+    return os.str();
 }
 
 std::unique_ptr<MemUnit>

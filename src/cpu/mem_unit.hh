@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "core/mdt.hh"
 #include "core/sfc.hh"
@@ -30,6 +31,8 @@
 
 namespace slf
 {
+
+class FaultInjector;
 
 /** Why an access was replayed (for the paper's outlier analyses). */
 enum class ReplayReason : std::uint8_t
@@ -124,6 +127,12 @@ class MemUnit
     /** Per-unit statistics group. */
     virtual StatGroup &unitStats() = 0;
 
+    /** Attach a fault injector (units without fault sites ignore it). */
+    virtual void setFaultInjector(FaultInjector *) {}
+
+    /** One-line occupancy summary for watchdog/deadlock dumps. */
+    virtual std::string occupancyDump() const { return {}; }
+
   protected:
     /** Read @p size committed bytes (little-endian). */
     std::uint64_t
@@ -156,6 +165,8 @@ class MdtSfcUnit : public MemUnit
     void setOldestInflight(SeqNum seq) override;
     std::uint64_t evictionCount() const override;
     StatGroup &unitStats() override { return stats_; }
+    void setFaultInjector(FaultInjector *fi) override { injector_ = fi; }
+    std::string occupancyDump() const override;
 
     Mdt &mdt() { return mdt_; }
     Sfc &sfc() { return sfc_; }
@@ -171,6 +182,7 @@ class MdtSfcUnit : public MemUnit
     Mdt mdt_;
     Sfc sfc_;
     StoreFifo fifo_;
+    FaultInjector *injector_ = nullptr;
 
     StatGroup stats_;
     Counter &load_replays_corrupt_;
@@ -203,6 +215,7 @@ class LsqUnit : public MemUnit
     void setOldestInflight(SeqNum) override {}
     std::uint64_t evictionCount() const override { return 0; }
     StatGroup &unitStats() override { return stats_; }
+    std::string occupancyDump() const override;
 
     Lsq &lsq() { return lsq_; }
 

@@ -15,7 +15,6 @@ OooCore::OooCore(const CoreConfig &cfg, const Program &prog)
       gshare_(cfg.gshare_bits, cfg.gshare_history_bits),
       oracle_rng_(cfg.rng_seed),
       memdep_(cfg.memdep),
-      golden_(prog),
       stats_("core"),
       insts_retired_(stats_.counter("insts_retired")),
       loads_retired_(stats_.counter("loads_retired")),
@@ -37,6 +36,14 @@ OooCore::OooCore(const CoreConfig &cfg, const Program &prog)
 
     mem_.loadInitialImage(prog);
     memu_ = makeMemUnit(cfg_, mem_, caches_, memdep_);
+
+    if (cfg_.validate)
+        checker_ = std::make_unique<GoldenChecker>(prog, cfg_.check_abort);
+    if (cfg_.fault.anyEnabled()) {
+        injector_ = std::make_unique<FaultInjector>(cfg_.fault);
+        memu_->setFaultInjector(injector_.get());
+    }
+    Debug::setCycleSource(&cycle_);
 
     // Precompute the architectural control trace (fetch oracle + path
     // tracking). It must cover everything fetch can reach before the
@@ -70,6 +77,11 @@ OooCore::OooCore(const CoreConfig &cfg, const Program &prog)
 
     tag_ready_.assign(memdep_.numTags(), 1);
     tag_owner_seq_.assign(memdep_.numTags(), kInvalidSeqNum);
+}
+
+OooCore::~OooCore()
+{
+    Debug::clearCycleSource(&cycle_);
 }
 
 SeqNum
@@ -215,8 +227,11 @@ OooCore::recoverBranchMispredict(DynInst &branch)
 
     const SeqNum squash_to = next_seq_ - 1;
     const std::uint64_t squashed = squashFrom(squash_seq);
-    if (squashed > 0)
+    if (squashed > 0) {
         memu_->onPartialFlush(squash_seq, squash_to);
+        if (checker_)
+            checker_->noteSquash(cycle_, squash_seq, squashed, "branch");
+    }
 
     gshare_.restoreHistory(ghist);
     gshare_.updateHistory(taken);
@@ -275,8 +290,13 @@ OooCore::recoverViolation(const MemIssueOutcome &outcome)
 
     const SeqNum squash_to = next_seq_ - 1;
     const std::uint64_t squashed = squashFrom(outcome.squash_from);
-    if (squashed > 0)
+    if (squashed > 0) {
         memu_->onPartialFlush(outcome.squash_from, squash_to);
+        if (checker_) {
+            checker_->noteSquash(cycle_, outcome.squash_from, squashed,
+                                 "mem-violation");
+        }
+    }
 
     gshare_.restoreHistory(ghist);
     fetch_pc_ = redirect_pc;
@@ -295,41 +315,6 @@ OooCore::recoverViolation(const MemIssueOutcome &outcome)
 // ---------------------------------------------------------------------
 // Retire
 // ---------------------------------------------------------------------
-
-void
-OooCore::validateRetirement(const DynInst &inst)
-{
-    const RetireRecord g = golden_.step();
-    auto mismatch = [&](const char *what) {
-        std::ostringstream oss;
-        oss << "retirement validation failed (" << what << "): seq "
-            << inst.seq << " pc " << inst.pc << " ("
-            << disassemble(inst.si) << ") result 0x" << std::hex
-            << inst.result << " addr 0x" << inst.addr
-            << " vs golden pc 0x" << g.pc << " result 0x" << g.result
-            << " addr 0x" << g.addr;
-        panic(oss.str());
-    };
-
-    if (g.pc != inst.pc)
-        mismatch("pc");
-    if (g.op != inst.si.op)
-        mismatch("opcode");
-    if (g.wrote_reg) {
-        if (inst.dst_preg == kInvalidPhysReg || inst.result != g.result)
-            mismatch("result");
-    }
-    if (g.is_mem) {
-        if (inst.addr != g.addr || inst.size != g.size)
-            mismatch("address");
-        if (isStore(g.op) && inst.store_value != g.store_value)
-            mismatch("store value");
-    }
-    if (g.is_control) {
-        if (inst.taken != g.taken || inst.actual_next_pc != g.next_pc)
-            mismatch("control flow");
-    }
-}
 
 void
 OooCore::retireStage()
@@ -352,14 +337,20 @@ OooCore::retireStage()
             break;
         }
 
-        if (cfg_.validate)
-            validateRetirement(head);
+        if (checker_)
+            checker_->checkRetirement(head, cycle_);
 
         if (head.isLoadInst()) {
             ++loads_retired_;
         } else if (head.isStoreInst()) {
             memu_->retireStore(head);
             ++stores_retired_;
+            // Compare the bytes that actually committed (the store-FIFO
+            // slot drained into memory) against the golden image; the
+            // retirement check above only sees the DynInst's own value,
+            // not FIFO payload corruption.
+            if (checker_)
+                checker_->checkCommittedStore(head, mem_, cycle_);
         } else if (isControl(head.si.op)) {
             ++branches_retired_;
         }
@@ -376,8 +367,10 @@ OooCore::retireStage()
         last_retire_cycle_ = cycle_;
         rob_.pop_front();
 
-        if (was_halt || insts_retired_.value() >= cfg_.max_insts)
+        if (was_halt || insts_retired_.value() >= cfg_.max_insts) {
+            halted_cleanly_ = was_halt;
             done_ = true;
+        }
     }
 }
 
@@ -776,16 +769,87 @@ OooCore::tick()
     if (cfg_.max_cycles && cycle_ >= cfg_.max_cycles)
         done_ = true;
 
-    if (!rob_.empty() && cycle_ - last_retire_cycle_ > 500000) {
+    // Progress watchdogs: both terminate with a structured fatal() so
+    // fault campaigns can catch a wedged configuration and keep going.
+    if (!done_ && cfg_.watchdog_retire_cycles && !rob_.empty() &&
+        cycle_ - last_retire_cycle_ > cfg_.watchdog_retire_cycles) {
         std::ostringstream oss;
-        oss << "OooCore deadlock: no retirement for 500000 cycles at cycle "
-            << cycle_ << ", ROB head seq " << rob_.front().seq << " pc "
-            << rob_.front().pc << " (" << disassemble(rob_.front().si)
-            << ")";
-        panic(oss.str());
+        oss << "no retirement for " << cfg_.watchdog_retire_cycles
+            << " cycles";
+        fatal(watchdogDump(oss.str()));
+    }
+    if (!done_ && cfg_.watchdog_max_cycles &&
+        cycle_ >= cfg_.watchdog_max_cycles) {
+        std::ostringstream oss;
+        oss << "cycle cap " << cfg_.watchdog_max_cycles
+            << " reached before completion";
+        fatal(watchdogDump(oss.str()));
+    }
+
+    // The run drained (HALT retired, nothing in flight): cross-check the
+    // whole committed memory image against the golden model once.
+    if (done_ && halted_cleanly_ && !final_mem_checked_ && checker_ &&
+        rob_.empty()) {
+        final_mem_checked_ = true;
+        checker_->checkFinalMemory(mem_, cycle_);
     }
 
     return !done_;
+}
+
+std::string
+OooCore::watchdogDump(const std::string &reason) const
+{
+    std::ostringstream oss;
+    oss << "OooCore watchdog: " << reason << " at cycle " << cycle_
+        << " (retired " << insts_retired_.value() << ")";
+    if (!rob_.empty()) {
+        oss << "; ROB head seq " << rob_.front().seq << " pc "
+            << rob_.front().pc << " (" << disassemble(rob_.front().si)
+            << ")";
+    }
+    oss << "; rob=" << rob_.size() << "/" << cfg_.rob_entries
+        << " sched=" << sched_.size() << "/" << cfg_.sched_entries
+        << " stalled=" << stalled_count_ << " fetchq=" << fetchq_.size();
+    const std::string unit = memu_->occupancyDump();
+    if (!unit.empty())
+        oss << "; " << unit;
+    return oss.str();
+}
+
+bool
+OooCore::checkInvariants(std::string *why) const
+{
+    auto fail = [&](const std::string &msg) {
+        if (why)
+            *why = msg;
+        return false;
+    };
+
+    std::size_t in_sched = 0, stalled = 0;
+    SeqNum prev = 0;
+    for (const DynInst &d : rob_) {
+        if (d.seq <= prev)
+            return fail("ROB sequence numbers not strictly increasing");
+        prev = d.seq;
+        if (d.in_scheduler) {
+            ++in_sched;
+            auto it = sched_.find(d.seq);
+            if (it == sched_.end())
+                return fail("in_scheduler instruction missing from map");
+            if (it->second != &d)
+                return fail("scheduler map points at the wrong DynInst");
+            if (d.stalled)
+                ++stalled;
+        } else if (sched_.count(d.seq)) {
+            return fail("scheduler map holds a non-resident instruction");
+        }
+    }
+    if (in_sched != sched_.size())
+        return fail("scheduler map size disagrees with ROB census");
+    if (stalled != stalled_count_)
+        return fail("stall-bit census disagrees with stalled_count_");
+    return true;
 }
 
 void

@@ -48,6 +48,8 @@
 #include "prog/program.hh"
 #include "sim/rng.hh"
 #include "sim/stats.hh"
+#include "verify/fault_inject.hh"
+#include "verify/golden_checker.hh"
 
 namespace slf
 {
@@ -57,6 +59,7 @@ class OooCore
   public:
     /** @param prog must outlive the core (held by reference). */
     OooCore(const CoreConfig &cfg, const Program &prog);
+    ~OooCore();
 
     /** Run until HALT retires, max_insts retire, or max_cycles pass. */
     void run();
@@ -81,6 +84,21 @@ class OooCore
     const MainMemory &committedMemory() const { return mem_; }
     const CoreConfig &config() const { return cfg_; }
     std::size_t robOccupancy() const { return rob_.size(); }
+    std::size_t schedulerSize() const { return sched_.size(); }
+    std::uint64_t squashCount() const { return squash_count_; }
+
+    /** Lockstep checker (null when cfg.validate is off). */
+    GoldenChecker *checker() { return checker_.get(); }
+    const GoldenChecker *checker() const { return checker_.get(); }
+    /** Fault injector (null when every fault rate is zero). */
+    FaultInjector *faultInjector() { return injector_.get(); }
+
+    /**
+     * Structural self-check of the window bookkeeping: ROB sequence
+     * ordering, scheduler-map <-> in_scheduler consistency, and the
+     * stall-bit census. @return false (with @p why filled) on breakage.
+     */
+    bool checkInvariants(std::string *why = nullptr) const;
 
   private:
     // --- pipeline stages (called once per cycle, in this order) --------
@@ -109,7 +127,8 @@ class OooCore
      *  @return number of instructions squashed. */
     std::uint64_t squashFrom(SeqNum seq);
     void clearStallBits();
-    void validateRetirement(const DynInst &inst);
+    /** Compose the watchdog fatal() message with an occupancy dump. */
+    std::string watchdogDump(const std::string &reason) const;
 
     Cycle opLatency(Op op) const;
     SeqNum oldestInflightSeq() const;
@@ -125,8 +144,10 @@ class OooCore
     MemDepPredictor memdep_;
     std::unique_ptr<MemUnit> memu_;
 
-    /** Lockstep golden model for retirement validation. */
-    FuncSim golden_;
+    /** Lockstep golden-model checker (null when validation is off). */
+    std::unique_ptr<GoldenChecker> checker_;
+    /** Fault injector shared with the memory unit (null when disabled). */
+    std::unique_ptr<FaultInjector> injector_;
 
     /** Precomputed architectural control trace for the fetch oracle. */
     std::vector<std::uint64_t> trace_pc_;
@@ -173,6 +194,10 @@ class OooCore
     Cycle cycle_ = 0;
     SeqNum next_seq_ = 1;
     bool done_ = false;
+    /** HALT retired (vs a max_insts/max_cycles cut): the run drained, so
+     *  the final-memory-image cross-check is meaningful. */
+    bool halted_cleanly_ = false;
+    bool final_mem_checked_ = false;
     Cycle last_retire_cycle_ = 0;
     std::uint64_t last_eviction_count_ = 0;
 

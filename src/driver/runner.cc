@@ -66,6 +66,21 @@ runWorkload(const CoreConfig &cfg, const Program &prog)
         r.lsq_searches = vs.counterValue("sq_searches");
     }
 
+    if (const GoldenChecker *checker = core.checker()) {
+        r.checker_enabled = true;
+        r.checker_clean = checker->clean();
+        r.check_retirements = checker->retirementsChecked();
+        r.check_failures = checker->failureCount();
+        r.check_store_commit_failures = checker->storeCommitFailures();
+        r.check_reports = checker->reports();
+    }
+    if (const FaultInjector *fi = core.faultInjector()) {
+        r.faults_sfc_mask = fi->sfcMaskFaults();
+        r.faults_sfc_data = fi->sfcDataFaults();
+        r.faults_mdt_evict = fi->mdtEvictFaults();
+        r.faults_fifo_payload = fi->fifoPayloadFaults();
+    }
+
     return r;
 }
 
@@ -138,6 +153,22 @@ applyOverrides(CoreConfig &cfg, const Config &ov)
         "output_dep_marks_corrupt", cfg.output_dep_marks_corrupt);
     cfg.value_replay_filtered =
         ov.getBool("value_replay_filtered", cfg.value_replay_filtered);
+
+    cfg.check_abort = ov.getBool("check.abort", cfg.check_abort);
+    cfg.watchdog_retire_cycles =
+        ov.getUInt("watchdog.retire_cycles", cfg.watchdog_retire_cycles);
+    cfg.watchdog_max_cycles =
+        ov.getUInt("watchdog.max_cycles", cfg.watchdog_max_cycles);
+
+    cfg.fault.sfc_mask_rate =
+        ov.getDouble("fault.sfc_mask", cfg.fault.sfc_mask_rate);
+    cfg.fault.sfc_data_rate =
+        ov.getDouble("fault.sfc_data", cfg.fault.sfc_data_rate);
+    cfg.fault.mdt_evict_rate =
+        ov.getDouble("fault.mdt_evict", cfg.fault.mdt_evict_rate);
+    cfg.fault.fifo_payload_rate =
+        ov.getDouble("fault.fifo_payload", cfg.fault.fifo_payload_rate);
+    cfg.fault.seed = ov.getUInt("fault.seed", cfg.fault.seed);
 }
 
 } // namespace slf

@@ -9,11 +9,13 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "cpu/core_config.hh"
 #include "prog/program.hh"
 #include "sim/config.hh"
 #include "sim/types.hh"
+#include "verify/golden_checker.hh"
 
 namespace slf
 {
@@ -59,6 +61,21 @@ struct SimResult
     std::uint64_t mdt_accesses = 0;
     std::uint64_t sfc_accesses = 0;
 
+    /** Golden-model checker summary (zeros when validate=false). */
+    bool checker_enabled = false;
+    bool checker_clean = true;
+    std::uint64_t check_retirements = 0;
+    std::uint64_t check_failures = 0;
+    std::uint64_t check_store_commit_failures = 0;
+    /** Structured divergence reports (capped; counters are not). */
+    std::vector<CheckFailure> check_reports;
+
+    /** Fault-injection census (zeros when all rates are zero). */
+    std::uint64_t faults_sfc_mask = 0;
+    std::uint64_t faults_sfc_data = 0;
+    std::uint64_t faults_mdt_evict = 0;
+    std::uint64_t faults_fifo_payload = 0;
+
     std::uint64_t memOps() const { return loads_retired + stores_retired; }
 
     /** Violations per retired memory operation (paper Sec. 3.2 metric). */
@@ -97,7 +114,9 @@ SimResult runWorkload(const CoreConfig &cfg, const Program &prog);
  * mdt.sets, mdt.assoc, mdt.granularity, lsq.lq, lsq.sq,
  * memdep.mode (lsq|true|all|total), max_insts, seed, validate,
  * oracle_fix_prob, stall_bits, partial_match_merges, head_bypass,
- * output_dep_marks_corrupt, optimized_true_recovery.
+ * output_dep_marks_corrupt, optimized_true_recovery, check.abort,
+ * watchdog.retire_cycles, watchdog.max_cycles, fault.sfc_mask,
+ * fault.sfc_data, fault.mdt_evict, fault.fifo_payload, fault.seed.
  */
 void applyOverrides(CoreConfig &cfg, const Config &overrides);
 

@@ -1,5 +1,8 @@
 #include "main_memory.hh"
 
+#include <algorithm>
+#include <vector>
+
 #include "prog/program.hh"
 
 namespace slf
@@ -50,6 +53,32 @@ MainMemory::writeBytes(Addr addr, std::uint64_t value, unsigned size)
 {
     for (unsigned i = 0; i < size; ++i)
         write8(addr + i, static_cast<std::uint8_t>(value >> (8 * i)));
+}
+
+std::optional<Addr>
+MainMemory::firstDifference(const MainMemory &other) const
+{
+    std::vector<std::uint64_t> page_nums;
+    page_nums.reserve(pages_.size() + other.pages_.size());
+    for (const auto &[num, page] : pages_)
+        page_nums.push_back(num);
+    for (const auto &[num, page] : other.pages_)
+        if (!pages_.count(num))
+            page_nums.push_back(num);
+    std::sort(page_nums.begin(), page_nums.end());
+
+    static const Page kZeroPage{};
+    for (const std::uint64_t num : page_nums) {
+        auto mine = pages_.find(num);
+        auto theirs = other.pages_.find(num);
+        const Page &a = mine == pages_.end() ? kZeroPage : *mine->second;
+        const Page &b =
+            theirs == other.pages_.end() ? kZeroPage : *theirs->second;
+        for (std::size_t i = 0; i < kPageSize; ++i)
+            if (a[i] != b[i])
+                return (num << kPageBits) | i;
+    }
+    return std::nullopt;
 }
 
 void

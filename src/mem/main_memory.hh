@@ -13,6 +13,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 
 #include "sim/types.hh"
@@ -44,6 +45,12 @@ class MainMemory
 
     /** Load a program's initial data image. */
     void loadInitialImage(const Program &prog);
+
+    /**
+     * Lowest address whose byte differs between the two images
+     * (untouched pages compare as zeros), or nullopt if they match.
+     */
+    std::optional<Addr> firstDifference(const MainMemory &other) const;
 
     /** Number of pages currently allocated (for tests). */
     std::size_t allocatedPages() const { return pages_.size(); }

@@ -15,17 +15,18 @@ std::set<std::string> &
 flagSet()
 {
     static std::set<std::string> flags = [] {
-        std::set<std::string> initial;
-        if (const char *env = std::getenv("SLFWD_DEBUG")) {
-            std::stringstream ss(env);
-            std::string item;
-            while (std::getline(ss, item, ','))
-                if (!item.empty())
-                    initial.insert(item);
-        }
-        return initial;
+        const char *env = std::getenv("SLFWD_DEBUG");
+        return Debug::parseFlagList(env ? env : "");
     }();
     return flags;
+}
+
+/** Cycle counter of the active core (null when no core is running). */
+const std::uint64_t *&
+cycleSource()
+{
+    static const std::uint64_t *src = nullptr;
+    return src;
 }
 
 std::mutex &
@@ -83,7 +84,41 @@ Debug::setFlag(const std::string &flag, bool on)
 void
 Debug::trace(const std::string &flag, const std::string &msg)
 {
-    std::fprintf(stderr, "[%s] %s\n", flag.c_str(), msg.c_str());
+    std::lock_guard<std::mutex> lock(flagMutex());
+    if (const std::uint64_t *cycle = cycleSource()) {
+        std::fprintf(stderr, "%8llu: [%s] %s\n",
+                     static_cast<unsigned long long>(*cycle), flag.c_str(),
+                     msg.c_str());
+    } else {
+        std::fprintf(stderr, "[%s] %s\n", flag.c_str(), msg.c_str());
+    }
+}
+
+std::set<std::string>
+Debug::parseFlagList(const std::string &list)
+{
+    std::set<std::string> flags;
+    std::stringstream ss(list);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            flags.insert(item);
+    return flags;
+}
+
+void
+Debug::setCycleSource(const std::uint64_t *cycle)
+{
+    std::lock_guard<std::mutex> lock(flagMutex());
+    cycleSource() = cycle;
+}
+
+void
+Debug::clearCycleSource(const std::uint64_t *cycle)
+{
+    std::lock_guard<std::mutex> lock(flagMutex());
+    if (cycleSource() == cycle)
+        cycleSource() = nullptr;
 }
 
 std::uint64_t

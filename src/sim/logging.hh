@@ -8,8 +8,10 @@
 #ifndef SLFWD_SIM_LOGGING_HH_
 #define SLFWD_SIM_LOGGING_HH_
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <set>
 #include <stdexcept>
 #include <string>
 
@@ -58,6 +60,21 @@ class Debug
 
     /** Emit a trace line if the flag is enabled. */
     static void trace(const std::string &flag, const std::string &msg);
+
+    /**
+     * Parse a comma-separated flag list (the SLFWD_DEBUG format).
+     * Empty items and duplicates are dropped.
+     */
+    static std::set<std::string> parseFlagList(const std::string &list);
+
+    /**
+     * Register the active core's cycle counter so trace lines carry the
+     * current cycle. Pass the counter's address; clearCycleSource() is a
+     * no-op unless called with the same address (so a stale core cannot
+     * unregister its successor).
+     */
+    static void setCycleSource(const std::uint64_t *cycle);
+    static void clearCycleSource(const std::uint64_t *cycle);
 
     /**
      * Watched byte address for targeted memory-system tracing, from the

@@ -1,0 +1,57 @@
+#include "fault_inject.hh"
+
+#include "core/mdt.hh"
+#include "core/sfc.hh"
+
+namespace slf
+{
+
+FaultInjector::FaultInjector(const FaultInjectParams &params)
+    : params_(params),
+      rng_(params.seed),
+      stats_("fault_inject"),
+      sfc_mask_faults_(stats_.counter("sfc_mask_faults")),
+      sfc_data_faults_(stats_.counter("sfc_data_faults")),
+      mdt_evict_faults_(stats_.counter("mdt_evict_faults")),
+      fifo_payload_faults_(stats_.counter("fifo_payload_faults"))
+{}
+
+void
+FaultInjector::onSfcAccess(Sfc &sfc)
+{
+    if (params_.sfc_mask_rate > 0.0 && rng_.chance(params_.sfc_mask_rate) &&
+        sfc.injectCorruptMask(rng_)) {
+        ++sfc_mask_faults_;
+    }
+    if (params_.sfc_data_rate > 0.0 && rng_.chance(params_.sfc_data_rate) &&
+        sfc.injectDataClobber(rng_,
+                              static_cast<std::uint8_t>(rng_.next()))) {
+        ++sfc_data_faults_;
+    }
+}
+
+void
+FaultInjector::onMdtAccess(Mdt &mdt)
+{
+    if (params_.mdt_evict_rate > 0.0 &&
+        rng_.chance(params_.mdt_evict_rate) && mdt.injectEviction(rng_)) {
+        ++mdt_evict_faults_;
+    }
+}
+
+std::uint64_t
+FaultInjector::onStoreRetire(unsigned size)
+{
+    if (params_.fifo_payload_rate <= 0.0 ||
+        !rng_.chance(params_.fifo_payload_rate)) {
+        return 0;
+    }
+    const std::uint64_t byte_mask =
+        size >= 8 ? ~std::uint64_t{0}
+                  : ((std::uint64_t{1} << (8 * size)) - 1);
+    ++fifo_payload_faults_;
+    // Bit 0 is always flipped so the stored value provably changes.
+    return (rng_.next() & byte_mask) | 1;
+}
+
+} // namespace slf

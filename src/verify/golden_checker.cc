@@ -1,0 +1,196 @@
+#include "golden_checker.hh"
+
+#include <sstream>
+
+#include "isa/inst.hh"
+#include "sim/logging.hh"
+
+namespace slf
+{
+
+const char *
+checkFailureKindName(CheckFailure::Kind kind)
+{
+    switch (kind) {
+      case CheckFailure::Kind::Pc: return "pc";
+      case CheckFailure::Kind::Opcode: return "opcode";
+      case CheckFailure::Kind::Result: return "result";
+      case CheckFailure::Kind::Address: return "address";
+      case CheckFailure::Kind::StoreValue: return "store value";
+      case CheckFailure::Kind::Control: return "control flow";
+      case CheckFailure::Kind::StoreCommit: return "committed store data";
+      case CheckFailure::Kind::FinalMemory: return "final memory image";
+    }
+    return "?";
+}
+
+std::string
+CheckFailure::toString() const
+{
+    std::ostringstream oss;
+    oss << "golden-model divergence (" << checkFailureKindName(kind)
+        << "): seq " << seq << " pc 0x" << std::hex << pc << std::dec
+        << " cycle " << cycle;
+    if (!disasm.empty())
+        oss << " (" << disasm << ")";
+    oss << std::hex << " expected 0x" << expected << " actual 0x" << actual;
+    if (addr)
+        oss << " addr 0x" << addr;
+    oss << std::dec;
+    if (!golden_state.empty())
+        oss << "\n  golden: " << golden_state;
+    if (!squash_history.empty())
+        oss << "\n  recent squashes: " << squash_history;
+    return oss.str();
+}
+
+GoldenChecker::GoldenChecker(const Program &prog, bool abort_on_divergence)
+    : golden_(prog),
+      abort_on_divergence_(abort_on_divergence),
+      stats_("golden_checker"),
+      checked_(stats_.counter("retirements_checked")),
+      failures_(stats_.counter("failures")),
+      store_commit_failures_(stats_.counter("failures_store_commit")),
+      final_checks_(stats_.counter("final_memory_checks")),
+      squashes_seen_(stats_.counter("squashes_seen"))
+{}
+
+void
+GoldenChecker::noteSquash(Cycle cycle, SeqNum from, std::uint64_t count,
+                          const char *reason)
+{
+    ++squashes_seen_;
+    squashes_.push_back(SquashEvent{cycle, from, count, reason});
+    if (squashes_.size() > kSquashHistory)
+        squashes_.pop_front();
+}
+
+std::string
+GoldenChecker::squashHistoryString() const
+{
+    if (squashes_.empty())
+        return "(none)";
+    std::ostringstream oss;
+    bool first = true;
+    for (const SquashEvent &s : squashes_) {
+        if (!first)
+            oss << "; ";
+        first = false;
+        oss << "cycle " << s.cycle << " " << s.reason << " from seq "
+            << s.from << " (" << s.count << " insts)";
+    }
+    return oss.str();
+}
+
+void
+GoldenChecker::report(CheckFailure f)
+{
+    f.golden_state = golden_.stateString();
+    f.squash_history = squashHistoryString();
+    ++failures_;
+    if (f.kind == CheckFailure::Kind::StoreCommit)
+        ++store_commit_failures_;
+    if (abort_on_divergence_)
+        panic(f.toString());
+    if (reports_.size() < kMaxReports)
+        reports_.push_back(std::move(f));
+}
+
+void
+GoldenChecker::checkRetirement(const DynInst &inst, Cycle cycle)
+{
+    const RetireRecord g = golden_.step();
+    ++checked_;
+
+    CheckFailure f;
+    f.seq = inst.seq;
+    f.pc = inst.pc;
+    f.cycle = cycle;
+    f.disasm = disassemble(inst.si);
+
+    if (g.pc != inst.pc) {
+        f.kind = CheckFailure::Kind::Pc;
+        f.expected = g.pc;
+        f.actual = inst.pc;
+        report(std::move(f));
+        return;   // different instruction: nothing below is comparable
+    }
+    if (g.op != inst.si.op) {
+        f.kind = CheckFailure::Kind::Opcode;
+        f.expected = static_cast<std::uint64_t>(g.op);
+        f.actual = static_cast<std::uint64_t>(inst.si.op);
+        report(std::move(f));
+        return;
+    }
+    if (g.wrote_reg &&
+        (inst.dst_preg == kInvalidPhysReg || inst.result != g.result)) {
+        f.kind = CheckFailure::Kind::Result;
+        f.expected = g.result;
+        f.actual = inst.result;
+        f.addr = g.is_mem ? g.addr : 0;
+        report(std::move(f));
+        return;
+    }
+    if (g.is_mem && (inst.addr != g.addr || inst.size != g.size)) {
+        f.kind = CheckFailure::Kind::Address;
+        f.expected = g.addr;
+        f.actual = inst.addr;
+        f.addr = g.addr;
+        report(std::move(f));
+        return;
+    }
+    if (g.is_mem && isStore(g.op) && inst.store_value != g.store_value) {
+        f.kind = CheckFailure::Kind::StoreValue;
+        f.expected = g.store_value;
+        f.actual = inst.store_value;
+        f.addr = g.addr;
+        report(std::move(f));
+        return;
+    }
+    if (g.is_control &&
+        (inst.taken != g.taken || inst.actual_next_pc != g.next_pc)) {
+        f.kind = CheckFailure::Kind::Control;
+        f.expected = g.next_pc;
+        f.actual = inst.actual_next_pc;
+        report(std::move(f));
+    }
+}
+
+void
+GoldenChecker::checkCommittedStore(const DynInst &inst,
+                                   const MainMemory &mem, Cycle cycle)
+{
+    const std::uint64_t committed = mem.readBytes(inst.addr, inst.size);
+    const std::uint64_t expected =
+        golden_.memory().readBytes(inst.addr, inst.size);
+    if (committed == expected)
+        return;
+    CheckFailure f;
+    f.kind = CheckFailure::Kind::StoreCommit;
+    f.seq = inst.seq;
+    f.pc = inst.pc;
+    f.cycle = cycle;
+    f.disasm = disassemble(inst.si);
+    f.expected = expected;
+    f.actual = committed;
+    f.addr = inst.addr;
+    report(std::move(f));
+}
+
+void
+GoldenChecker::checkFinalMemory(const MainMemory &mem, Cycle cycle)
+{
+    ++final_checks_;
+    const auto diff = golden_.memory().firstDifference(mem);
+    if (!diff)
+        return;
+    CheckFailure f;
+    f.kind = CheckFailure::Kind::FinalMemory;
+    f.cycle = cycle;
+    f.addr = *diff;
+    f.expected = golden_.memory().read8(*diff);
+    f.actual = mem.read8(*diff);
+    report(std::move(f));
+}
+
+} // namespace slf

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Logging tests: SLFWD_DEBUG comma-list parsing and the cycle-tagged
+ * trace lines fed by the active core's cycle counter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "sim/logging.hh"
+
+using namespace slf;
+
+TEST(ParseFlagList, EmptyStringYieldsNoFlags)
+{
+    EXPECT_TRUE(Debug::parseFlagList("").empty());
+}
+
+TEST(ParseFlagList, OnlyCommasYieldsNoFlags)
+{
+    EXPECT_TRUE(Debug::parseFlagList(",,,").empty());
+}
+
+TEST(ParseFlagList, SkipsEmptyItemsAndDeduplicates)
+{
+    const std::set<std::string> flags =
+        Debug::parseFlagList(",,Fetch,,MDTViol,Fetch,");
+    EXPECT_EQ(flags, (std::set<std::string>{"Fetch", "MDTViol"}));
+}
+
+TEST(ParseFlagList, SingleFlag)
+{
+    EXPECT_EQ(Debug::parseFlagList("SFC"),
+              (std::set<std::string>{"SFC"}));
+}
+
+TEST(ParseFlagList, PreservesInnerWhitespace)
+{
+    // Items are not trimmed: " A" and "A" are distinct flags, matching
+    // the long-standing environment-variable behaviour.
+    const std::set<std::string> flags = Debug::parseFlagList("A, B");
+    EXPECT_EQ(flags, (std::set<std::string>{"A", " B"}));
+}
+
+TEST(CycleTaggedTrace, TraceCarriesCycleWhenSourceRegistered)
+{
+    std::uint64_t cycle = 1234;
+    Debug::setCycleSource(&cycle);
+    testing::internal::CaptureStderr();
+    Debug::trace("TestFlag", "hello");
+    const std::string out = testing::internal::GetCapturedStderr();
+    Debug::clearCycleSource(&cycle);
+    EXPECT_NE(out.find("1234"), std::string::npos) << out;
+    EXPECT_NE(out.find("[TestFlag] hello"), std::string::npos) << out;
+}
+
+TEST(CycleTaggedTrace, TraceIsUntaggedWithoutSource)
+{
+    testing::internal::CaptureStderr();
+    Debug::trace("TestFlag", "plain");
+    const std::string out = testing::internal::GetCapturedStderr();
+    EXPECT_EQ(out, "[TestFlag] plain\n");
+}
+
+TEST(CycleTaggedTrace, ClearOnlyUnregistersTheMatchingSource)
+{
+    std::uint64_t first = 7, second = 99;
+    Debug::setCycleSource(&first);
+    Debug::setCycleSource(&second);
+    // A stale owner's clear must not unhook the current source.
+    Debug::clearCycleSource(&first);
+
+    testing::internal::CaptureStderr();
+    Debug::trace("TestFlag", "x");
+    const std::string out = testing::internal::GetCapturedStderr();
+    EXPECT_NE(out.find("99"), std::string::npos) << out;
+
+    Debug::clearCycleSource(&second);
+    testing::internal::CaptureStderr();
+    Debug::trace("TestFlag", "y");
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "[TestFlag] y\n");
+}
+
+TEST(DebugFlags, SetFlagTogglesEnabled)
+{
+    EXPECT_FALSE(Debug::enabled("UnitTestOnlyFlag"));
+    Debug::setFlag("UnitTestOnlyFlag", true);
+    EXPECT_TRUE(Debug::enabled("UnitTestOnlyFlag"));
+    Debug::setFlag("UnitTestOnlyFlag", false);
+    EXPECT_FALSE(Debug::enabled("UnitTestOnlyFlag"));
+}
