@@ -4,11 +4,14 @@
  * set conflicts and mcf's MDT set conflicts on the aggressive core all
  * but vanish when the associativity is raised from 2 to 16 at the same
  * set count, recovering their lost IPC (paper: +9.0% and +6.5%).
+ *
+ * Runs on the parallel campaign runner (jobs=N selects the workers).
  */
 
 #include <cstdio>
 
 #include "bench_util.hh"
+#include "campaign/sweeps.hh"
 
 using namespace slf;
 using namespace slf::bench;
@@ -17,7 +20,10 @@ int
 main(int argc, char **argv)
 {
     const Config opts = parseArgs(argc, argv);
-    const WorkloadParams wp = workloadParams(opts);
+
+    const campaign::Campaign c =
+        campaign::makeAssocCampaign(sweepOptions(opts));
+    const auto results = c.run(campaignOptions(opts));
 
     printHeader("Section 3.2: SFC/MDT associativity (aggressive core)",
                 {"ipc2way", "ipc16way", "speedup", "stRepl2%",
@@ -29,15 +35,10 @@ main(int argc, char **argv)
             std::string(info.name) != "mcf") {
             continue;   // the paper studies the two outliers
         }
-        const Program prog = info.make(wp);
-
-        CoreConfig two = aggressiveMdtSfc(MemDepMode::EnforceAllTotalOrder);
-        CoreConfig sixteen = two;
-        sixteen.sfc.assoc = 16;
-        sixteen.mdt.assoc = 16;
-
-        const SimResult r2 = runWorkload(two, prog);
-        const SimResult r16 = runWorkload(sixteen, prog);
+        const SimResult &r2 =
+            findResult(results, "assoc2", info.name).result;
+        const SimResult &r16 =
+            findResult(results, "assoc16", info.name).result;
 
         printRow(info.name,
                  {r2.ipc, r16.ipc, r2.ipc > 0 ? r16.ipc / r2.ipc : 0,

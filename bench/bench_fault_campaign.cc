@@ -16,6 +16,11 @@
  *                   are reported (informational — they demonstrate what
  *                   the checker buys when the enforcement layer fails).
  *
+ * The phase x workload cross-product is expanded by the campaign sweep
+ * library and executed on the parallel runner: every job draws an
+ * independent fault stream derived from the root seed and its job
+ * index, so the injection census is identical for any jobs=N.
+ *
  * Usage:
  *   bench_fault_campaign [--check-golden] [--fault-rate=R] [key=value...]
  *
@@ -24,6 +29,7 @@
  * --fault-rate=R   per-access/per-retirement injection rate for phases
  *                  2-4 (default 1e-3).
  * iters=N          micro-workload iteration count (default 4000).
+ * jobs=N           campaign worker threads (default 1).
  * Watchdogged or wedged runs are caught (fatal()) and counted, never
  * aborting the campaign. Exit status 1 if any hard criterion fails.
  */
@@ -35,6 +41,7 @@
 #include <vector>
 
 #include "bench_util.hh"
+#include "campaign/sweeps.hh"
 #include "sim/logging.hh"
 
 using namespace slf;
@@ -53,48 +60,38 @@ struct PhaseTotals
     std::uint64_t absorbed_replays = 0;
 };
 
-std::vector<std::pair<std::string, Program>>
-campaignWorkloads(std::uint64_t iters)
-{
-    return {
-        {"forward_chain", workloads::microForwardChain(iters)},
-        {"streaming", workloads::microStreaming(iters)},
-        {"corruption_example", workloads::microCorruptionExample(iters)},
-        {"output_violations", workloads::microOutputViolations(iters)},
-        {"true_violations", workloads::microTrueViolations(iters)},
-    };
-}
-
 PhaseTotals
-runPhase(const std::string &phase, const CoreConfig &cfg,
-         const std::vector<std::pair<std::string, Program>> &progs)
+phaseTotals(const std::string &phase,
+            const std::vector<campaign::JobResult> &results)
 {
     PhaseTotals t;
-    for (const auto &[name, prog] : progs) {
+    for (const auto &jr : results) {
+        if (jr.config_name != phase)
+            continue;
         ++t.runs;
-        try {
-            const SimResult r = runWorkload(cfg, prog);
-            t.faults += r.faults_sfc_mask + r.faults_sfc_data +
-                        r.faults_mdt_evict + r.faults_fifo_payload;
-            t.detections += r.check_failures;
-            t.store_commit_detections += r.check_store_commit_failures;
-            t.absorbed_replays += r.load_replays_sfc_corrupt;
-            const std::size_t shown =
-                std::min<std::size_t>(r.check_reports.size(), 2);
-            for (std::size_t i = 0; i < shown; ++i) {
-                std::cout << "  [" << phase << "/" << name << "] "
-                          << r.check_reports[i].toString() << "\n";
-            }
-            if (r.check_failures > shown) {
-                std::cout << "  [" << phase << "/" << name << "] ... "
-                          << (r.check_failures - shown)
-                          << " further divergences (cascades of the "
-                             "corrupted bytes)\n";
-            }
-        } catch (const FatalError &e) {
+        if (!jr.ok()) {
             ++t.wedged;
-            std::cout << "  [" << phase << "/" << name
-                      << "] watchdog: " << e.what() << "\n";
+            std::cout << "  [" << phase << "/" << jr.workload
+                      << "] watchdog: " << jr.error << "\n";
+            continue;
+        }
+        const SimResult &r = jr.result;
+        t.faults += r.faults_sfc_mask + r.faults_sfc_data +
+                    r.faults_mdt_evict + r.faults_fifo_payload;
+        t.detections += r.check_failures;
+        t.store_commit_detections += r.check_store_commit_failures;
+        t.absorbed_replays += r.load_replays_sfc_corrupt;
+        const std::size_t shown =
+            std::min<std::size_t>(r.check_reports.size(), 2);
+        for (std::size_t i = 0; i < shown; ++i) {
+            std::cout << "  [" << phase << "/" << jr.workload << "] "
+                      << r.check_reports[i].toString() << "\n";
+        }
+        if (r.check_failures > shown) {
+            std::cout << "  [" << phase << "/" << jr.workload << "] ... "
+                      << (r.check_failures - shown)
+                      << " further divergences (cascades of the "
+                         "corrupted bytes)\n";
         }
     }
     return t;
@@ -123,13 +120,15 @@ main(int argc, char **argv)
         parseArgs(static_cast<int>(passthrough.size()), passthrough.data());
     (void)check_golden;   // checker-on/record mode is the campaign default
 
-    const std::uint64_t iters = opts.getUInt("iters", 4000);
-    const auto progs = campaignWorkloads(iters);
+    campaign::SweepOptions so = sweepOptions(opts);
+    so.fault_rate = fault_rate;
+    const campaign::Campaign c = campaign::makeFaultCampaign(so);
 
-    CoreConfig base = baselineMdtSfc(MemDepMode::EnforceAll);
-    base.validate = true;
-    base.check_abort = false;   // record divergences, count them
-    applyOverrides(base, opts);
+    campaign::CampaignOptions co = campaignOptions(opts);
+    // A wedge IS the observation here: count it, don't retry it away.
+    co.max_retries =
+        static_cast<unsigned>(opts.getUInt("retries", 0));
+    const auto results = c.run(co);
 
     printHeader("Fault-injection campaign vs golden-model checker "
                 "(rate " + std::to_string(fault_rate) + ")",
@@ -144,7 +143,7 @@ main(int argc, char **argv)
 
     // Phase 1: no faults — the checker itself must be clean everywhere.
     {
-        const PhaseTotals t = runPhase("baseline", base, progs);
+        const PhaseTotals t = phaseTotals("baseline", results);
         report("baseline", t);
         if (t.faults || t.detections || t.wedged) {
             std::cout << "FAIL: baseline phase must be fault-free and "
@@ -155,10 +154,7 @@ main(int argc, char **argv)
 
     // Phase 2: SFC faults only — injected, exercised, fully absorbed.
     {
-        CoreConfig cfg = base;
-        cfg.fault.sfc_mask_rate = fault_rate;
-        cfg.fault.sfc_data_rate = fault_rate;
-        const PhaseTotals t = runPhase("sfc", cfg, progs);
+        const PhaseTotals t = phaseTotals("sfc", results);
         report("sfc", t);
         if (t.faults == 0) {
             std::cout << "FAIL: sfc phase injected nothing\n";
@@ -175,9 +171,7 @@ main(int argc, char **argv)
     // Phase 3: store-FIFO payload faults — every one architecturally
     // consumed, >= 99% must be caught as StoreCommit divergences.
     {
-        CoreConfig cfg = base;
-        cfg.fault.fifo_payload_rate = fault_rate;
-        const PhaseTotals t = runPhase("fifo", cfg, progs);
+        const PhaseTotals t = phaseTotals("fifo", results);
         report("fifo", t);
         if (t.faults == 0) {
             std::cout << "FAIL: fifo phase injected nothing\n";
@@ -193,9 +187,7 @@ main(int argc, char **argv)
 
     // Phase 4: early MDT evictions — informational escape census.
     {
-        CoreConfig cfg = base;
-        cfg.fault.mdt_evict_rate = fault_rate;
-        const PhaseTotals t = runPhase("mdt", cfg, progs);
+        const PhaseTotals t = phaseTotals("mdt", results);
         report("mdt", t);
         std::cout << "  (mdt evictions erase ordering records; "
                   << t.detections

@@ -6,6 +6,10 @@
  * the producer-set predictor either enforcing predicted true, anti and
  * output dependences (ENF) or only true dependences (NOT-ENF).
  *
+ * The config x workload cross-product runs on the parallel campaign
+ * runner (jobs=N selects the worker count; the table is identical for
+ * any N). Pass out=FILE to also dump the campaign JSON.
+ *
  * Paper shapes to check: ENF within ~1% of the LSQ on average, NOT-ENF
  * within ~3%; the int and fp averages are printed last.
  */
@@ -13,6 +17,8 @@
 #include <cstdio>
 
 #include "bench_util.hh"
+#include "campaign/result_sink.hh"
+#include "campaign/sweeps.hh"
 
 using namespace slf;
 using namespace slf::bench;
@@ -21,7 +27,15 @@ int
 main(int argc, char **argv)
 {
     const Config opts = parseArgs(argc, argv);
-    const WorkloadParams wp = workloadParams(opts);
+
+    const campaign::Campaign c =
+        campaign::makeFig5Campaign(sweepOptions(opts));
+    const auto results = c.run(campaignOptions(opts));
+
+    const std::string out = opts.getString("out");
+    if (!out.empty())
+        campaign::ResultSink::writeFileAtomic(
+            out, campaign::ResultSink::toJson(c.name(), 1, results));
 
     printHeader("Figure 5: baseline 4-wide core (normalized to 48x32 LSQ)",
                 {"lsq48x32", "ENF", "NOT-ENF"});
@@ -29,14 +43,11 @@ main(int argc, char **argv)
     std::vector<double> enf_int, enf_fp, notenf_int, notenf_fp;
 
     for (const auto &info : selectedWorkloads(opts)) {
-        const Program prog = info.make(wp);
-
-        const SimResult lsq =
-            runWorkload(baselineLsq(48, 32), prog);
-        const SimResult enf =
-            runWorkload(baselineMdtSfc(MemDepMode::EnforceAll), prog);
-        const SimResult notenf =
-            runWorkload(baselineMdtSfc(MemDepMode::EnforceTrueOnly), prog);
+        const SimResult &lsq =
+            findResult(results, "lsq48x32", info.name).result;
+        const SimResult &enf = findResult(results, "enf", info.name).result;
+        const SimResult &notenf =
+            findResult(results, "notenf", info.name).result;
 
         const double enf_rel = lsq.ipc > 0 ? enf.ipc / lsq.ipc : 0;
         const double notenf_rel = lsq.ipc > 0 ? notenf.ipc / lsq.ipc : 0;

@@ -4,11 +4,15 @@
  * the LSQ does not increase the performance of any of the simulated
  * benchmarks" on the baseline core: sweep the idealized LSQ size and
  * report per-class average IPC.
+ *
+ * The size x workload cross-product runs on the parallel campaign
+ * runner (jobs=N selects the worker count).
  */
 
 #include <cstdio>
 
 #include "bench_util.hh"
+#include "campaign/sweeps.hh"
 
 using namespace slf;
 using namespace slf::bench;
@@ -17,7 +21,10 @@ int
 main(int argc, char **argv)
 {
     const Config opts = parseArgs(argc, argv);
-    const WorkloadParams wp = workloadParams(opts);
+
+    const campaign::Campaign c =
+        campaign::makeLsqSizeCampaign(sweepOptions(opts));
+    const auto results = c.run(campaignOptions(opts));
 
     struct Size
     {
@@ -30,17 +37,17 @@ main(int argc, char **argv)
                 {"lq", "sq", "intAvgIPC", "fpAvgIPC"});
 
     for (const Size &s : sizes) {
+        const std::string cfg_name =
+            "lsq" + std::to_string(s.lq) + "x" + std::to_string(s.sq);
         std::vector<double> int_ipc, fp_ipc;
         for (const auto &info : selectedWorkloads(opts)) {
-            const Program prog = info.make(wp);
-            const SimResult r =
-                runWorkload(baselineLsq(s.lq, s.sq), prog);
+            const SimResult &r =
+                findResult(results, cfg_name, info.name).result;
             (info.cls == WorkloadClass::Int ? int_ipc : fp_ipc)
                 .push_back(r.ipc);
         }
-        printRow("lsq" + std::to_string(s.lq) + "x" + std::to_string(s.sq),
-                 {double(s.lq), double(s.sq), mean(int_ipc),
-                  mean(fp_ipc)});
+        printRow(cfg_name, {double(s.lq), double(s.sq), mean(int_ipc),
+                            mean(fp_ipc)});
     }
     std::printf("\npaper: no benchmark gains beyond the 48x32 LSQ at the "
                 "128-entry window\n");

@@ -3,6 +3,9 @@
 #include <cmath>
 #include <cstdio>
 
+#include "campaign/sweeps.hh"
+#include "sim/logging.hh"
+
 namespace slf::bench
 {
 
@@ -23,6 +26,50 @@ workloadParams(const Config &opts)
     return wp;
 }
 
+campaign::SweepOptions
+sweepOptions(const Config &opts)
+{
+    campaign::SweepOptions so;
+    so.scale = opts.getUInt("scale", so.scale);
+    so.wseed = opts.getUInt("wseed", so.wseed);
+    so.bench_filter = opts.getString("bench");
+    so.fault_iters = opts.getUInt("iters", so.fault_iters);
+    so.fault_rate = opts.getDouble("fault_rate", so.fault_rate);
+    for (const std::string &key : opts.keys()) {
+        if (key == "scale" || key == "wseed" || key == "bench" ||
+            key == "iters" || key == "fault_rate" || key == "jobs" ||
+            key == "retries")
+            continue;
+        so.overrides.set(key, opts.getString(key));
+    }
+    return so;
+}
+
+campaign::CampaignOptions
+campaignOptions(const Config &opts)
+{
+    campaign::CampaignOptions co;
+    co.jobs = static_cast<unsigned>(opts.getUInt("jobs", 1));
+    co.max_retries =
+        static_cast<unsigned>(opts.getUInt("retries", co.max_retries));
+    return co;
+}
+
+const campaign::JobResult &
+findResult(const std::vector<campaign::JobResult> &results,
+           const std::string &config_name, const std::string &workload)
+{
+    for (const auto &jr : results)
+        if (jr.config_name == config_name && jr.workload == workload) {
+            if (!jr.ok())
+                fatal("campaign job " + config_name + "/" + workload +
+                      " failed: " + jr.error);
+            return jr;
+        }
+    fatal("campaign job " + config_name + "/" + workload +
+          " missing from results");
+}
+
 std::vector<WorkloadInfo>
 selectedWorkloads(const Config &opts)
 {
@@ -34,44 +81,32 @@ selectedWorkloads(const Config &opts)
     return out;
 }
 
+// The core-config factories moved to the campaign sweep library so the
+// benches, the slf_campaign CLI and the tests share one definition;
+// these wrappers keep the historical bench-local names working.
+
 CoreConfig
 baselineLsq(std::size_t lq, std::size_t sq)
 {
-    CoreConfig cfg = CoreConfig::baseline();
-    cfg.subsys = MemSubsystem::LsqBaseline;
-    cfg.memdep.mode = MemDepMode::LsqStoreSet;
-    cfg.lsq.lq_entries = lq;
-    cfg.lsq.sq_entries = sq;
-    return cfg;
+    return campaign::baselineLsq(lq, sq);
 }
 
 CoreConfig
 baselineMdtSfc(MemDepMode mode)
 {
-    CoreConfig cfg = CoreConfig::baseline();
-    cfg.subsys = MemSubsystem::MdtSfc;
-    cfg.memdep.mode = mode;
-    return cfg;
+    return campaign::baselineMdtSfc(mode);
 }
 
 CoreConfig
 aggressiveLsq(std::size_t lq, std::size_t sq)
 {
-    CoreConfig cfg = CoreConfig::aggressive();
-    cfg.subsys = MemSubsystem::LsqBaseline;
-    cfg.memdep.mode = MemDepMode::LsqStoreSet;
-    cfg.lsq.lq_entries = lq;
-    cfg.lsq.sq_entries = sq;
-    return cfg;
+    return campaign::aggressiveLsq(lq, sq);
 }
 
 CoreConfig
 aggressiveMdtSfc(MemDepMode mode)
 {
-    CoreConfig cfg = CoreConfig::aggressive();
-    cfg.subsys = MemSubsystem::MdtSfc;
-    cfg.memdep.mode = mode;
-    return cfg;
+    return campaign::aggressiveMdtSfc(mode);
 }
 
 double

@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "campaign/campaign.hh"
+#include "campaign/sweeps.hh"
 #include "cpu/core_config.hh"
 #include "driver/runner.hh"
 #include "sim/config.hh"
@@ -27,6 +29,24 @@ Config parseArgs(int argc, char **argv);
 
 /** Workload parameters from the parsed options. */
 WorkloadParams workloadParams(const Config &opts);
+
+/**
+ * Sweep shape (scale/wseed/bench/iters/fault_rate) from bench args;
+ * every remaining key becomes a per-job core-config override.
+ */
+campaign::SweepOptions sweepOptions(const Config &opts);
+
+/** Campaign execution knobs from bench args (jobs=N, retries=N). */
+campaign::CampaignOptions campaignOptions(const Config &opts);
+
+/**
+ * Look up the result of (config, workload) in a campaign's output.
+ * fatal() if the job is missing or died on every attempt — a bench
+ * table cell must never silently read a default-constructed result.
+ */
+const campaign::JobResult &
+findResult(const std::vector<campaign::JobResult> &results,
+           const std::string &config_name, const std::string &workload);
 
 /** The benchmark list, honouring an optional bench=<name> filter. */
 std::vector<WorkloadInfo> selectedWorkloads(const Config &opts);

@@ -329,6 +329,37 @@ MdtSfcUnit::occupancyDump() const
     return os.str();
 }
 
+void
+MemUnit::exportStats(SimResult &r) const
+{
+    const StatGroup &us = unitStats();
+    r.load_replays_sfc_corrupt = us.counterValue("load_replays_sfc_corrupt");
+    r.load_replays_sfc_partial = us.counterValue("load_replays_sfc_partial");
+    r.load_replays_mdt_conflict =
+        us.counterValue("load_replays_mdt_conflict");
+    r.store_replays_sfc_conflict =
+        us.counterValue("store_replays_sfc_conflict");
+    r.store_replays_mdt_conflict =
+        us.counterValue("store_replays_mdt_conflict");
+    r.sfc_forwards = us.counterValue("sfc_forwards");
+    r.lsq_forwards = us.counterValue("full_forwards");
+    r.head_bypasses = us.counterValue("head_bypasses");
+}
+
+void
+MdtSfcUnit::exportStats(SimResult &r) const
+{
+    MemUnit::exportStats(r);
+    const StatGroup &ms = mdt_.stats();
+    r.viol_true = ms.counterValue("violations_true");
+    r.viol_anti = ms.counterValue("violations_anti");
+    r.viol_output = ms.counterValue("violations_output");
+    r.mdt_accesses = ms.counterValue("accesses");
+    const StatGroup &ss = sfc_.stats();
+    r.sfc_accesses =
+        ss.counterValue("load_reads") + ss.counterValue("store_writes");
+}
+
 // ---------------------------------------------------------------------
 // LsqUnit
 // ---------------------------------------------------------------------
@@ -436,6 +467,17 @@ LsqUnit::occupancyDump() const
     os << "lq=" << lsq_.loadQueueSize() << "/" << lsq_.params().lq_entries
        << " sq=" << lsq_.storeQueueSize() << "/" << lsq_.params().sq_entries;
     return os.str();
+}
+
+void
+LsqUnit::exportStats(SimResult &r) const
+{
+    MemUnit::exportStats(r);
+    const StatGroup &ls = lsq_.stats();
+    r.viol_true = ls.counterValue("violations_true");
+    r.cam_entries_examined = ls.counterValue("cam_entries_examined");
+    r.lsq_searches =
+        ls.counterValue("lq_searches") + ls.counterValue("sq_searches");
 }
 
 std::unique_ptr<MemUnit>

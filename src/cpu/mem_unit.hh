@@ -28,6 +28,7 @@
 #include "mem/main_memory.hh"
 #include "pred/memdep.hh"
 #include "sim/stats.hh"
+#include "verify/sim_result.hh"
 
 namespace slf
 {
@@ -126,6 +127,16 @@ class MemUnit
 
     /** Per-unit statistics group. */
     virtual StatGroup &unitStats() = 0;
+    virtual const StatGroup &unitStats() const = 0;
+
+    /**
+     * Export this unit's counters into a flat SimResult. The base
+     * implementation harvests the counter names shared by every unit
+     * (replay breakdowns, forwards, head bypasses); overrides add the
+     * structure-specific counters (MDT/SFC accesses, LSQ CAM activity)
+     * that used to require a dynamic_cast chain in the driver.
+     */
+    virtual void exportStats(SimResult &r) const;
 
     /** Attach a fault injector (units without fault sites ignore it). */
     virtual void setFaultInjector(FaultInjector *) {}
@@ -165,11 +176,15 @@ class MdtSfcUnit : public MemUnit
     void setOldestInflight(SeqNum seq) override;
     std::uint64_t evictionCount() const override;
     StatGroup &unitStats() override { return stats_; }
+    const StatGroup &unitStats() const override { return stats_; }
+    void exportStats(SimResult &r) const override;
     void setFaultInjector(FaultInjector *fi) override { injector_ = fi; }
     std::string occupancyDump() const override;
 
     Mdt &mdt() { return mdt_; }
+    const Mdt &mdt() const { return mdt_; }
     Sfc &sfc() { return sfc_; }
+    const Sfc &sfc() const { return sfc_; }
     StoreFifo &storeFifo() { return fifo_; }
 
   private:
@@ -215,9 +230,12 @@ class LsqUnit : public MemUnit
     void setOldestInflight(SeqNum) override {}
     std::uint64_t evictionCount() const override { return 0; }
     StatGroup &unitStats() override { return stats_; }
+    const StatGroup &unitStats() const override { return stats_; }
+    void exportStats(SimResult &r) const override;
     std::string occupancyDump() const override;
 
     Lsq &lsq() { return lsq_; }
+    const Lsq &lsq() const { return lsq_; }
 
   private:
     MemDepPredictor &memdep_;

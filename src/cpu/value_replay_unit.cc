@@ -185,4 +185,14 @@ ValueReplayUnit::squashFrom(SeqNum seq)
         lq_.pop_back();
 }
 
+void
+ValueReplayUnit::exportStats(SimResult &r) const
+{
+    MemUnit::exportStats(r);
+    const StatGroup &us = unitStats();
+    r.viol_true = us.counterValue("retire_violations");
+    r.cam_entries_examined = us.counterValue("cam_entries_examined");
+    r.lsq_searches = us.counterValue("sq_searches");
+}
+
 } // namespace slf

@@ -58,6 +58,8 @@ class ValueReplayUnit : public MemUnit
         return store_exec_count_;
     }
     StatGroup &unitStats() override { return stats_; }
+    const StatGroup &unitStats() const override { return stats_; }
+    void exportStats(SimResult &r) const override;
 
   private:
     struct StoreEntry

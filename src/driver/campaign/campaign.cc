@@ -1,0 +1,127 @@
+#include "campaign.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <unistd.h>
+
+#include "campaign/thread_pool.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace slf::campaign
+{
+
+std::uint64_t
+jobSeed(std::uint64_t root_seed, std::size_t job_index, SeedStream stream,
+        unsigned attempt)
+{
+    // Two nested derivations: (root, job x stream) picks the job's
+    // stream, (stream_seed, attempt) salts retries.
+    const std::uint64_t stream_seed = deriveSeed(
+        root_seed,
+        job_index * 2 + static_cast<std::uint64_t>(stream));
+    return attempt == 0 ? stream_seed : deriveSeed(stream_seed, attempt);
+}
+
+std::size_t
+Campaign::addJob(JobSpec spec)
+{
+    jobs_.push_back(std::move(spec));
+    return jobs_.size() - 1;
+}
+
+namespace
+{
+
+SimResult
+defaultRunner(const JobSpec &spec, const CoreConfig &cfg, unsigned)
+{
+    if (!spec.make_prog)
+        fatal("campaign job '" + spec.config_name + "/" + spec.workload +
+              "' has no program factory");
+    const Program prog = spec.make_prog();
+    return runWorkload(cfg, prog);
+}
+
+/** Run one job to completion, retrying fatal() deaths with backoff. */
+JobResult
+runJob(const JobSpec &spec, std::size_t index, const CampaignOptions &opts)
+{
+    JobResult jr;
+    jr.index = index;
+    jr.config_name = spec.config_name;
+    jr.workload = spec.workload;
+
+    for (unsigned attempt = 0;; ++attempt) {
+        jr.attempts = attempt + 1;
+
+        CoreConfig cfg = spec.cfg;
+        if (spec.derive_seeds || attempt > 0) {
+            cfg.rng_seed =
+                jobSeed(opts.root_seed, index, SeedStream::Core, attempt);
+            cfg.fault.seed =
+                jobSeed(opts.root_seed, index, SeedStream::Fault, attempt);
+        }
+
+        try {
+            jr.result = spec.runner ? spec.runner(spec, cfg, attempt)
+                                    : defaultRunner(spec, cfg, attempt);
+            jr.status = JobStatus::Ok;
+            return jr;
+        } catch (const FatalError &e) {
+            jr.error = e.what();
+            if (attempt >= opts.max_retries) {
+                jr.status = JobStatus::Fatal;
+                return jr;
+            }
+            const auto backoff = std::chrono::milliseconds(
+                std::uint64_t(opts.retry_backoff_ms) << attempt);
+            std::this_thread::sleep_for(backoff);
+        }
+    }
+}
+
+} // namespace
+
+std::vector<JobResult>
+Campaign::run(const CampaignOptions &opts) const
+{
+    std::vector<JobResult> results(jobs_.size());
+    if (jobs_.empty())
+        return results;
+
+    const bool live_progress =
+        opts.progress && isatty(fileno(stderr)) != 0;
+    std::atomic<std::size_t> done{0};
+    std::atomic<std::size_t> failed{0};
+
+    ThreadPool pool(opts.jobs);
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+        pool.submit([this, i, &opts, &results, &done, &failed,
+                     live_progress] {
+            // Slot i is exclusively ours: no synchronization needed
+            // beyond the pool's completion barrier.
+            results[i] = runJob(jobs_[i], i, opts);
+            if (!results[i].ok())
+                failed.fetch_add(1, std::memory_order_relaxed);
+            const std::size_t n =
+                done.fetch_add(1, std::memory_order_relaxed) + 1;
+            if (live_progress) {
+                std::fprintf(stderr,
+                             "\r[%zu/%zu] %s  ok=%zu fail=%zu   ",
+                             n, jobs_.size(), name_.c_str(),
+                             n - failed.load(std::memory_order_relaxed),
+                             failed.load(std::memory_order_relaxed));
+                if (n == jobs_.size())
+                    std::fprintf(stderr, "\n");
+                std::fflush(stderr);
+            }
+        });
+    }
+    pool.wait();
+    return results;
+}
+
+} // namespace slf::campaign

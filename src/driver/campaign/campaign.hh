@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Campaign: a config x workload x seed cross-product expanded into
+ * independent jobs, executed on a work-stealing thread pool.
+ *
+ * Determinism contract: a job's outcome is a pure function of its
+ * JobSpec and its position in the job list. Per-job randomness (core
+ * RNG, fault-injection stream) is derived from the campaign root seed
+ * and the job index with deriveSeed(), never from a shared generator,
+ * so running with --jobs 1 and --jobs 8 produces byte-identical
+ * results — the thread count only changes wall-clock time.
+ *
+ * A job that dies on the PR-1 watchdog fatal() is retried with
+ * backoff; each retry re-derives the core seed with the attempt number
+ * as salt (retrying a deterministic simulator with identical inputs
+ * would wedge identically). A job that exhausts its retries is
+ * recorded as JobStatus::Fatal with the watchdog message — it never
+ * aborts the campaign.
+ */
+
+#ifndef SLFWD_DRIVER_CAMPAIGN_CAMPAIGN_HH_
+#define SLFWD_DRIVER_CAMPAIGN_CAMPAIGN_HH_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cpu/core_config.hh"
+#include "driver/runner.hh"
+#include "prog/program.hh"
+
+namespace slf::campaign
+{
+
+/** One independent unit of work: a config applied to a workload. */
+struct JobSpec
+{
+    /** Configuration label ("lsq48x32", "enf", phase name, ...). */
+    std::string config_name;
+    /** Workload label (analog or micro-workload name). */
+    std::string workload;
+
+    CoreConfig cfg;
+    /** Builds the Program inside the worker (deterministic). */
+    std::function<Program()> make_prog;
+
+    /**
+     * Derive cfg.rng_seed / cfg.fault.seed from root seed + job index.
+     * Figure sweeps leave this off so every config sees the same core
+     * randomness on a given workload (controlled comparison, matching
+     * the serial benches); randomized campaigns (fault injection) turn
+     * it on so each job draws an independent stream.
+     */
+    bool derive_seeds = false;
+
+    /**
+     * Test seam: replaces the default runner (build program, run
+     * core, harvest SimResult). Receives the fully seeded config and
+     * the 0-based attempt number.
+     */
+    std::function<SimResult(const JobSpec &, const CoreConfig &,
+                            unsigned attempt)>
+        runner;
+};
+
+enum class JobStatus : std::uint8_t
+{
+    Ok,     ///< produced a SimResult (possibly after retries)
+    Fatal,  ///< every attempt died on fatal(); result is empty
+};
+
+struct JobResult
+{
+    std::size_t index = 0;
+    std::string config_name;
+    std::string workload;
+
+    JobStatus status = JobStatus::Ok;
+    unsigned attempts = 0;      ///< total attempts made (>= 1)
+    std::string error;          ///< last fatal() message, if any
+
+    SimResult result;
+
+    bool ok() const { return status == JobStatus::Ok; }
+};
+
+struct CampaignOptions
+{
+    unsigned jobs = 1;              ///< worker threads
+    unsigned max_retries = 2;       ///< extra attempts after the first
+    unsigned retry_backoff_ms = 10; ///< doubles per retry
+    std::uint64_t root_seed = 1;
+    bool progress = true;           ///< live stderr line (tty only)
+};
+
+class Campaign
+{
+  public:
+    explicit Campaign(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+
+    /** Append a job. @return its index (stable result ordering key). */
+    std::size_t addJob(JobSpec spec);
+
+    std::size_t jobCount() const { return jobs_.size(); }
+    const std::vector<JobSpec> &jobs() const { return jobs_; }
+
+    /**
+     * Execute every job and return results ordered by job index,
+     * independent of thread count and scheduling.
+     */
+    std::vector<JobResult> run(const CampaignOptions &opts) const;
+
+  private:
+    std::string name_;
+    std::vector<JobSpec> jobs_;
+};
+
+/** Salt spaces for deriveSeed so the streams cannot collide. */
+enum class SeedStream : std::uint64_t
+{
+    Core = 0,
+    Fault = 1,
+};
+
+/** The per-job seed for @p stream at @p attempt (0 = first try). */
+std::uint64_t jobSeed(std::uint64_t root_seed, std::size_t job_index,
+                      SeedStream stream, unsigned attempt);
+
+} // namespace slf::campaign
+
+#endif // SLFWD_DRIVER_CAMPAIGN_CAMPAIGN_HH_

@@ -1,0 +1,192 @@
+#include "result_sink.hh"
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <unistd.h>
+
+#include "sim/logging.hh"
+
+namespace slf::campaign
+{
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Fixed %.6f rendering so output is platform- and locale-stable. */
+std::string
+jsonDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6f", v);
+    return buf;
+}
+
+void
+emitCounters(std::ostringstream &os, const std::string &indent,
+             const SimResult &r)
+{
+    auto u64 = [&](const char *k, std::uint64_t v) {
+        os << indent << "\"" << k << "\": " << v << ",\n";
+    };
+    os << indent << "\"cycles\": " << r.cycles << ",\n";
+    os << indent << "\"insts\": " << r.insts << ",\n";
+    os << indent << "\"ipc\": " << jsonDouble(r.ipc) << ",\n";
+    u64("loads_retired", r.loads_retired);
+    u64("stores_retired", r.stores_retired);
+    u64("branches_retired", r.branches_retired);
+    u64("mispredicts", r.mispredicts);
+    u64("oracle_fixes", r.oracle_fixes);
+    u64("replays", r.replays);
+    u64("load_replays_sfc_corrupt", r.load_replays_sfc_corrupt);
+    u64("load_replays_sfc_partial", r.load_replays_sfc_partial);
+    u64("load_replays_mdt_conflict", r.load_replays_mdt_conflict);
+    u64("store_replays_sfc_conflict", r.store_replays_sfc_conflict);
+    u64("store_replays_mdt_conflict", r.store_replays_mdt_conflict);
+    u64("viol_true", r.viol_true);
+    u64("viol_anti", r.viol_anti);
+    u64("viol_output", r.viol_output);
+    u64("flushes_true", r.flushes_true);
+    u64("flushes_anti", r.flushes_anti);
+    u64("flushes_output", r.flushes_output);
+    u64("spurious_violations", r.spurious_violations);
+    u64("sfc_forwards", r.sfc_forwards);
+    u64("lsq_forwards", r.lsq_forwards);
+    u64("head_bypasses", r.head_bypasses);
+    u64("cam_entries_examined", r.cam_entries_examined);
+    u64("lsq_searches", r.lsq_searches);
+    u64("mdt_accesses", r.mdt_accesses);
+    u64("sfc_accesses", r.sfc_accesses);
+    u64("faults_sfc_mask", r.faults_sfc_mask);
+    u64("faults_sfc_data", r.faults_sfc_data);
+    u64("faults_mdt_evict", r.faults_mdt_evict);
+    u64("faults_fifo_payload", r.faults_fifo_payload);
+    os << indent << "\"violation_rate\": "
+       << jsonDouble(r.violationRate()) << ",\n";
+    os << indent << "\"load_replay_rate\": "
+       << jsonDouble(r.loadReplayRate()) << ",\n";
+    os << indent << "\"store_replay_rate\": "
+       << jsonDouble(r.storeReplayRate()) << ",\n";
+    os << indent << "\"checker\": {"
+       << "\"enabled\": " << (r.checker_enabled ? "true" : "false")
+       << ", \"clean\": " << (r.checker_clean ? "true" : "false")
+       << ", \"retirements\": " << r.check_retirements
+       << ", \"failures\": " << r.check_failures
+       << ", \"store_commit_failures\": " << r.check_store_commit_failures
+       << "}\n";
+}
+
+} // namespace
+
+std::string
+ResultSink::toJson(const std::string &campaign_name,
+                   std::uint64_t root_seed,
+                   const std::vector<JobResult> &results)
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"schema_version\": " << kSchemaVersion << ",\n";
+    os << "  \"campaign\": \"" << jsonEscape(campaign_name) << "\",\n";
+    os << "  \"root_seed\": " << root_seed << ",\n";
+    os << "  \"jobs\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const JobResult &jr = results[i];
+        os << "    {\n";
+        os << "      \"index\": " << jr.index << ",\n";
+        os << "      \"config\": \"" << jsonEscape(jr.config_name)
+           << "\",\n";
+        os << "      \"workload\": \"" << jsonEscape(jr.workload)
+           << "\",\n";
+        os << "      \"status\": \"" << (jr.ok() ? "ok" : "fatal")
+           << "\",\n";
+        os << "      \"attempts\": " << jr.attempts << ",\n";
+        os << "      \"error\": \"" << jsonEscape(jr.error) << "\",\n";
+        emitCounters(os, "      ", jr.result);
+        os << "    }" << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n";
+
+    // Per-config aggregates: every successful job's counters merged.
+    // std::map keys keep the section sorted and deterministic.
+    std::map<std::string, std::pair<SimResult, std::size_t>> agg;
+    for (const JobResult &jr : results) {
+        if (!jr.ok())
+            continue;
+        auto &slot = agg[jr.config_name];
+        slot.first.mergeFrom(jr.result);
+        ++slot.second;
+    }
+    os << "  \"aggregates\": [\n";
+    std::size_t n = 0;
+    for (const auto &kv : agg) {
+        os << "    {\n";
+        os << "      \"config\": \"" << jsonEscape(kv.first) << "\",\n";
+        os << "      \"jobs\": " << kv.second.second << ",\n";
+        emitCounters(os, "      ", kv.second.first);
+        os << "    }" << (++n < agg.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n";
+    os << "}\n";
+    return os.str();
+}
+
+void
+ResultSink::writeFileAtomic(const std::string &path,
+                            const std::string &content)
+{
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        fatal("ResultSink: cannot open '" + tmp + "' for writing");
+    const std::size_t written =
+        std::fwrite(content.data(), 1, content.size(), f);
+    const bool flushed = std::fflush(f) == 0;
+    std::fclose(f);
+    if (written != content.size() || !flushed) {
+        std::remove(tmp.c_str());
+        fatal("ResultSink: short write to '" + tmp + "'");
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        fatal("ResultSink: cannot rename '" + tmp + "' over '" + path +
+              "'");
+    }
+}
+
+} // namespace slf::campaign

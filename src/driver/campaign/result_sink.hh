@@ -1,0 +1,51 @@
+/**
+ * @file
+ * ResultSink: canonical machine-readable JSON for campaign results.
+ *
+ * The rendering is *canonical*: jobs sorted by index, a fixed field
+ * order, fixed floating-point formatting, and no timestamps, hostnames,
+ * thread counts or durations. Two runs of the same campaign therefore
+ * produce byte-identical files regardless of --jobs — this is the
+ * property the determinism ctest asserts. Wall-clock measurements
+ * belong next to the file (BENCH_campaign.json), not inside it.
+ *
+ * Files are written atomically: content goes to "<path>.tmp.<pid>" in
+ * the destination directory and is rename(2)d over the target, so a
+ * reader never observes a torn file.
+ */
+
+#ifndef SLFWD_DRIVER_CAMPAIGN_RESULT_SINK_HH_
+#define SLFWD_DRIVER_CAMPAIGN_RESULT_SINK_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hh"
+
+namespace slf::campaign
+{
+
+class ResultSink
+{
+  public:
+    /** Bump when the JSON layout changes shape. */
+    static constexpr unsigned kSchemaVersion = 1;
+
+    /**
+     * Render a campaign's results as canonical JSON. Includes one
+     * record per job plus per-config aggregates (SimResult counters
+     * merged across that config's jobs with SimResult::mergeFrom).
+     */
+    static std::string toJson(const std::string &campaign_name,
+                              std::uint64_t root_seed,
+                              const std::vector<JobResult> &results);
+
+    /** Atomically replace @p path with @p content (tmp + rename). */
+    static void writeFileAtomic(const std::string &path,
+                                const std::string &content);
+};
+
+} // namespace slf::campaign
+
+#endif // SLFWD_DRIVER_CAMPAIGN_RESULT_SINK_HH_

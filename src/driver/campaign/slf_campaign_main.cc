@@ -1,0 +1,145 @@
+/**
+ * @file
+ * slf_campaign: parallel experiment orchestrator CLI.
+ *
+ * Usage:
+ *   slf_campaign --sweep fig5|lsq_size|assoc|fault [--jobs N]
+ *                [--out results/fig5.json] [--retries N] [--seed S]
+ *                [--no-progress] [key=value ...]
+ *
+ * key=value arguments:
+ *   scale=N bench=<name> wseed=S   workload selection (analog sweeps)
+ *   iters=N fault_rate=R           fault-sweep shape
+ *   anything else                  forwarded to applyOverrides() on
+ *                                  every job's core config
+ *
+ * The JSON written with --out is canonical: byte-identical for any
+ * --jobs value (the determinism ctest relies on this). A summary table
+ * and wall-clock time go to stdout/stderr instead.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "campaign/result_sink.hh"
+#include "campaign/sweeps.hh"
+#include "sim/logging.hh"
+
+using namespace slf;
+using namespace slf::campaign;
+
+namespace
+{
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s --sweep <name> [--jobs N] [--out FILE] "
+                 "[--retries N] [--seed S] [--no-progress] "
+                 "[key=value ...]\n  sweeps:",
+                 argv0);
+    for (const std::string &n : sweepNames())
+        std::fprintf(stderr, " %s", n.c_str());
+    std::fprintf(stderr, "\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string sweep;
+    std::string out_path;
+    CampaignOptions copts;
+    SweepOptions sopts;
+    Config kv;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s requires a value\n", flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--sweep") {
+            sweep = next("--sweep");
+        } else if (arg == "--jobs") {
+            copts.jobs = unsigned(std::stoul(next("--jobs")));
+        } else if (arg == "--out") {
+            out_path = next("--out");
+        } else if (arg == "--retries") {
+            copts.max_retries = unsigned(std::stoul(next("--retries")));
+        } else if (arg == "--seed") {
+            copts.root_seed = std::stoull(next("--seed"));
+        } else if (arg == "--no-progress") {
+            copts.progress = false;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (!kv.parseAssignment(arg)) {
+            std::fprintf(stderr, "unrecognized argument '%s'\n",
+                         arg.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    if (sweep.empty()) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    sopts.scale = kv.getUInt("scale", sopts.scale);
+    sopts.wseed = kv.getUInt("wseed", sopts.wseed);
+    sopts.bench_filter = kv.getString("bench");
+    sopts.fault_iters = kv.getUInt("iters", sopts.fault_iters);
+    sopts.fault_rate = kv.getDouble("fault_rate", sopts.fault_rate);
+    // Everything else is a core-config override applied to every job
+    // (Config has no erase, so rebuild without the sweep-shape keys).
+    for (const std::string &key : kv.keys()) {
+        if (key == "scale" || key == "wseed" || key == "bench" ||
+            key == "iters" || key == "fault_rate")
+            continue;
+        sopts.overrides.set(key, kv.getString(key));
+    }
+
+    try {
+        const Campaign c = makeSweep(sweep, sopts);
+        std::fprintf(stderr, "campaign '%s': %zu jobs, %u workers\n",
+                     c.name().c_str(), c.jobCount(), copts.jobs);
+
+        const auto t0 = std::chrono::steady_clock::now();
+        const std::vector<JobResult> results = c.run(copts);
+        const auto t1 = std::chrono::steady_clock::now();
+        const double secs =
+            std::chrono::duration<double>(t1 - t0).count();
+
+        std::size_t ok = 0, fatal_jobs = 0, retried = 0;
+        for (const JobResult &jr : results) {
+            jr.ok() ? ++ok : ++fatal_jobs;
+            if (jr.attempts > 1)
+                ++retried;
+        }
+        std::printf("%s: %zu ok, %zu fatal, %zu retried, %.2fs "
+                    "wall-clock\n",
+                    c.name().c_str(), ok, fatal_jobs, retried, secs);
+
+        const std::string json =
+            ResultSink::toJson(c.name(), copts.root_seed, results);
+        if (!out_path.empty()) {
+            ResultSink::writeFileAtomic(out_path, json);
+            std::printf("wrote %s (%zu bytes)\n", out_path.c_str(),
+                        json.size());
+        }
+        return fatal_jobs ? 1 : 0;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "fatal: %s\n", e.what());
+        return 1;
+    }
+}

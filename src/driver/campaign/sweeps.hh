@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The paper's experiment sweeps, expressed as Campaign job lists so
+ * the benches, the slf_campaign CLI and the tests all expand the same
+ * cross-products:
+ *
+ *  - fig5:     baseline 4-wide core, {48x32 LSQ, ENF, NOT-ENF} x the
+ *              19 SPEC 2000 analogs (Figure 5).
+ *  - lsq_size: idealized LSQ size sweep x the analogs (Section 3.1).
+ *  - assoc:    SFC/MDT associativity 2 vs 16 on the aggressive core,
+ *              bzip2 + mcf outliers (Section 3.2).
+ *  - fault:    the PR-1 fault-injection campaign phases (baseline,
+ *              sfc, fifo, mdt) x the memory-intensive micros, with
+ *              per-job derived fault streams.
+ *
+ * The core-config factories (baselineLsq &c.) live here too; bench/
+ * bench_util re-exports them so every bench builds identical cores.
+ */
+
+#ifndef SLFWD_DRIVER_CAMPAIGN_SWEEPS_HH_
+#define SLFWD_DRIVER_CAMPAIGN_SWEEPS_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hh"
+#include "sim/config.hh"
+
+namespace slf::campaign
+{
+
+struct SweepOptions
+{
+    std::uint64_t scale = 1;       ///< analog iteration multiplier
+    std::uint64_t wseed = 42;      ///< analog generator seed
+    std::string bench_filter;      ///< restrict analogs to one name
+    std::uint64_t fault_iters = 4000;  ///< fault-sweep micro iterations
+    double fault_rate = 1e-3;      ///< fault-sweep injection rate
+    /** Extra key=value core-config overrides applied to every job. */
+    Config overrides;
+};
+
+/** Baseline core with the idealized LSQ (store-set predictor). */
+CoreConfig baselineLsq(std::size_t lq, std::size_t sq);
+/** Baseline core with the paper's MDT/SFC in a given predictor mode. */
+CoreConfig baselineMdtSfc(MemDepMode mode);
+/** Aggressive core with the idealized LSQ. */
+CoreConfig aggressiveLsq(std::size_t lq, std::size_t sq);
+/** Aggressive core with the MDT/SFC. */
+CoreConfig aggressiveMdtSfc(MemDepMode mode);
+
+Campaign makeFig5Campaign(const SweepOptions &opts);
+Campaign makeLsqSizeCampaign(const SweepOptions &opts);
+Campaign makeAssocCampaign(const SweepOptions &opts);
+Campaign makeFaultCampaign(const SweepOptions &opts);
+
+/** Registered sweep names, in presentation order. */
+const std::vector<std::string> &sweepNames();
+
+/** Build a sweep by name; fatal() on an unknown name. */
+Campaign makeSweep(const std::string &name, const SweepOptions &opts);
+
+} // namespace slf::campaign
+
+#endif // SLFWD_DRIVER_CAMPAIGN_SWEEPS_HH_

@@ -31,40 +31,7 @@ runWorkload(const CoreConfig &cfg, const Program &prog)
     r.flushes_output = cs.counterValue("violation_flushes_output");
     r.spurious_violations = cs.counterValue("spurious_violations");
 
-    StatGroup &us = core.memUnit().unitStats();
-    r.load_replays_sfc_corrupt = us.counterValue("load_replays_sfc_corrupt");
-    r.load_replays_sfc_partial = us.counterValue("load_replays_sfc_partial");
-    r.load_replays_mdt_conflict =
-        us.counterValue("load_replays_mdt_conflict");
-    r.store_replays_sfc_conflict =
-        us.counterValue("store_replays_sfc_conflict");
-    r.store_replays_mdt_conflict =
-        us.counterValue("store_replays_mdt_conflict");
-    r.sfc_forwards = us.counterValue("sfc_forwards");
-    r.lsq_forwards = us.counterValue("full_forwards");
-    r.head_bypasses = us.counterValue("head_bypasses");
-
-    if (auto *unit = dynamic_cast<MdtSfcUnit *>(&core.memUnit())) {
-        const StatGroup &ms = unit->mdt().stats();
-        r.viol_true = ms.counterValue("violations_true");
-        r.viol_anti = ms.counterValue("violations_anti");
-        r.viol_output = ms.counterValue("violations_output");
-        r.mdt_accesses = ms.counterValue("accesses");
-        const StatGroup &ss = unit->sfc().stats();
-        r.sfc_accesses =
-            ss.counterValue("load_reads") + ss.counterValue("store_writes");
-    } else if (auto *lunit = dynamic_cast<LsqUnit *>(&core.memUnit())) {
-        const StatGroup &ls = lunit->lsq().stats();
-        r.viol_true = ls.counterValue("violations_true");
-        r.cam_entries_examined = ls.counterValue("cam_entries_examined");
-        r.lsq_searches =
-            ls.counterValue("lq_searches") + ls.counterValue("sq_searches");
-    } else {
-        StatGroup &vs = core.memUnit().unitStats();
-        r.viol_true = vs.counterValue("retire_violations");
-        r.cam_entries_examined = vs.counterValue("cam_entries_examined");
-        r.lsq_searches = vs.counterValue("sq_searches");
-    }
+    core.memUnit().exportStats(r);
 
     if (const GoldenChecker *checker = core.checker()) {
         r.checker_enabled = true;

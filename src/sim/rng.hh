@@ -78,6 +78,23 @@ class Rng
     std::uint64_t state_[2];
 };
 
+/**
+ * Derive an independent stream seed from a root seed and a stream
+ * index (SplitMix64 finalizer over the pair). The campaign runner
+ * seeds every job as deriveSeed(root, job_index), so each job's
+ * randomness is a pure function of the root seed and its position in
+ * the expanded job list — independent of which worker thread runs it
+ * or in what order. Adjacent indices yield decorrelated streams.
+ */
+inline std::uint64_t
+deriveSeed(std::uint64_t root, std::uint64_t index)
+{
+    std::uint64_t z = root + 0x9e3779b97f4a7c15ull * (index + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
 } // namespace slf
 
 #endif // SLFWD_SIM_RNG_HH_

@@ -35,6 +35,15 @@ StatGroup::counters() const
 }
 
 void
+StatGroup::mergeFrom(const StatGroup &other)
+{
+    for (const auto &kv : other.counters_)
+        counters_[kv.first] += kv.second.value();
+    for (const auto &kv : other.distributions_)
+        distributions_[kv.first].mergeFrom(kv.second);
+}
+
+void
 StatGroup::reset()
 {
     for (auto &kv : counters_)

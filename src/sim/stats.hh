@@ -50,6 +50,22 @@ class Distribution
         ++count_;
     }
 
+    /** Fold another distribution's samples into this one. The result
+     *  equals having sampled both streams into a single distribution,
+     *  so merging is associative and order-independent. */
+    void
+    mergeFrom(const Distribution &other)
+    {
+        if (other.count_ == 0)
+            return;
+        if (count_ == 0 || other.min_ < min_)
+            min_ = other.min_;
+        if (count_ == 0 || other.max_ > max_)
+            max_ = other.max_;
+        sum_ += other.sum_;
+        count_ += other.count_;
+    }
+
     std::uint64_t count() const { return count_; }
     std::uint64_t sum() const { return sum_; }
     std::uint64_t min() const { return count_ ? min_ : 0; }
@@ -94,6 +110,14 @@ class StatGroup
 
     /** Reset every member to zero. */
     void reset();
+
+    /**
+     * Fold another group's members into this one: counters add,
+     * distributions merge, members absent here are created. Merging K
+     * shard groups yields the same totals as one combined group, in
+     * any merge order.
+     */
+    void mergeFrom(const StatGroup &other);
 
     /** Render "group.stat value" lines. */
     std::string toString() const;

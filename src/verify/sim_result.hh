@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Flat summary of one simulation run, plus shard merging.
+ *
+ * SimResult lives in verify/ (not driver/) because it is the lowest
+ * layer that can see both CheckFailure and WorkloadClass: the memory
+ * units export their counters into it through the virtual
+ * MemUnit::exportStats() hook, and cpu/ already links against verify/.
+ * The driver re-exports it from runner.hh, so existing includes keep
+ * working.
+ */
+
+#ifndef SLFWD_VERIFY_SIM_RESULT_HH_
+#define SLFWD_VERIFY_SIM_RESULT_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "prog/program.hh"
+#include "sim/types.hh"
+#include "verify/golden_checker.hh"
+
+namespace slf
+{
+
+/** Flat summary of one simulation run. */
+struct SimResult
+{
+    std::string workload;
+    WorkloadClass cls = WorkloadClass::Int;
+
+    Cycle cycles = 0;
+    std::uint64_t insts = 0;
+    double ipc = 0.0;
+
+    std::uint64_t loads_retired = 0;
+    std::uint64_t stores_retired = 0;
+    std::uint64_t branches_retired = 0;
+    std::uint64_t mispredicts = 0;
+    std::uint64_t oracle_fixes = 0;
+
+    std::uint64_t replays = 0;
+    std::uint64_t load_replays_sfc_corrupt = 0;
+    std::uint64_t load_replays_sfc_partial = 0;
+    std::uint64_t load_replays_mdt_conflict = 0;
+    std::uint64_t store_replays_sfc_conflict = 0;
+    std::uint64_t store_replays_mdt_conflict = 0;
+
+    std::uint64_t viol_true = 0;
+    std::uint64_t viol_anti = 0;
+    std::uint64_t viol_output = 0;
+    std::uint64_t flushes_true = 0;
+    std::uint64_t flushes_anti = 0;
+    std::uint64_t flushes_output = 0;
+    std::uint64_t spurious_violations = 0;
+
+    std::uint64_t sfc_forwards = 0;
+    std::uint64_t lsq_forwards = 0;
+    std::uint64_t head_bypasses = 0;
+
+    /** Dynamic-power proxies. */
+    std::uint64_t cam_entries_examined = 0;  ///< LSQ match lines fired
+    std::uint64_t lsq_searches = 0;
+    std::uint64_t mdt_accesses = 0;
+    std::uint64_t sfc_accesses = 0;
+
+    /** Golden-model checker summary (zeros when validate=false). */
+    bool checker_enabled = false;
+    bool checker_clean = true;
+    std::uint64_t check_retirements = 0;
+    std::uint64_t check_failures = 0;
+    std::uint64_t check_store_commit_failures = 0;
+    /** Structured divergence reports (capped; counters are not). */
+    std::vector<CheckFailure> check_reports;
+
+    /** Fault-injection census (zeros when all rates are zero). */
+    std::uint64_t faults_sfc_mask = 0;
+    std::uint64_t faults_sfc_data = 0;
+    std::uint64_t faults_mdt_evict = 0;
+    std::uint64_t faults_fifo_payload = 0;
+
+    std::uint64_t memOps() const { return loads_retired + stores_retired; }
+
+    /** Violations per retired memory operation (paper Sec. 3.2 metric). */
+    double
+    violationRate() const
+    {
+        const std::uint64_t v = viol_true + viol_anti + viol_output;
+        return memOps() ? double(v) / double(memOps()) : 0.0;
+    }
+
+    double
+    loadReplayRate() const
+    {
+        const std::uint64_t r = load_replays_sfc_corrupt +
+                                load_replays_sfc_partial +
+                                load_replays_mdt_conflict;
+        return loads_retired ? double(r) / double(loads_retired) : 0.0;
+    }
+
+    double
+    storeReplayRate() const
+    {
+        const std::uint64_t r =
+            store_replays_sfc_conflict + store_replays_mdt_conflict;
+        return stores_retired ? double(r) / double(stores_retired) : 0.0;
+    }
+
+    /**
+     * Fold another shard's counters into this result (the campaign
+     * runner's shard aggregation). Counter-valued fields add; cycles
+     * add (shards model serially-concatenated work); ipc is recomputed
+     * from the merged totals; checker reports append up to the
+     * GoldenChecker cap. The operation is associative and commutative
+     * on every counter field, so K shards merge to the same totals in
+     * any order.
+     */
+    void mergeFrom(const SimResult &other);
+};
+
+} // namespace slf
+
+#endif // SLFWD_VERIFY_SIM_RESULT_HH_

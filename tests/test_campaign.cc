@@ -1,0 +1,399 @@
+/**
+ * @file
+ * Tests for the parallel campaign runner: work-stealing thread pool
+ * semantics, job determinism across thread counts, the
+ * retry-with-backoff fatal() path, and canonical JSON rendering with
+ * atomic writes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <thread>
+
+#include "campaign/campaign.hh"
+#include "campaign/result_sink.hh"
+#include "campaign/sweeps.hh"
+#include "campaign/thread_pool.hh"
+#include "sim/logging.hh"
+
+using namespace slf;
+using namespace slf::campaign;
+
+// ---------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------
+
+TEST(ThreadPool, RunsEveryTask)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4u);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 200; ++i)
+        EXPECT_TRUE(pool.submit([&count] { ++count; }));
+    pool.wait();
+    EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.threadCount(), 1u);
+    std::atomic<int> count{0};
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, WaitWithNothingSubmittedReturns)
+{
+    ThreadPool pool(2);
+    pool.wait();   // must not hang
+}
+
+TEST(ThreadPool, GracefulShutdownDrainsQueuedTasks)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 64; ++i) {
+            pool.submit([&count] {
+                std::this_thread::sleep_for(std::chrono::microseconds(200));
+                ++count;
+            });
+        }
+        pool.shutdown();   // must drain all 64, then join
+        EXPECT_EQ(count.load(), 64);
+        // After shutdown the pool no longer accepts work.
+        EXPECT_FALSE(pool.submit([&count] { ++count; }));
+        pool.shutdown();   // idempotent
+    }
+    EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(3);
+        for (int i = 0; i < 40; ++i)
+            pool.submit([&count] { ++count; });
+    }
+    EXPECT_EQ(count.load(), 40);
+}
+
+TEST(ThreadPool, StealsWorkFromBusyQueues)
+{
+    // Deterministic steal setup: park BOTH workers on blocker tasks
+    // (one per round-robin deque), then enqueue one short task into
+    // each deque. Releasing blocker A frees exactly one worker, which
+    // pops its own short task and — its deque now empty — must steal
+    // the other short from the still-parked worker's deque before
+    // blocker B's exit condition (both shorts done) can hold.
+    ThreadPool pool(2);
+    std::atomic<int> started{0};
+    std::atomic<bool> release{false};
+    std::atomic<int> count{0};
+
+    pool.submit([&] {                      // blocker A -> deque 0
+        ++started;
+        while (!release.load())
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+    });
+    pool.submit([&] {                      // blocker B -> deque 1
+        ++started;
+        while (count.load() < 2)
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+    });
+    while (started.load() < 2)             // both workers are parked
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+
+    pool.submit([&count] { ++count; });    // short task -> deque 0
+    pool.submit([&count] { ++count; });    // short task -> deque 1
+    release.store(true);
+
+    pool.wait();
+    EXPECT_EQ(count.load(), 2);
+    EXPECT_GT(pool.steals(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Campaign determinism and retries
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** A tiny campaign of pure-compute jobs with derived seeds. */
+Campaign
+syntheticCampaign(unsigned jobs)
+{
+    Campaign c("synthetic");
+    for (unsigned i = 0; i < jobs; ++i) {
+        JobSpec spec;
+        spec.config_name = "cfg" + std::to_string(i % 3);
+        spec.workload = "wl" + std::to_string(i);
+        spec.derive_seeds = true;
+        spec.runner = [](const JobSpec &, const CoreConfig &cfg,
+                         unsigned) {
+            SimResult r;
+            // Echo the derived seeds through counters so the JSON
+            // captures exactly what the job observed.
+            r.cycles = cfg.rng_seed % 100000;
+            r.insts = cfg.fault.seed % 100000;
+            r.ipc = r.cycles ? double(r.insts) / double(r.cycles) : 0.0;
+            return r;
+        };
+        c.addJob(std::move(spec));
+    }
+    return c;
+}
+
+} // namespace
+
+TEST(Campaign, JobSeedIsDeterministicAndCollisionFree)
+{
+    std::set<std::uint64_t> seen;
+    for (std::size_t job = 0; job < 100; ++job) {
+        for (unsigned attempt = 0; attempt < 3; ++attempt) {
+            for (SeedStream s : {SeedStream::Core, SeedStream::Fault}) {
+                const std::uint64_t a = jobSeed(42, job, s, attempt);
+                EXPECT_EQ(a, jobSeed(42, job, s, attempt));
+                seen.insert(a);
+            }
+        }
+    }
+    // 100 jobs x 3 attempts x 2 streams, all distinct.
+    EXPECT_EQ(seen.size(), 600u);
+    EXPECT_NE(jobSeed(1, 0, SeedStream::Core, 0),
+              jobSeed(2, 0, SeedStream::Core, 0));
+}
+
+TEST(Campaign, ResultsAreByteIdenticalAcrossThreadCounts)
+{
+    const Campaign c = syntheticCampaign(40);
+
+    CampaignOptions one;
+    one.jobs = 1;
+    one.progress = false;
+    CampaignOptions eight;
+    eight.jobs = 8;
+    eight.progress = false;
+
+    const auto r1 = c.run(one);
+    const auto r8 = c.run(eight);
+
+    const std::string j1 = ResultSink::toJson(c.name(), one.root_seed, r1);
+    const std::string j8 =
+        ResultSink::toJson(c.name(), eight.root_seed, r8);
+    EXPECT_EQ(j1, j8);   // byte-identical, not just equivalent
+    EXPECT_NE(j1.find("\"schema_version\": 1"), std::string::npos);
+}
+
+TEST(Campaign, ResultsOrderedByJobIndexRegardlessOfCompletionOrder)
+{
+    Campaign c("ordering");
+    for (unsigned i = 0; i < 16; ++i) {
+        JobSpec spec;
+        spec.config_name = "cfg";
+        spec.workload = "wl" + std::to_string(i);
+        spec.runner = [i](const JobSpec &, const CoreConfig &, unsigned) {
+            // Earlier jobs sleep longer, so completion order is
+            // roughly reversed from submission order.
+            std::this_thread::sleep_for(
+                std::chrono::microseconds((16 - i) * 100));
+            SimResult r;
+            r.insts = i;
+            return r;
+        };
+        c.addJob(std::move(spec));
+    }
+    CampaignOptions opts;
+    opts.jobs = 8;
+    opts.progress = false;
+    const auto results = c.run(opts);
+    ASSERT_EQ(results.size(), 16u);
+    for (unsigned i = 0; i < 16; ++i) {
+        EXPECT_EQ(results[i].index, i);
+        EXPECT_EQ(results[i].result.insts, i);
+        EXPECT_EQ(results[i].workload, "wl" + std::to_string(i));
+    }
+}
+
+TEST(Campaign, RetriesFatalJobsWithSaltedSeedsThenSucceeds)
+{
+    Campaign c("retry");
+    std::atomic<unsigned> observed_attempts{0};
+    std::vector<std::uint64_t> seeds_seen;
+    std::mutex seeds_mutex;
+
+    JobSpec spec;
+    spec.config_name = "flaky";
+    spec.workload = "wl";
+    spec.runner = [&](const JobSpec &, const CoreConfig &cfg,
+                      unsigned attempt) {
+        {
+            std::lock_guard<std::mutex> lock(seeds_mutex);
+            seeds_seen.push_back(cfg.rng_seed);
+        }
+        ++observed_attempts;
+        if (attempt < 2)
+            fatal("synthetic watchdog wedge, attempt " +
+                  std::to_string(attempt));
+        SimResult r;
+        r.insts = 7;
+        return r;
+    };
+    c.addJob(std::move(spec));
+
+    CampaignOptions opts;
+    opts.jobs = 2;
+    opts.max_retries = 2;
+    opts.retry_backoff_ms = 1;   // keep the test fast
+    opts.progress = false;
+
+    const auto results = c.run(opts);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].status, JobStatus::Ok);
+    EXPECT_EQ(results[0].attempts, 3u);
+    EXPECT_EQ(results[0].result.insts, 7u);
+    EXPECT_EQ(observed_attempts.load(), 3u);
+    // Each retry re-derives the core seed with the attempt as salt.
+    ASSERT_EQ(seeds_seen.size(), 3u);
+    EXPECT_NE(seeds_seen[1], seeds_seen[0]);
+    EXPECT_NE(seeds_seen[2], seeds_seen[1]);
+    EXPECT_EQ(seeds_seen[1], jobSeed(opts.root_seed, 0, SeedStream::Core, 1));
+}
+
+TEST(Campaign, ExhaustedRetriesRecordFatalWithoutAbortingCampaign)
+{
+    Campaign c("doomed");
+    JobSpec bad;
+    bad.config_name = "bad";
+    bad.workload = "wl";
+    bad.runner = [](const JobSpec &, const CoreConfig &, unsigned) {
+        fatal("always wedges");
+        return SimResult{};   // unreachable
+    };
+    c.addJob(std::move(bad));
+
+    JobSpec good;
+    good.config_name = "good";
+    good.workload = "wl";
+    good.runner = [](const JobSpec &, const CoreConfig &, unsigned) {
+        SimResult r;
+        r.insts = 1;
+        return r;
+    };
+    c.addJob(std::move(good));
+
+    CampaignOptions opts;
+    opts.jobs = 2;
+    opts.max_retries = 1;
+    opts.retry_backoff_ms = 1;
+    opts.progress = false;
+
+    const auto results = c.run(opts);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].status, JobStatus::Fatal);
+    EXPECT_EQ(results[0].attempts, 2u);
+    EXPECT_EQ(results[0].error, "always wedges");
+    EXPECT_EQ(results[1].status, JobStatus::Ok);
+    EXPECT_EQ(results[1].result.insts, 1u);
+}
+
+// ---------------------------------------------------------------------
+// ResultSink
+// ---------------------------------------------------------------------
+
+TEST(ResultSink, WriteFileAtomicReplacesTarget)
+{
+    const std::string path =
+        ::testing::TempDir() + "slfwd_sink_test.json";
+    ResultSink::writeFileAtomic(path, "{\"a\": 1}\n");
+    ResultSink::writeFileAtomic(path, "{\"b\": 2}\n");
+
+    std::ifstream in(path);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_EQ(content, "{\"b\": 2}\n");
+    // No temp droppings left behind.
+    EXPECT_NE(content.find("\"b\""), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(ResultSink, JsonEscapesErrorStrings)
+{
+    JobResult jr;
+    jr.index = 0;
+    jr.config_name = "cfg";
+    jr.workload = "wl";
+    jr.status = JobStatus::Fatal;
+    jr.attempts = 1;
+    jr.error = "line1\nwith \"quotes\" and \\ backslash";
+    const std::string json = ResultSink::toJson("esc", 1, {jr});
+    EXPECT_NE(json.find("line1\\nwith \\\"quotes\\\" and \\\\ backslash"),
+              std::string::npos);
+    // The raw (unescaped) error text must not appear anywhere.
+    EXPECT_EQ(json.find("line1\nwith"), std::string::npos);
+}
+
+TEST(ResultSink, AggregatesMergePerConfig)
+{
+    std::vector<JobResult> results;
+    for (unsigned i = 0; i < 4; ++i) {
+        JobResult jr;
+        jr.index = i;
+        jr.config_name = i < 2 ? "a" : "b";
+        jr.workload = "wl" + std::to_string(i);
+        jr.result.insts = 10;
+        jr.result.cycles = 5;
+        results.push_back(jr);
+    }
+    const std::string json = ResultSink::toJson("agg", 1, results);
+    // Each config aggregate merges two jobs: 20 insts over 10 cycles.
+    EXPECT_NE(json.find("\"jobs\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"insts\": 20"), std::string::npos);
+    EXPECT_NE(json.find("\"ipc\": 2.000000"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Sweep expansion (shape only; the real sims run in the benches)
+// ---------------------------------------------------------------------
+
+TEST(Sweeps, ExpandExpectedJobCounts)
+{
+    SweepOptions so;
+    so.bench_filter = "bzip2";
+    EXPECT_EQ(makeFig5Campaign(so).jobCount(), 3u);
+    EXPECT_EQ(makeLsqSizeCampaign(so).jobCount(), 6u);
+    EXPECT_EQ(makeAssocCampaign(so).jobCount(), 2u);
+    EXPECT_EQ(makeFaultCampaign(so).jobCount(), 20u);
+    EXPECT_THROW(makeSweep("nope", so), FatalError);
+    EXPECT_EQ(sweepNames().size(), 4u);
+}
+
+TEST(Sweeps, FaultSweepRunsDeterministicallyAcrossThreadCounts)
+{
+    SweepOptions so;
+    so.fault_iters = 120;
+    so.fault_rate = 0.002;
+    const Campaign c = makeFaultCampaign(so);
+
+    CampaignOptions one;
+    one.jobs = 1;
+    one.progress = false;
+    CampaignOptions four;
+    four.jobs = 4;
+    four.progress = false;
+
+    const std::string j1 =
+        ResultSink::toJson(c.name(), one.root_seed, c.run(one));
+    const std::string j4 =
+        ResultSink::toJson(c.name(), four.root_seed, c.run(four));
+    EXPECT_EQ(j1, j4);
+}

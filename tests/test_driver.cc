@@ -127,6 +127,61 @@ TEST(Runner, ResultDerivedRatesConsistent)
     EXPECT_EQ(r.workload, "micro_forward_chain");
 }
 
+/**
+ * Regression for the exportStats() virtual hook that replaced the
+ * dynamic_cast unit-dispatch chain in the runner: on a store-heavy
+ * micro workload, every counter a unit exports through the hook must
+ * land nonzero in the SimResult. A silently-broken export would leave
+ * zeros here (exactly the bug class the old cast chain invited when a
+ * new unit type was added).
+ */
+TEST(Runner, ExportStatsNonzeroOnStoreHeavyWorkload)
+{
+    // microForwardChain: a tight store->load forwarding chain, so
+    // forwarding, table-access and search counters must all fire.
+    const Program chain = workloads::microForwardChain(2000);
+    // microTrueViolations: engineered premature loads, so violation
+    // and flush counters must fire too.
+    const Program viol = workloads::microTrueViolations(2000);
+
+    {
+        CoreConfig cfg = CoreConfig::baseline();
+        cfg.subsys = MemSubsystem::MdtSfc;
+        const SimResult r = runWorkload(cfg, chain);
+        EXPECT_GT(r.stores_retired, 0u);
+        EXPECT_GT(r.loads_retired, 0u);
+        EXPECT_GT(r.sfc_forwards, 0u);
+        EXPECT_GT(r.mdt_accesses, 0u);
+        EXPECT_GT(r.sfc_accesses, 0u);
+
+        cfg.memdep.mode = MemDepMode::EnforceTrueOnly;
+        const SimResult rv = runWorkload(cfg, viol);
+        EXPECT_GT(rv.viol_true, 0u);
+        EXPECT_GT(rv.flushes_true, 0u);
+    }
+
+    {
+        CoreConfig cfg = CoreConfig::baseline();
+        cfg.subsys = MemSubsystem::LsqBaseline;
+        cfg.memdep.mode = MemDepMode::LsqStoreSet;
+        const SimResult r = runWorkload(cfg, chain);
+        EXPECT_GT(r.stores_retired, 0u);
+        EXPECT_GT(r.lsq_forwards, 0u);
+        EXPECT_GT(r.lsq_searches, 0u);
+        EXPECT_GT(r.cam_entries_examined, 0u);
+    }
+
+    {
+        CoreConfig cfg = CoreConfig::baseline();
+        cfg.subsys = MemSubsystem::ValueReplay;
+        cfg.memdep.mode = MemDepMode::LsqStoreSet;
+        const SimResult r = runWorkload(cfg, chain);
+        EXPECT_GT(r.stores_retired, 0u);
+        EXPECT_GT(r.lsq_searches, 0u);
+        EXPECT_GT(r.cam_entries_examined, 0u);
+    }
+}
+
 TEST(Runner, HarvestsSubsystemSpecificStats)
 {
     const Program prog = workloads::microForwardChain(500);
