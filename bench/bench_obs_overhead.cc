@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Observability overhead microbench: the same deterministic workload
+ * mix timed with every hook combination, so the cost of the layer is a
+ * measured number instead of a claim.
+ *
+ * Modes:
+ *   off    no hooks attached (the fig5 configuration: events compiled
+ *          in but SLF_OBS_EMIT's fast path rejects in two loads)
+ *   occ    per-cycle occupancy sampling into Distributions
+ *   trace  TraceSink attached (every event recorded into the ring)
+ *   prof   HostProfiler attached (RAII timers around the five stages)
+ *
+ * Each mode runs `reps` times and reports the minimum wall-clock (the
+ * standard noise filter for throughput benches). The "prof" run's
+ * per-stage breakdown is included verbatim. Pass out=FILE to write
+ * results/BENCH_obs.json; scale=N grows the workloads.
+ *
+ * The CI perf smoke does NOT use this bench (it compares two builds of
+ * bench_fig5_baseline); this bench exists to track the *runtime* cost
+ * of each hook within one build.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "campaign/result_sink.hh"
+#include "obs/profile.hh"
+#include "obs/trace_sink.hh"
+
+using namespace slf;
+using namespace slf::bench;
+
+namespace
+{
+
+std::vector<Program>
+workloadMix(std::uint64_t scale)
+{
+    const std::uint64_t iters = 20'000 * scale;
+    std::vector<Program> mix;
+    mix.push_back(workloads::microForwardChain(iters));
+    mix.push_back(workloads::microStreaming(iters));
+    mix.push_back(workloads::microCorruptionExample(iters));
+    return mix;
+}
+
+/** Minimum wall-clock seconds of @p reps runs of the full mix. */
+double
+timeMode(const CoreConfig &cfg, const std::vector<Program> &mix,
+         unsigned reps)
+{
+    double best = 0;
+    for (unsigned r = 0; r < reps; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        for (const Program &prog : mix)
+            runWorkload(cfg, prog);
+        const auto t1 = std::chrono::steady_clock::now();
+        const double secs =
+            std::chrono::duration<double>(t1 - t0).count();
+        if (r == 0 || secs < best)
+            best = secs;
+    }
+    return best;
+}
+
+std::string
+num(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6f", v);
+    return buf;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Config opts = parseArgs(argc, argv);
+    const std::uint64_t scale = opts.getUInt("scale", 1);
+    const unsigned reps =
+        static_cast<unsigned>(opts.getUInt("reps", 5));
+    const std::vector<Program> mix = workloadMix(scale);
+
+    const CoreConfig base = baselineMdtSfc(MemDepMode::EnforceAll);
+
+    const double t_off = timeMode(base, mix, reps);
+
+    CoreConfig cfg_occ = base;
+    cfg_occ.obs.sample_occupancy = true;
+    const double t_occ = timeMode(cfg_occ, mix, reps);
+
+    obs::TraceSink sink;
+    CoreConfig cfg_trace = base;
+    cfg_trace.obs.trace = &sink;
+    const double t_trace = timeMode(cfg_trace, mix, reps);
+
+    obs::HostProfiler prof;
+    CoreConfig cfg_prof = base;
+    cfg_prof.obs.profiler = &prof;
+    const double t_prof = timeMode(cfg_prof, mix, reps);
+
+    std::printf("obs overhead (scale=%llu, reps=%u, min wall-clock)\n",
+                static_cast<unsigned long long>(scale), reps);
+    std::printf("  %-6s %10s %10s\n", "mode", "secs", "vs off");
+    std::printf("  %-6s %10s %10s\n", "off", num(t_off).c_str(), "1.000000");
+    std::printf("  %-6s %10s %10s\n", "occ", num(t_occ).c_str(),
+                num(t_occ / t_off).c_str());
+    std::printf("  %-6s %10s %10s\n", "trace", num(t_trace).c_str(),
+                num(t_trace / t_off).c_str());
+    std::printf("  %-6s %10s %10s\n", "prof", num(t_prof).c_str(),
+                num(t_prof / t_off).c_str());
+
+    std::string json = "{\n  \"bench\": \"obs_overhead\",\n";
+    json += "  \"scale\": " + std::to_string(scale) + ",\n";
+    json += "  \"reps\": " + std::to_string(reps) + ",\n";
+    json += "  \"seconds\": {\"off\": " + num(t_off) +
+            ", \"occ\": " + num(t_occ) + ", \"trace\": " + num(t_trace) +
+            ", \"prof\": " + num(t_prof) + "},\n";
+    json += "  \"relative\": {\"occ\": " + num(t_occ / t_off) +
+            ", \"trace\": " + num(t_trace / t_off) +
+            ", \"prof\": " + num(t_prof / t_off) + "},\n";
+    json += "  \"trace_events_last_run\": " +
+            std::to_string(sink.recorded()) + ",\n";
+    json += "  \"profile\": " + prof.toJson() + "\n}\n";
+
+    const std::string out = opts.getString("out");
+    if (!out.empty()) {
+        campaign::ResultSink::writeFileAtomic(out, json);
+        std::printf("wrote %s\n", out.c_str());
+    } else {
+        std::fputs(json.c_str(), stdout);
+    }
+    return 0;
+}

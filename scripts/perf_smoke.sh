@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Perf smoke: assert that the observability hooks cost nothing when
+# tracing is off.
+#
+# Builds bench_fig5_baseline twice — the default build (event hooks
+# compiled in, no sink attached) and a build with -DSLFWD_OBS_EVENTS=OFF
+# (emission sites removed entirely) — runs each REPS times on the same
+# deterministic fig5 workload slice, and fails if the min wall-clock of
+# the default build exceeds the hook-free build by more than TOL.
+#
+# Usage: scripts/perf_smoke.sh [build-on-dir] [build-off-dir]
+# Env:   SCALE (workload scale, default 2), REPS (default 5),
+#        TOL (ratio ceiling, default 1.02), BENCH_FILTER (default gzip)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_ON="${1:-$ROOT/build-perf-on}"
+BUILD_OFF="${2:-$ROOT/build-perf-off}"
+SCALE="${SCALE:-2}"
+REPS="${REPS:-5}"
+TOL="${TOL:-1.02}"
+BENCH_FILTER="${BENCH_FILTER:-gzip}"
+
+cmake -S "$ROOT" -B "$BUILD_ON" -DCMAKE_BUILD_TYPE=Release \
+      -DSLFWD_OBS_EVENTS=ON >/dev/null
+cmake -S "$ROOT" -B "$BUILD_OFF" -DCMAKE_BUILD_TYPE=Release \
+      -DSLFWD_OBS_EVENTS=OFF >/dev/null
+cmake --build "$BUILD_ON" --target bench_fig5_baseline -j"$(nproc)" >/dev/null
+cmake --build "$BUILD_OFF" --target bench_fig5_baseline -j"$(nproc)" >/dev/null
+
+# Min-of-N wall-clock of one fig5 slice, in milliseconds.
+time_build() {
+    local bin="$1/bench/bench_fig5_baseline" best= ms t0 t1
+    for _ in $(seq "$REPS"); do
+        t0=$(date +%s%N)
+        "$bin" scale="$SCALE" bench="$BENCH_FILTER" jobs=1 >/dev/null
+        t1=$(date +%s%N)
+        ms=$(( (t1 - t0) / 1000000 ))
+        if [ -z "$best" ] || [ "$ms" -lt "$best" ]; then best=$ms; fi
+    done
+    echo "$best"
+}
+
+ms_on=$(time_build "$BUILD_ON")
+ms_off=$(time_build "$BUILD_OFF")
+
+ratio=$(awk -v on="$ms_on" -v off="$ms_off" \
+            'BEGIN { printf "%.4f", (off > 0 ? on / off : 99) }')
+echo "perf smoke: hooks-on ${ms_on}ms, hooks-off ${ms_off}ms," \
+     "ratio ${ratio} (ceiling ${TOL})"
+
+awk -v r="$ratio" -v tol="$TOL" 'BEGIN { exit !(r <= tol) }' || {
+    echo "FAIL: tracing-disabled overhead ${ratio} exceeds ${TOL}" >&2
+    exit 1
+}
+echo "PASS"

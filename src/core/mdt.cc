@@ -24,13 +24,14 @@ namespace slf
 Mdt::Mdt(const MdtParams &params)
     : params_(params),
       stats_("mdt"),
-      accesses_(stats_.counter("accesses")),
-      conflicts_(stats_.counter("set_conflicts")),
-      viol_true_(stats_.counter("violations_true")),
-      viol_anti_(stats_.counter("violations_anti")),
-      viol_output_(stats_.counter("violations_output")),
-      scavenged_(stats_.counter("scavenged_entries")),
-      optimized_recoveries_(stats_.counter("optimized_true_recoveries"))
+      table_(stats_),
+      accesses_(table_[obs::MdtStat::Accesses]),
+      conflicts_(table_[obs::MdtStat::SetConflicts]),
+      viol_true_(table_[obs::MdtStat::ViolationsTrue]),
+      viol_anti_(table_[obs::MdtStat::ViolationsAnti]),
+      viol_output_(table_[obs::MdtStat::ViolationsOutput]),
+      scavenged_(table_[obs::MdtStat::ScavengedEntries]),
+      optimized_recoveries_(table_[obs::MdtStat::OptimizedTrueRecoveries])
 {
     if (params.sets == 0 || (params.sets & (params.sets - 1)) != 0)
         fatal("Mdt: set count must be a nonzero power of two");
@@ -65,6 +66,9 @@ Mdt::lastBlock(Addr addr, unsigned size) const
 void
 Mdt::freeEntry(Entry &e)
 {
+    // Callers only free valid entries (scavengeSet and injectEviction
+    // both check e.valid first).
+    --valid_count_;
     e = Entry{};
     ++evictions_;
 }
@@ -134,6 +138,7 @@ Mdt::findOrAlloc(std::uint64_t block)
         if (!e.valid) {
             e.valid = true;
             e.block = block;
+            ++valid_count_;
         }
         e.lru = lru_clock_;
         return &e;
@@ -151,6 +156,7 @@ Mdt::findOrAlloc(std::uint64_t block)
                 base[w].valid = true;
                 base[w].block = block;
                 base[w].lru = lru_clock_;
+                ++valid_count_;
                 return &base[w];
             }
         }
@@ -348,15 +354,7 @@ Mdt::reset()
 {
     for (auto &e : entries_)
         e = Entry{};
-}
-
-std::uint64_t
-Mdt::validEntries() const
-{
-    std::uint64_t n = 0;
-    for (const auto &e : entries_)
-        n += e.valid ? 1 : 0;
-    return n;
+    valid_count_ = 0;
 }
 
 } // namespace slf

@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/stat_table.hh"
 #include "pred/memdep.hh"
 #include "sim/rng.hh"
 #include "sim/stats.hh"
@@ -135,8 +136,10 @@ class Mdt
      */
     bool injectEviction(Rng &rng);
 
-    /** Number of currently valid entries (for tests). */
-    std::uint64_t validEntries() const;
+    /** Number of currently valid entries. Tracked incrementally: the
+     *  per-cycle occupancy sampler reads this, so it must not scan the
+     *  table. */
+    std::uint64_t validEntries() const { return valid_count_; }
 
     /** Count of entry evictions/frees since construction. The scheduler's
      *  stall-bit heuristic clears stall bits when this advances. */
@@ -145,6 +148,8 @@ class Mdt
     const MdtParams &params() const { return params_; }
     StatGroup &stats() { return stats_; }
     const StatGroup &stats() const { return stats_; }
+    /** Typed counter read (the name is compile-checked). */
+    std::uint64_t statValue(obs::MdtStat s) const { return table_.value(s); }
 
   private:
     struct Entry
@@ -195,8 +200,10 @@ class Mdt
     std::uint64_t lru_clock_ = 0;
     SeqNum oldest_inflight_ = 0;
     std::uint64_t evictions_ = 0;
+    std::uint64_t valid_count_ = 0;
 
     StatGroup stats_;
+    obs::StatTable<obs::MdtStat> table_;
     Counter &accesses_;
     Counter &conflicts_;
     Counter &viol_true_;

@@ -25,14 +25,15 @@ namespace slf
 Sfc::Sfc(const SfcParams &params)
     : params_(params),
       stats_("sfc"),
-      store_writes_(stats_.counter("store_writes")),
-      load_reads_(stats_.counter("load_reads")),
-      full_matches_(stats_.counter("full_matches")),
-      partial_matches_(stats_.counter("partial_matches")),
-      corrupt_hits_(stats_.counter("corrupt_hits")),
-      conflicts_(stats_.counter("set_conflicts")),
-      partial_flushes_(stats_.counter("partial_flushes")),
-      scavenged_(stats_.counter("scavenged_entries"))
+      table_(stats_),
+      store_writes_(table_[obs::SfcStat::StoreWrites]),
+      load_reads_(table_[obs::SfcStat::LoadReads]),
+      full_matches_(table_[obs::SfcStat::FullMatches]),
+      partial_matches_(table_[obs::SfcStat::PartialMatches]),
+      corrupt_hits_(table_[obs::SfcStat::CorruptHits]),
+      conflicts_(table_[obs::SfcStat::SetConflicts]),
+      partial_flushes_(table_[obs::SfcStat::PartialFlushes]),
+      scavenged_(table_[obs::SfcStat::ScavengedEntries])
 {
     if (params.sets == 0 || (params.sets & (params.sets - 1)) != 0)
         fatal("Sfc: set count must be a nonzero power of two");
@@ -52,6 +53,9 @@ Sfc::setIndex(std::uint64_t word) const
 void
 Sfc::freeEntry(Entry &e)
 {
+    // Callers only free valid entries (find() hits and the scavenger's
+    // e.valid check).
+    --valid_count_;
     e = Entry{};
     ++evictions_;
 }
@@ -100,6 +104,7 @@ Sfc::findOrAlloc(std::uint64_t word)
             if (!base[w].valid) {
                 Entry &e = base[w];
                 e.valid = true;
+                ++valid_count_;
                 e.word = word;
                 e.lru = lru_clock_;
                 e.data.fill(0);
@@ -301,6 +306,7 @@ Sfc::fullFlush()
     for (auto &e : entries_)
         e = Entry{};
     flush_ranges_.clear();
+    valid_count_ = 0;
 }
 
 bool
@@ -339,15 +345,6 @@ Sfc::injectDataClobber(Rng &rng, std::uint8_t xor_byte)
         return true;
     }
     return false;
-}
-
-std::uint64_t
-Sfc::validEntries() const
-{
-    std::uint64_t n = 0;
-    for (const auto &e : entries_)
-        n += e.valid ? 1 : 0;
-    return n;
 }
 
 } // namespace slf

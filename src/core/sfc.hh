@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/stat_table.hh"
 #include "sim/rng.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -143,12 +144,17 @@ class Sfc
      */
     bool injectDataClobber(Rng &rng, std::uint8_t xor_byte);
 
-    std::uint64_t validEntries() const;
+    /** Number of currently valid entries. Tracked incrementally: the
+     *  per-cycle occupancy sampler reads this, so it must not scan the
+     *  table. */
+    std::uint64_t validEntries() const { return valid_count_; }
     std::uint64_t evictionCount() const { return evictions_; }
 
     const SfcParams &params() const { return params_; }
     StatGroup &stats() { return stats_; }
     const StatGroup &stats() const { return stats_; }
+    /** Typed counter read (the name is compile-checked). */
+    std::uint64_t statValue(obs::SfcStat s) const { return table_.value(s); }
 
   private:
     struct Entry
@@ -189,8 +195,10 @@ class Sfc
     std::uint64_t lru_clock_ = 0;
     SeqNum oldest_inflight_ = 0;
     std::uint64_t evictions_ = 0;
+    std::uint64_t valid_count_ = 0;
 
     StatGroup stats_;
+    obs::StatTable<obs::SfcStat> table_;
     Counter &store_writes_;
     Counter &load_reads_;
     Counter &full_matches_;

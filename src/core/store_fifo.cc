@@ -8,10 +8,11 @@ namespace slf
 StoreFifo::StoreFifo(std::size_t capacity)
     : capacity_(capacity),
       stats_("store_fifo"),
-      allocated_(stats_.counter("allocated")),
-      retired_(stats_.counter("retired")),
-      squashed_(stats_.counter("squashed")),
-      payload_faults_(stats_.counter("payload_faults"))
+      table_(stats_),
+      allocated_(table_[obs::StoreFifoStat::Allocated]),
+      retired_(table_[obs::StoreFifoStat::Retired]),
+      squashed_(table_[obs::StoreFifoStat::Squashed]),
+      payload_faults_(table_[obs::StoreFifoStat::PayloadFaults])
 {
     if (capacity == 0)
         fatal("StoreFifo: capacity must be nonzero");

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <deque>
 
+#include "obs/stat_table.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -75,11 +76,17 @@ class StoreFifo
     bool corruptHeadPayload(std::uint64_t xor_bits);
 
     StatGroup &stats() { return stats_; }
+    /** Typed counter read (the name is compile-checked). */
+    std::uint64_t statValue(obs::StoreFifoStat s) const
+    {
+        return table_.value(s);
+    }
 
   private:
     std::size_t capacity_;
     std::deque<Slot> slots_;
     StatGroup stats_;
+    obs::StatTable<obs::StoreFifoStat> table_;
     Counter &allocated_;
     Counter &retired_;
     Counter &squashed_;

@@ -12,6 +12,7 @@
 #include "core/sfc.hh"
 #include "lsq/lsq.hh"
 #include "mem/cache.hh"
+#include "obs/hooks.hh"
 #include "pred/memdep.hh"
 #include "sim/types.hh"
 #include "verify/fault_inject.hh"
@@ -100,6 +101,14 @@ struct CoreConfig
 
     /** Fault injection (all rates default to 0 = disabled). */
     FaultInjectParams fault;
+
+    /**
+     * Observability hooks: optional event sink, host-time profiler and
+     * per-cycle occupancy sampling. The pointers are borrowed (the
+     * owner must outlive the core) and are deliberately NOT shared
+     * across campaign jobs — runJob() nulls them in its config copy.
+     */
+    obs::ObsHooks obs;
 
     /** Baseline 4-wide configuration (Figure 4, left column). */
     static CoreConfig baseline();

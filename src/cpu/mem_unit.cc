@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "cpu/value_replay_unit.hh"
+#include "obs/trace_sink.hh"
 #include "sim/logging.hh"
 #include "verify/fault_inject.hh"
 
@@ -12,6 +13,38 @@ namespace slf
 
 namespace
 {
+
+[[maybe_unused]] obs::MdtCheckDetail
+mdtCheckDetail(const MdtAccess &a)
+{
+    switch (a.status) {
+      case MdtAccess::Status::Ok:
+        return obs::MdtCheckDetail::Ok;
+      case MdtAccess::Status::Conflict:
+        return obs::MdtCheckDetail::Conflict;
+      case MdtAccess::Status::Violation:
+        switch (a.kind) {
+          case DepKind::True: return obs::MdtCheckDetail::ViolTrue;
+          case DepKind::Anti: return obs::MdtCheckDetail::ViolAnti;
+          case DepKind::Output: return obs::MdtCheckDetail::ViolOutput;
+        }
+    }
+    return obs::MdtCheckDetail::Ok;
+}
+
+[[maybe_unused]] obs::SfcProbeDetail
+sfcProbeDetail(SfcLoadResult::Status s)
+{
+    switch (s) {
+      case SfcLoadResult::Status::Miss: return obs::SfcProbeDetail::Miss;
+      case SfcLoadResult::Status::Full: return obs::SfcProbeDetail::Full;
+      case SfcLoadResult::Status::Partial:
+        return obs::SfcProbeDetail::Partial;
+      case SfcLoadResult::Status::Corrupt:
+        return obs::SfcProbeDetail::Corrupt;
+    }
+    return obs::SfcProbeDetail::Miss;
+}
 
 /** Merge SFC-supplied bytes over committed-memory bytes. */
 std::uint64_t
@@ -44,17 +77,21 @@ MdtSfcUnit::MdtSfcUnit(const CoreConfig &cfg, MainMemory &mem,
       sfc_(cfg.sfc),
       fifo_(cfg.rob_entries),
       stats_("mdtsfc_unit"),
-      load_replays_corrupt_(stats_.counter("load_replays_sfc_corrupt")),
-      load_replays_partial_(stats_.counter("load_replays_sfc_partial")),
-      load_replays_mdt_conflict_(stats_.counter("load_replays_mdt_conflict")),
+      table_(stats_),
+      load_replays_corrupt_(
+          table_[obs::MdtSfcUnitStat::LoadReplaysSfcCorrupt]),
+      load_replays_partial_(
+          table_[obs::MdtSfcUnitStat::LoadReplaysSfcPartial]),
+      load_replays_mdt_conflict_(
+          table_[obs::MdtSfcUnitStat::LoadReplaysMdtConflict]),
       store_replays_sfc_conflict_(
-          stats_.counter("store_replays_sfc_conflict")),
+          table_[obs::MdtSfcUnitStat::StoreReplaysSfcConflict]),
       store_replays_mdt_conflict_(
-          stats_.counter("store_replays_mdt_conflict")),
-      sfc_forwards_(stats_.counter("sfc_forwards")),
-      head_bypasses_(stats_.counter("head_bypasses")),
+          table_[obs::MdtSfcUnitStat::StoreReplaysMdtConflict]),
+      sfc_forwards_(table_[obs::MdtSfcUnitStat::SfcForwards]),
+      head_bypasses_(table_[obs::MdtSfcUnitStat::HeadBypasses]),
       output_corrupt_recoveries_(
-          stats_.counter("output_corrupt_recoveries"))
+          table_[obs::MdtSfcUnitStat::OutputCorruptRecoveries])
 {}
 
 bool
@@ -84,6 +121,8 @@ MdtSfcUnit::headBypassStore(DynInst &inst)
     inst.head_bypassed = true;
     fifo_.fill(inst.seq, inst.addr, inst.size, inst.store_value);
     mem_.writeBytes(inst.addr, inst.store_value, inst.size);
+    SLF_OBS_EMIT(trace_, obs::EventKind::FifoCommit, obs::Track::StoreFifo,
+                 inst.seq, inst.pc, inst.addr, inst.store_value, 0);
 }
 
 MemIssueOutcome
@@ -104,6 +143,9 @@ MdtSfcUnit::issueLoad(DynInst &inst, bool at_rob_head)
     if (injector_)
         injector_->onSfcAccess(sfc_);
     const SfcLoadResult sfc = sfc_.loadRead(inst.addr, inst.size);
+    SLF_OBS_EMIT(trace_, obs::EventKind::SfcProbe, obs::Track::Sfc,
+                 inst.seq, inst.pc, inst.addr, sfc.value,
+                 sfcProbeDetail(sfc.status));
     switch (sfc.status) {
       case SfcLoadResult::Status::Corrupt:
         ++load_replays_corrupt_;
@@ -142,6 +184,9 @@ MdtSfcUnit::issueLoad(DynInst &inst, bool at_rob_head)
         injector_->onMdtAccess(mdt_);
     const MdtAccess mdt =
         mdt_.accessLoad(inst.addr, inst.size, inst.seq, inst.pc);
+    SLF_OBS_EMIT(trace_, obs::EventKind::MdtCheck, obs::Track::Mdt,
+                 inst.seq, inst.pc, inst.addr, mdt.producer_pc,
+                 mdtCheckDetail(mdt));
     if (mdt.status == MdtAccess::Status::Conflict) {
         ++load_replays_mdt_conflict_;
         out.kind = MemIssueOutcome::Kind::Replay;
@@ -149,12 +194,6 @@ MdtSfcUnit::issueLoad(DynInst &inst, bool at_rob_head)
         return out;
     }
     if (mdt.status == MdtAccess::Status::Violation) {
-        SLF_DPRINTF("MDTViol",
-                    "load seq %" PRIu64 " pc %" PRIu64 " addr %" PRIx64
-                    ": %s violation, producer pc %" PRIu64
-                    " consumer pc %" PRIu64,
-                    inst.seq, inst.pc, inst.addr, depKindName(mdt.kind),
-                    mdt.producer_pc, mdt.consumer_pc);
         memdep_.reportViolation(mdt.producer_pc, mdt.consumer_pc, mdt.kind);
         out.kind = MemIssueOutcome::Kind::Violation;
         out.dep_kind = mdt.kind;
@@ -181,6 +220,9 @@ MdtSfcUnit::issueStore(DynInst &inst, bool at_rob_head)
         injector_->onMdtAccess(mdt_);
     const MdtAccess mdt =
         mdt_.accessStore(inst.addr, inst.size, inst.seq, inst.pc);
+    SLF_OBS_EMIT(trace_, obs::EventKind::MdtCheck, obs::Track::Mdt,
+                 inst.seq, inst.pc, inst.addr, mdt.producer_pc,
+                 mdtCheckDetail(mdt));
     if (mdt.status == MdtAccess::Status::Conflict) {
         if (at_rob_head && cfg_.head_bypass) {
             // Head bypass (Section 2.2). Skipping the MDT here is sound:
@@ -199,8 +241,14 @@ MdtSfcUnit::issueStore(DynInst &inst, bool at_rob_head)
 
     if (injector_)
         injector_->onSfcAccess(sfc_);
-    if (sfc_.storeWrite(inst.addr, inst.size, inst.store_value, inst.seq) ==
-        SfcStoreResult::Conflict) {
+    const SfcStoreResult sres =
+        sfc_.storeWrite(inst.addr, inst.size, inst.store_value, inst.seq);
+    SLF_OBS_EMIT(trace_, obs::EventKind::SfcProbe, obs::Track::Sfc,
+                 inst.seq, inst.pc, inst.addr, inst.store_value,
+                 sres == SfcStoreResult::Conflict
+                     ? obs::SfcProbeDetail::StoreConflict
+                     : obs::SfcProbeDetail::StoreAccept);
+    if (sres == SfcStoreResult::Conflict) {
         if (at_rob_head && cfg_.head_bypass) {
             // The MDT check above already ran (catching any younger
             // completed load), so retiring straight from the FIFO and
@@ -235,12 +283,6 @@ MdtSfcUnit::issueStore(DynInst &inst, bool at_rob_head)
     fifo_.fill(inst.seq, inst.addr, inst.size, inst.store_value);
 
     if (mdt.status == MdtAccess::Status::Violation) {
-        SLF_DPRINTF("MDTViol",
-                    "store seq %" PRIu64 " pc %" PRIu64 " addr %" PRIx64
-                    ": %s violation, producer pc %" PRIu64
-                    " consumer pc %" PRIu64 " squash_from %" PRIu64,
-                    inst.seq, inst.pc, inst.addr, depKindName(mdt.kind),
-                    mdt.producer_pc, mdt.consumer_pc, mdt.squash_from);
         memdep_.reportViolation(mdt.producer_pc, mdt.consumer_pc, mdt.kind);
         if (mdt.has_secondary) {
             memdep_.reportViolation(mdt.producer2_pc, mdt.consumer2_pc,
@@ -284,6 +326,8 @@ MdtSfcUnit::retireStore(DynInst &inst)
     const StoreFifo::Slot slot = fifo_.retireHead(inst.seq);
     mem_.writeBytes(slot.addr, slot.value, slot.size);
     caches_.accessData(slot.addr);   // commit allocates in the L1D
+    SLF_OBS_EMIT(trace_, obs::EventKind::FifoCommit, obs::Track::StoreFifo,
+                 inst.seq, inst.pc, slot.addr, slot.value, 0);
 
     if (inst.mem_registered)
         mdt_.retireStore(inst.addr, inst.size, inst.seq);
@@ -319,45 +363,39 @@ MdtSfcUnit::evictionCount() const
     return mdt_.evictionCount() + sfc_.evictionCount();
 }
 
-std::string
-MdtSfcUnit::occupancyDump() const
+void
+MdtSfcUnit::snapshotOccupancy(obs::OccSnapshot &snap) const
 {
-    std::ostringstream os;
-    os << "mdt valid=" << mdt_.validEntries()
-       << " sfc valid=" << sfc_.validEntries()
-       << " store_fifo=" << fifo_.size() << "/" << fifo_.capacity();
-    return os.str();
+    snap.set(obs::OccStat::MdtValid, mdt_.validEntries());
+    snap.set(obs::OccStat::SfcValid, sfc_.validEntries());
+    snap.set(obs::OccStat::StoreFifo, fifo_.size(), fifo_.capacity());
 }
 
-void
-MemUnit::exportStats(SimResult &r) const
+std::string
+MemUnit::occupancyDump() const
 {
-    const StatGroup &us = unitStats();
-    r.load_replays_sfc_corrupt = us.counterValue("load_replays_sfc_corrupt");
-    r.load_replays_sfc_partial = us.counterValue("load_replays_sfc_partial");
-    r.load_replays_mdt_conflict =
-        us.counterValue("load_replays_mdt_conflict");
-    r.store_replays_sfc_conflict =
-        us.counterValue("store_replays_sfc_conflict");
-    r.store_replays_mdt_conflict =
-        us.counterValue("store_replays_mdt_conflict");
-    r.sfc_forwards = us.counterValue("sfc_forwards");
-    r.lsq_forwards = us.counterValue("full_forwards");
-    r.head_bypasses = us.counterValue("head_bypasses");
+    obs::OccSnapshot snap;
+    snapshotOccupancy(snap);
+    return snap.toString();
 }
 
 void
 MdtSfcUnit::exportStats(SimResult &r) const
 {
-    MemUnit::exportStats(r);
-    const StatGroup &ms = mdt_.stats();
-    r.viol_true = ms.counterValue("violations_true");
-    r.viol_anti = ms.counterValue("violations_anti");
-    r.viol_output = ms.counterValue("violations_output");
-    r.mdt_accesses = ms.counterValue("accesses");
-    const StatGroup &ss = sfc_.stats();
-    r.sfc_accesses =
-        ss.counterValue("load_reads") + ss.counterValue("store_writes");
+    using S = obs::MdtSfcUnitStat;
+    r.load_replays_sfc_corrupt = statValue(S::LoadReplaysSfcCorrupt);
+    r.load_replays_sfc_partial = statValue(S::LoadReplaysSfcPartial);
+    r.load_replays_mdt_conflict = statValue(S::LoadReplaysMdtConflict);
+    r.store_replays_sfc_conflict = statValue(S::StoreReplaysSfcConflict);
+    r.store_replays_mdt_conflict = statValue(S::StoreReplaysMdtConflict);
+    r.sfc_forwards = statValue(S::SfcForwards);
+    r.head_bypasses = statValue(S::HeadBypasses);
+    r.viol_true = mdt_.statValue(obs::MdtStat::ViolationsTrue);
+    r.viol_anti = mdt_.statValue(obs::MdtStat::ViolationsAnti);
+    r.viol_output = mdt_.statValue(obs::MdtStat::ViolationsOutput);
+    r.mdt_accesses = mdt_.statValue(obs::MdtStat::Accesses);
+    r.sfc_accesses = sfc_.statValue(obs::SfcStat::LoadReads) +
+                     sfc_.statValue(obs::SfcStat::StoreWrites);
 }
 
 // ---------------------------------------------------------------------
@@ -370,7 +408,8 @@ LsqUnit::LsqUnit(const CoreConfig &cfg, MainMemory &mem,
       memdep_(memdep),
       lsq_(cfg.lsq, [&mem](Addr a) { return mem.read8(a); }),
       stats_("lsq_unit"),
-      lsq_forwards_(stats_.counter("full_forwards"))
+      table_(stats_),
+      lsq_forwards_(table_[obs::LsqUnitStat::FullForwards])
 {}
 
 bool
@@ -460,24 +499,24 @@ LsqUnit::squashFrom(SeqNum seq)
     lsq_.squashFrom(seq);
 }
 
-std::string
-LsqUnit::occupancyDump() const
+void
+LsqUnit::snapshotOccupancy(obs::OccSnapshot &snap) const
 {
-    std::ostringstream os;
-    os << "lq=" << lsq_.loadQueueSize() << "/" << lsq_.params().lq_entries
-       << " sq=" << lsq_.storeQueueSize() << "/" << lsq_.params().sq_entries;
-    return os.str();
+    snap.set(obs::OccStat::LoadQ, lsq_.loadQueueSize(),
+             lsq_.params().lq_entries);
+    snap.set(obs::OccStat::StoreQ, lsq_.storeQueueSize(),
+             lsq_.params().sq_entries);
 }
 
 void
 LsqUnit::exportStats(SimResult &r) const
 {
-    MemUnit::exportStats(r);
-    const StatGroup &ls = lsq_.stats();
-    r.viol_true = ls.counterValue("violations_true");
-    r.cam_entries_examined = ls.counterValue("cam_entries_examined");
-    r.lsq_searches =
-        ls.counterValue("lq_searches") + ls.counterValue("sq_searches");
+    r.lsq_forwards = statValue(obs::LsqUnitStat::FullForwards);
+    r.viol_true = lsq_.statValue(obs::LsqStat::ViolationsTrue);
+    r.cam_entries_examined =
+        lsq_.statValue(obs::LsqStat::CamEntriesExamined);
+    r.lsq_searches = lsq_.statValue(obs::LsqStat::LqSearches) +
+                     lsq_.statValue(obs::LsqStat::SqSearches);
 }
 
 std::unique_ptr<MemUnit>

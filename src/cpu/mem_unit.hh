@@ -26,6 +26,9 @@
 #include "lsq/lsq.hh"
 #include "mem/cache.hh"
 #include "mem/main_memory.hh"
+#include "obs/hooks.hh"
+#include "obs/occupancy.hh"
+#include "obs/stat_table.hh"
 #include "pred/memdep.hh"
 #include "sim/stats.hh"
 #include "verify/sim_result.hh"
@@ -130,19 +133,32 @@ class MemUnit
     virtual const StatGroup &unitStats() const = 0;
 
     /**
-     * Export this unit's counters into a flat SimResult. The base
-     * implementation harvests the counter names shared by every unit
-     * (replay breakdowns, forwards, head bypasses); overrides add the
-     * structure-specific counters (MDT/SFC accesses, LSQ CAM activity)
-     * that used to require a dynamic_cast chain in the driver.
+     * Export this unit's counters into a flat SimResult. Every unit
+     * reads its own typed stat tables (MDT/SFC accesses, LSQ CAM
+     * activity, replay breakdowns); no string lookups remain on this
+     * path, so a renamed counter is a compile error.
      */
-    virtual void exportStats(SimResult &r) const;
+    virtual void exportStats(SimResult &r) const = 0;
 
     /** Attach a fault injector (units without fault sites ignore it). */
     virtual void setFaultInjector(FaultInjector *) {}
 
-    /** One-line occupancy summary for watchdog/deadlock dumps. */
-    virtual std::string occupancyDump() const { return {}; }
+    /** Attach an event sink (null detaches). */
+    void setTraceSink(obs::TraceSink *sink) { trace_ = sink; }
+
+    /**
+     * Fill the unit's structure occupancies into @p snap. The per-cycle
+     * occupancy sampler and the watchdog dump both read this, so the
+     * two can never disagree.
+     */
+    virtual void snapshotOccupancy(obs::OccSnapshot &snap) const
+    {
+        (void)snap;
+    }
+
+    /** One-line occupancy summary for watchdog/deadlock dumps, rendered
+     *  from the same snapshot the exported occupancy stats sample. */
+    std::string occupancyDump() const;
 
   protected:
     /** Read @p size committed bytes (little-endian). */
@@ -154,6 +170,7 @@ class MemUnit
 
     MainMemory &mem_;
     CacheHierarchy &caches_;
+    obs::TraceSink *trace_ = nullptr;
 };
 
 /** The paper's subsystem: SFC + MDT + store FIFO. */
@@ -179,7 +196,12 @@ class MdtSfcUnit : public MemUnit
     const StatGroup &unitStats() const override { return stats_; }
     void exportStats(SimResult &r) const override;
     void setFaultInjector(FaultInjector *fi) override { injector_ = fi; }
-    std::string occupancyDump() const override;
+    void snapshotOccupancy(obs::OccSnapshot &snap) const override;
+    /** Typed counter read (the name is compile-checked). */
+    std::uint64_t statValue(obs::MdtSfcUnitStat s) const
+    {
+        return table_.value(s);
+    }
 
     Mdt &mdt() { return mdt_; }
     const Mdt &mdt() const { return mdt_; }
@@ -200,6 +222,7 @@ class MdtSfcUnit : public MemUnit
     FaultInjector *injector_ = nullptr;
 
     StatGroup stats_;
+    obs::StatTable<obs::MdtSfcUnitStat> table_;
     Counter &load_replays_corrupt_;
     Counter &load_replays_partial_;
     Counter &load_replays_mdt_conflict_;
@@ -232,7 +255,12 @@ class LsqUnit : public MemUnit
     StatGroup &unitStats() override { return stats_; }
     const StatGroup &unitStats() const override { return stats_; }
     void exportStats(SimResult &r) const override;
-    std::string occupancyDump() const override;
+    void snapshotOccupancy(obs::OccSnapshot &snap) const override;
+    /** Typed counter read (the name is compile-checked). */
+    std::uint64_t statValue(obs::LsqUnitStat s) const
+    {
+        return table_.value(s);
+    }
 
     Lsq &lsq() { return lsq_; }
     const Lsq &lsq() const { return lsq_; }
@@ -241,6 +269,7 @@ class LsqUnit : public MemUnit
     MemDepPredictor &memdep_;
     Lsq lsq_;
     StatGroup stats_;
+    obs::StatTable<obs::LsqUnitStat> table_;
     Counter &lsq_forwards_;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/trace_sink.hh"
 #include "sim/logging.hh"
 
 namespace slf
@@ -15,19 +16,23 @@ OooCore::OooCore(const CoreConfig &cfg, const Program &prog)
       gshare_(cfg.gshare_bits, cfg.gshare_history_bits),
       oracle_rng_(cfg.rng_seed),
       memdep_(cfg.memdep),
+      trace_(cfg.obs.trace),
+      profiler_(cfg.obs.profiler),
       stats_("core"),
-      insts_retired_(stats_.counter("insts_retired")),
-      loads_retired_(stats_.counter("loads_retired")),
-      stores_retired_(stats_.counter("stores_retired")),
-      branches_retired_(stats_.counter("branches_retired")),
-      mispredicts_(stats_.counter("branch_mispredicts")),
-      oracle_fixes_(stats_.counter("oracle_fixed_mispredicts")),
-      replays_(stats_.counter("mem_replays")),
-      violation_flushes_true_(stats_.counter("violation_flushes_true")),
-      violation_flushes_anti_(stats_.counter("violation_flushes_anti")),
-      violation_flushes_output_(stats_.counter("violation_flushes_output")),
-      spurious_violations_(stats_.counter("spurious_violations")),
-      dispatch_stalls_(stats_.counter("dispatch_stall_cycles"))
+      table_(stats_),
+      insts_retired_(table_[obs::CoreStat::InstsRetired]),
+      loads_retired_(table_[obs::CoreStat::LoadsRetired]),
+      stores_retired_(table_[obs::CoreStat::StoresRetired]),
+      branches_retired_(table_[obs::CoreStat::BranchesRetired]),
+      mispredicts_(table_[obs::CoreStat::BranchMispredicts]),
+      oracle_fixes_(table_[obs::CoreStat::OracleFixedMispredicts]),
+      replays_(table_[obs::CoreStat::MemReplays]),
+      violation_flushes_true_(table_[obs::CoreStat::ViolationFlushesTrue]),
+      violation_flushes_anti_(table_[obs::CoreStat::ViolationFlushesAnti]),
+      violation_flushes_output_(
+          table_[obs::CoreStat::ViolationFlushesOutput]),
+      spurious_violations_(table_[obs::CoreStat::SpuriousViolations]),
+      dispatch_stalls_(table_[obs::CoreStat::DispatchStallCycles])
 {
     if (cfg_.width == 0 || cfg_.num_fus == 0 || cfg_.rob_entries == 0 ||
         cfg_.sched_entries == 0) {
@@ -36,11 +41,16 @@ OooCore::OooCore(const CoreConfig &cfg, const Program &prog)
 
     mem_.loadInitialImage(prog);
     memu_ = makeMemUnit(cfg_, mem_, caches_, memdep_);
+    memu_->setTraceSink(trace_);
+    occ_.setEnabled(cfg_.obs.sample_occupancy);
 
-    if (cfg_.validate)
+    if (cfg_.validate) {
         checker_ = std::make_unique<GoldenChecker>(prog, cfg_.check_abort);
+        checker_->setTraceSink(trace_);
+    }
     if (cfg_.fault.anyEnabled()) {
         injector_ = std::make_unique<FaultInjector>(cfg_.fault);
+        injector_->setTraceSink(trace_);
         memu_->setFaultInjector(injector_.get());
     }
     Debug::setCycleSource(&cycle_);
@@ -216,6 +226,9 @@ void
 OooCore::recoverBranchMispredict(DynInst &branch)
 {
     ++mispredicts_;
+    SLF_OBS_EMIT(trace_, obs::EventKind::Flush, obs::Track::Recovery,
+                 branch.seq, branch.pc, 0, branch.actual_next_pc,
+                 obs::FlushDetail::Branch);
 
     // Capture restore state before the squash invalidates references.
     const std::uint64_t redirect_pc = branch.actual_next_pc;
@@ -250,7 +263,7 @@ OooCore::recoverBranchMispredict(DynInst &branch)
 }
 
 void
-OooCore::recoverViolation(const MemIssueOutcome &outcome)
+OooCore::recoverViolation(const MemIssueOutcome &outcome, bool value_replay)
 {
     // Locate the oldest in-flight instruction at or after the squash
     // point; the fetch stage restarts at its PC with its recorded
@@ -282,6 +295,22 @@ OooCore::recoverViolation(const MemIssueOutcome &outcome)
       case DepKind::Anti: ++violation_flushes_anti_; break;
       case DepKind::Output: ++violation_flushes_output_; break;
     }
+
+#ifndef SLFWD_OBS_EVENTS_OFF
+    obs::FlushDetail fd = obs::FlushDetail::ValueReplay;
+    if (!value_replay) {
+        switch (outcome.dep_kind) {
+          case DepKind::True: fd = obs::FlushDetail::DepTrue; break;
+          case DepKind::Anti: fd = obs::FlushDetail::DepAnti; break;
+          case DepKind::Output: fd = obs::FlushDetail::DepOutput; break;
+        }
+    }
+    SLF_OBS_EMIT(trace_, obs::EventKind::Flush, obs::Track::Recovery,
+                 outcome.squash_from, outcome.consumer_pc, 0,
+                 outcome.producer_pc, fd);
+#else
+    (void)value_replay;
+#endif
 
     const std::uint64_t redirect_pc = victim->pc;
     const bool on_cp = victim->on_correct_path;
@@ -333,7 +362,7 @@ OooCore::retireStage()
             out.kind = MemIssueOutcome::Kind::Violation;
             out.dep_kind = DepKind::True;
             out.squash_from = head.seq;
-            recoverViolation(out);
+            recoverViolation(out, /*value_replay=*/true);
             break;
         }
 
@@ -365,6 +394,8 @@ OooCore::retireStage()
         const bool was_halt = head.si.op == Op::HALT;
         ++insts_retired_;
         last_retire_cycle_ = cycle_;
+        SLF_OBS_EMIT(trace_, obs::EventKind::Retire, obs::Track::Retire,
+                     head.seq, head.pc, head.addr, head.result, 0);
         rob_.pop_front();
 
         if (was_halt || insts_retired_.value() >= cfg_.max_insts) {
@@ -444,13 +475,17 @@ OooCore::executeAtIssue(DynInst &inst)
         const bool at_head = !rob_.empty() && rob_.front().seq == inst.seq;
 
         MemIssueOutcome out;
-        if (isLoad(op)) {
-            out = memu_->issueLoad(inst, at_head);
-        } else {
-            const unsigned bits = inst.size * 8;
-            inst.store_value =
-                bits >= 64 ? v2 : (v2 & ((std::uint64_t{1} << bits) - 1));
-            out = memu_->issueStore(inst, at_head);
+        {
+            obs::ScopedTimer t(profiler_, obs::ProfSection::MemProbe);
+            if (isLoad(op)) {
+                out = memu_->issueLoad(inst, at_head);
+            } else {
+                const unsigned bits = inst.size * 8;
+                inst.store_value =
+                    bits >= 64 ? v2
+                               : (v2 & ((std::uint64_t{1} << bits) - 1));
+                out = memu_->issueStore(inst, at_head);
+            }
         }
 
         switch (out.kind) {
@@ -467,6 +502,9 @@ OooCore::executeAtIssue(DynInst &inst)
           case MemIssueOutcome::Kind::Replay:
             ++replays_;
             ++inst.replays;
+            SLF_OBS_EMIT(trace_, obs::EventKind::Replay, obs::Track::Issue,
+                         inst.seq, inst.pc, inst.addr, inst.replays,
+                         static_cast<obs::ReplayDetail>(out.replay_reason));
             if (cfg_.stall_bits)
                 inst.stalled = true;
             inst.retry_cycle = cycle_ + cfg_.replay_delay;
@@ -531,6 +569,8 @@ OooCore::issueStage()
         inst->in_scheduler = false;
         inst->issued = true;
         ++issued;
+        SLF_OBS_EMIT(trace_, obs::EventKind::Issue, obs::Track::Issue,
+                     inst->seq, inst->pc, 0, inst->replays, 0);
 
         if (!executeAtIssue(*inst)) {
             // Replayed: back into the scheduler.
@@ -541,6 +581,7 @@ OooCore::issueStage()
                 ++stalled_count_;
         }
     }
+    issued_this_cycle_ = issued;
 }
 
 // ---------------------------------------------------------------------
@@ -685,6 +726,9 @@ OooCore::fetchStage()
         if (si.op == Op::HALT) {
             d.predicted_next_pc = fetch_pc_;
             fetchq_.push_back(d);
+            SLF_OBS_EMIT(trace_, obs::EventKind::Fetch,
+                         obs::Track::Frontend, d.seq, d.pc,
+                         0, d.predicted_next_pc, 0);
             if (fetch_on_cp_)
                 ++fetch_cp_index_;
             fetch_halted_ = true;
@@ -717,6 +761,8 @@ OooCore::fetchStage()
         d.predicted_taken = pred_taken;
         d.predicted_next_pc = next;
         fetchq_.push_back(d);
+        SLF_OBS_EMIT(trace_, obs::EventKind::Fetch, obs::Track::Frontend,
+                     d.seq, d.pc, 0, d.predicted_next_pc, 0);
 
         // Path tracking for the fetch oracle.
         if (fetch_on_cp_) {
@@ -747,6 +793,9 @@ OooCore::tick()
     if (done_)
         return false;
 
+    if (trace_)
+        trace_->beginCycle(cycle_);
+
     memu_->setOldestInflight(oldestInflightSeq());
 
     // Section 2.4.3: clear every stall bit whenever the MDT or SFC
@@ -757,13 +806,39 @@ OooCore::tick()
         clearStallBits();
     }
 
-    retireStage();
-    if (!done_) {
-        completeStage();
-        issueStage();
-        dispatchStage();
-        fetchStage();
+    const std::uint64_t retired_before = insts_retired_.value();
+    issued_this_cycle_ = 0;
+    {
+        obs::ScopedTimer t(profiler_, obs::ProfSection::Retire);
+        retireStage();
     }
+    if (!done_) {
+        {
+            obs::ScopedTimer t(profiler_, obs::ProfSection::Complete);
+            completeStage();
+        }
+        {
+            obs::ScopedTimer t(profiler_, obs::ProfSection::SchedWakeup);
+            issueStage();
+        }
+        {
+            obs::ScopedTimer t(profiler_, obs::ProfSection::Dispatch);
+            dispatchStage();
+        }
+        {
+            obs::ScopedTimer t(profiler_, obs::ProfSection::Fetch);
+            fetchStage();
+        }
+    }
+
+    if (occ_.enabled()) {
+        obs::OccSnapshot snap = occSnapshot();
+        snap.set(obs::OccStat::IssuedPerCycle, issued_this_cycle_);
+        snap.set(obs::OccStat::RetiredPerCycle,
+                 insts_retired_.value() - retired_before);
+        occ_.sampleSnapshot(snap);
+    }
+
     ++cycle_;
 
     if (cfg_.max_cycles && cycle_ >= cfg_.max_cycles)
@@ -797,6 +872,18 @@ OooCore::tick()
     return !done_;
 }
 
+obs::OccSnapshot
+OooCore::occSnapshot() const
+{
+    obs::OccSnapshot snap;
+    snap.set(obs::OccStat::Rob, rob_.size(), cfg_.rob_entries);
+    snap.set(obs::OccStat::Sched, sched_.size(), cfg_.sched_entries);
+    snap.set(obs::OccStat::FetchQ, fetchq_.size(),
+             cfg_.fetch_queue_entries);
+    memu_->snapshotOccupancy(snap);
+    return snap;
+}
+
 std::string
 OooCore::watchdogDump(const std::string &reason) const
 {
@@ -808,12 +895,10 @@ OooCore::watchdogDump(const std::string &reason) const
             << rob_.front().pc << " (" << disassemble(rob_.front().si)
             << ")";
     }
-    oss << "; rob=" << rob_.size() << "/" << cfg_.rob_entries
-        << " sched=" << sched_.size() << "/" << cfg_.sched_entries
-        << " stalled=" << stalled_count_ << " fetchq=" << fetchq_.size();
-    const std::string unit = memu_->occupancyDump();
-    if (!unit.empty())
-        oss << "; " << unit;
+    // Render the same census the occupancy sampler exports, so the dump
+    // in a wedge report can never disagree with the exported stats.
+    oss << "; " << occSnapshot().toString()
+        << " stalled=" << stalled_count_;
     return oss.str();
 }
 

@@ -43,6 +43,9 @@
 #include "cpu/mem_unit.hh"
 #include "mem/cache.hh"
 #include "mem/main_memory.hh"
+#include "obs/occupancy.hh"
+#include "obs/profile.hh"
+#include "obs/stat_table.hh"
 #include "pred/gshare.hh"
 #include "pred/memdep.hh"
 #include "prog/program.hh"
@@ -77,6 +80,10 @@ class OooCore
 
     // Introspection for stats harvesting and tests.
     StatGroup &coreStats() { return stats_; }
+    /** Typed counter read (the name is compile-checked). */
+    std::uint64_t coreStat(obs::CoreStat s) const { return table_.value(s); }
+    /** Per-cycle occupancy distributions (empty unless sampling is on). */
+    const obs::OccupancySet &occupancy() const { return occ_; }
     MemUnit &memUnit() { return *memu_; }
     MemDepPredictor &memDep() { return memdep_; }
     GsharePredictor &gshare() { return gshare_; }
@@ -122,13 +129,20 @@ class OooCore
     bool executeAtIssue(DynInst &inst);
 
     void recoverBranchMispredict(DynInst &branch);
-    void recoverViolation(const MemIssueOutcome &outcome);
+    void recoverViolation(const MemIssueOutcome &outcome,
+                          bool value_replay = false);
     /** Squash every in-flight instruction with seq >= @p seq.
      *  @return number of instructions squashed. */
     std::uint64_t squashFrom(SeqNum seq);
     void clearStallBits();
     /** Compose the watchdog fatal() message with an occupancy dump. */
     std::string watchdogDump(const std::string &reason) const;
+
+    /**
+     * One cycle's occupancy census (core structures + memory unit).
+     * Both the per-cycle sampler and the watchdog dump read this.
+     */
+    obs::OccSnapshot occSnapshot() const;
 
     Cycle opLatency(Op op) const;
     SeqNum oldestInflightSeq() const;
@@ -201,8 +215,15 @@ class OooCore
     Cycle last_retire_cycle_ = 0;
     std::uint64_t last_eviction_count_ = 0;
 
+    // --- observability ---------------------------------------------------
+    obs::TraceSink *trace_ = nullptr;       ///< borrowed from cfg.obs
+    obs::HostProfiler *profiler_ = nullptr; ///< borrowed from cfg.obs
+    obs::OccupancySet occ_;
+    unsigned issued_this_cycle_ = 0;
+
     // --- statistics -------------------------------------------------------
     StatGroup stats_;
+    obs::StatTable<obs::CoreStat> table_;
     Counter &insts_retired_;
     Counter &loads_retired_;
     Counter &stores_retired_;

@@ -11,13 +11,15 @@ ValueReplayUnit::ValueReplayUnit(const CoreConfig &cfg, MainMemory &mem,
     : MemUnit(mem, caches),
       cfg_(cfg),
       stats_("value_replay_unit"),
-      sq_searches_(stats_.counter("sq_searches")),
-      cam_entries_examined_(stats_.counter("cam_entries_examined")),
-      forwards_(stats_.counter("full_forwards")),
-      retire_replays_(stats_.counter("retire_replays")),
-      retire_violations_(stats_.counter("retire_violations")),
-      vulnerable_loads_(stats_.counter("vulnerable_loads")),
-      dep_waits_(stats_.counter("dep_wait_replays"))
+      table_(stats_),
+      sq_searches_(table_[obs::ValueReplayUnitStat::SqSearches]),
+      cam_entries_examined_(
+          table_[obs::ValueReplayUnitStat::CamEntriesExamined]),
+      forwards_(table_[obs::ValueReplayUnitStat::FullForwards]),
+      retire_replays_(table_[obs::ValueReplayUnitStat::RetireReplays]),
+      retire_violations_(table_[obs::ValueReplayUnitStat::RetireViolations]),
+      vulnerable_loads_(table_[obs::ValueReplayUnitStat::VulnerableLoads]),
+      dep_waits_(table_[obs::ValueReplayUnitStat::DepWaitReplays])
 {
     (void)memdep;   // value-based replay cannot identify the producer PC
     dep_hint_.assign(1024, 0);
@@ -188,11 +190,18 @@ ValueReplayUnit::squashFrom(SeqNum seq)
 void
 ValueReplayUnit::exportStats(SimResult &r) const
 {
-    MemUnit::exportStats(r);
-    const StatGroup &us = unitStats();
-    r.viol_true = us.counterValue("retire_violations");
-    r.cam_entries_examined = us.counterValue("cam_entries_examined");
-    r.lsq_searches = us.counterValue("sq_searches");
+    using S = obs::ValueReplayUnitStat;
+    r.lsq_forwards = statValue(S::FullForwards);
+    r.viol_true = statValue(S::RetireViolations);
+    r.cam_entries_examined = statValue(S::CamEntriesExamined);
+    r.lsq_searches = statValue(S::SqSearches);
+}
+
+void
+ValueReplayUnit::snapshotOccupancy(obs::OccSnapshot &snap) const
+{
+    snap.set(obs::OccStat::LoadQ, lq_.size(), cfg_.lsq.lq_entries);
+    snap.set(obs::OccStat::StoreQ, sq_.size(), cfg_.lsq.sq_entries);
 }
 
 } // namespace slf

@@ -60,6 +60,12 @@ class ValueReplayUnit : public MemUnit
     StatGroup &unitStats() override { return stats_; }
     const StatGroup &unitStats() const override { return stats_; }
     void exportStats(SimResult &r) const override;
+    void snapshotOccupancy(obs::OccSnapshot &snap) const override;
+    /** Typed counter read (the name is compile-checked). */
+    std::uint64_t statValue(obs::ValueReplayUnitStat s) const
+    {
+        return table_.value(s);
+    }
 
   private:
     struct StoreEntry
@@ -85,6 +91,7 @@ class ValueReplayUnit : public MemUnit
     std::uint64_t store_exec_count_ = 0;
 
     StatGroup stats_;
+    obs::StatTable<obs::ValueReplayUnitStat> table_;
     Counter &sq_searches_;
     Counter &cam_entries_examined_;
     Counter &forwards_;

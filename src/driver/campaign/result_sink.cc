@@ -108,7 +108,28 @@ emitCounters(std::ostringstream &os, const std::string &indent,
        << ", \"retirements\": " << r.check_retirements
        << ", \"failures\": " << r.check_failures
        << ", \"store_commit_failures\": " << r.check_store_commit_failures
-       << "}\n";
+       << "}";
+
+    // Schema v2: occupancy distributions, only for runs that sampled
+    // them. Omitting the section entirely (not emitting empty objects)
+    // is what keeps unsampled campaigns byte-identical to schema v1.
+    if (r.occ.enabled()) {
+        os << ",\n" << indent << "\"obs\": {\"occupancy\": {";
+        bool first = true;
+        for (std::size_t i = 0; i < obs::kOccStatCount; ++i) {
+            const auto s = static_cast<obs::OccStat>(i);
+            const Distribution &d = r.occ.dist(s);
+            if (d.count() == 0)
+                continue;
+            os << (first ? "" : ", ") << "\"" << obs::occStatName(s)
+               << "\": {\"count\": " << d.count()
+               << ", \"min\": " << d.min() << ", \"max\": " << d.max()
+               << ", \"mean\": " << jsonDouble(d.mean()) << "}";
+            first = false;
+        }
+        os << "}}";
+    }
+    os << "\n";
 }
 
 } // namespace
@@ -118,9 +139,14 @@ ResultSink::toJson(const std::string &campaign_name,
                    std::uint64_t root_seed,
                    const std::vector<JobResult> &results)
 {
+    bool any_obs = false;
+    for (const JobResult &jr : results)
+        any_obs = any_obs || jr.result.occ.enabled();
+
     std::ostringstream os;
     os << "{\n";
-    os << "  \"schema_version\": " << kSchemaVersion << ",\n";
+    os << "  \"schema_version\": "
+       << (any_obs ? kSchemaVersionObs : kSchemaVersion) << ",\n";
     os << "  \"campaign\": \"" << jsonEscape(campaign_name) << "\",\n";
     os << "  \"root_seed\": " << root_seed << ",\n";
     os << "  \"jobs\": [\n";

@@ -29,8 +29,15 @@ namespace slf::campaign
 class ResultSink
 {
   public:
-    /** Bump when the JSON layout changes shape. */
+    /**
+     * Schema versions. v1 is the original counters-only layout; v2 adds
+     * the per-job / per-aggregate "obs" occupancy section. A campaign
+     * that sampled no occupancy distributions renders as v1, byte for
+     * byte, so downstream diffing against pre-obs result files still
+     * works and the determinism ctest keeps its guarantee.
+     */
     static constexpr unsigned kSchemaVersion = 1;
+    static constexpr unsigned kSchemaVersionObs = 2;
 
     /**
      * Render a campaign's results as canonical JSON. Includes one

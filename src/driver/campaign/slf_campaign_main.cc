@@ -5,13 +5,21 @@
  * Usage:
  *   slf_campaign --sweep fig5|lsq_size|assoc|fault [--jobs N]
  *                [--out results/fig5.json] [--retries N] [--seed S]
- *                [--no-progress] [key=value ...]
+ *                [--no-progress] [--trace FILE] [--trace-text FILE]
+ *                [--trace-job N] [key=value ...]
  *
  * key=value arguments:
  *   scale=N bench=<name> wseed=S   workload selection (analog sweeps)
  *   iters=N fault_rate=R           fault-sweep shape
  *   anything else                  forwarded to applyOverrides() on
  *                                  every job's core config
+ *
+ * --trace FILE re-runs one job (--trace-job, default 0) after the
+ * campaign with a TraceSink attached and writes Chrome trace_event
+ * JSON; --trace-text FILE writes the compact text timeline of the same
+ * capture. The traced re-run happens on this thread with the job's
+ * campaign seeds, so it replays exactly what the campaign measured
+ * without ever sharing a sink across pool workers.
  *
  * The JSON written with --out is canonical: byte-identical for any
  * --jobs value (the determinism ctest relies on this). A summary table
@@ -26,6 +34,8 @@
 
 #include "campaign/result_sink.hh"
 #include "campaign/sweeps.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/trace_sink.hh"
 #include "sim/logging.hh"
 
 using namespace slf;
@@ -40,6 +50,7 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s --sweep <name> [--jobs N] [--out FILE] "
                  "[--retries N] [--seed S] [--no-progress] "
+                 "[--trace FILE] [--trace-text FILE] [--trace-job N] "
                  "[key=value ...]\n  sweeps:",
                  argv0);
     for (const std::string &n : sweepNames())
@@ -54,6 +65,9 @@ main(int argc, char **argv)
 {
     std::string sweep;
     std::string out_path;
+    std::string trace_path;
+    std::string trace_text_path;
+    std::size_t trace_job = 0;
     CampaignOptions copts;
     SweepOptions sopts;
     Config kv;
@@ -79,6 +93,12 @@ main(int argc, char **argv)
             copts.root_seed = std::stoull(next("--seed"));
         } else if (arg == "--no-progress") {
             copts.progress = false;
+        } else if (arg == "--trace") {
+            trace_path = next("--trace");
+        } else if (arg == "--trace-text") {
+            trace_text_path = next("--trace-text");
+        } else if (arg == "--trace-job") {
+            trace_job = std::stoul(next("--trace-job"));
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return 0;
@@ -136,6 +156,49 @@ main(int argc, char **argv)
             ResultSink::writeFileAtomic(out_path, json);
             std::printf("wrote %s (%zu bytes)\n", out_path.c_str(),
                         json.size());
+        }
+
+        if (!trace_path.empty() || !trace_text_path.empty()) {
+            if (trace_job >= c.jobCount())
+                fatal("--trace-job " + std::to_string(trace_job) +
+                      " out of range (campaign has " +
+                      std::to_string(c.jobCount()) + " jobs)");
+            const JobSpec &spec = c.jobs()[trace_job];
+
+            obs::TraceSink sink;
+            CoreConfig cfg = spec.cfg;
+            cfg.obs.trace = &sink;
+            if (spec.derive_seeds) {
+                cfg.rng_seed = jobSeed(copts.root_seed, trace_job,
+                                       SeedStream::Core, 0);
+                cfg.fault.seed = jobSeed(copts.root_seed, trace_job,
+                                         SeedStream::Fault, 0);
+            }
+            if (!spec.make_prog)
+                fatal("--trace-job target has no program factory");
+            const Program prog = spec.make_prog();
+            runWorkload(cfg, prog);
+
+            std::fprintf(stderr,
+                         "traced job %zu (%s/%s): %llu events captured, "
+                         "%llu dropped\n",
+                         trace_job, spec.config_name.c_str(),
+                         spec.workload.c_str(),
+                         static_cast<unsigned long long>(sink.recorded()),
+                         static_cast<unsigned long long>(sink.dropped()));
+            if (!trace_path.empty()) {
+                const std::string tj = obs::toChromeTraceJson(
+                    sink, spec.config_name + "/" + spec.workload);
+                ResultSink::writeFileAtomic(trace_path, tj);
+                std::printf("wrote %s (%zu bytes)\n", trace_path.c_str(),
+                            tj.size());
+            }
+            if (!trace_text_path.empty()) {
+                const std::string tt = obs::toTextTimeline(sink);
+                ResultSink::writeFileAtomic(trace_text_path, tt);
+                std::printf("wrote %s (%zu bytes)\n",
+                            trace_text_path.c_str(), tt.size());
+            }
         }
         return fatal_jobs ? 1 : 0;
     } catch (const FatalError &e) {

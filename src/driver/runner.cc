@@ -19,19 +19,20 @@ runWorkload(const CoreConfig &cfg, const Program &prog)
     r.insts = core.instsRetired();
     r.ipc = core.ipc();
 
-    StatGroup &cs = core.coreStats();
-    r.loads_retired = cs.counterValue("loads_retired");
-    r.stores_retired = cs.counterValue("stores_retired");
-    r.branches_retired = cs.counterValue("branches_retired");
-    r.mispredicts = cs.counterValue("branch_mispredicts");
-    r.oracle_fixes = cs.counterValue("oracle_fixed_mispredicts");
-    r.replays = cs.counterValue("mem_replays");
-    r.flushes_true = cs.counterValue("violation_flushes_true");
-    r.flushes_anti = cs.counterValue("violation_flushes_anti");
-    r.flushes_output = cs.counterValue("violation_flushes_output");
-    r.spurious_violations = cs.counterValue("spurious_violations");
+    using CS = obs::CoreStat;
+    r.loads_retired = core.coreStat(CS::LoadsRetired);
+    r.stores_retired = core.coreStat(CS::StoresRetired);
+    r.branches_retired = core.coreStat(CS::BranchesRetired);
+    r.mispredicts = core.coreStat(CS::BranchMispredicts);
+    r.oracle_fixes = core.coreStat(CS::OracleFixedMispredicts);
+    r.replays = core.coreStat(CS::MemReplays);
+    r.flushes_true = core.coreStat(CS::ViolationFlushesTrue);
+    r.flushes_anti = core.coreStat(CS::ViolationFlushesAnti);
+    r.flushes_output = core.coreStat(CS::ViolationFlushesOutput);
+    r.spurious_violations = core.coreStat(CS::SpuriousViolations);
 
     core.memUnit().exportStats(r);
+    r.occ = core.occupancy();
 
     if (const GoldenChecker *checker = core.checker()) {
         r.checker_enabled = true;
@@ -136,6 +137,9 @@ applyOverrides(CoreConfig &cfg, const Config &ov)
     cfg.fault.fifo_payload_rate =
         ov.getDouble("fault.fifo_payload", cfg.fault.fifo_payload_rate);
     cfg.fault.seed = ov.getUInt("fault.seed", cfg.fault.seed);
+
+    cfg.obs.sample_occupancy =
+        ov.getBool("obs.occupancy", cfg.obs.sample_occupancy);
 }
 
 } // namespace slf

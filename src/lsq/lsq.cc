@@ -9,12 +9,13 @@ Lsq::Lsq(const LsqParams &params, MemReader read_committed)
     : params_(params),
       read_committed_(std::move(read_committed)),
       stats_("lsq"),
-      lq_searches_(stats_.counter("lq_searches")),
-      sq_searches_(stats_.counter("sq_searches")),
-      cam_entries_examined_(stats_.counter("cam_entries_examined")),
-      forwards_(stats_.counter("forwards")),
-      violations_(stats_.counter("violations_true")),
-      silent_stores_(stats_.counter("silent_store_filtered"))
+      table_(stats_),
+      lq_searches_(table_[obs::LsqStat::LqSearches]),
+      sq_searches_(table_[obs::LsqStat::SqSearches]),
+      cam_entries_examined_(table_[obs::LsqStat::CamEntriesExamined]),
+      forwards_(table_[obs::LsqStat::Forwards]),
+      violations_(table_[obs::LsqStat::ViolationsTrue]),
+      silent_stores_(table_[obs::LsqStat::SilentStoreFiltered])
 {
     if (params.lq_entries == 0 || params.sq_entries == 0)
         fatal("Lsq: queue sizes must be nonzero");

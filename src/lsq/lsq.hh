@@ -24,6 +24,7 @@
 #include <functional>
 #include <optional>
 
+#include "obs/stat_table.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -116,6 +117,8 @@ class Lsq
 
     StatGroup &stats() { return stats_; }
     const StatGroup &stats() const { return stats_; }
+    /** Typed counter read (the name is compile-checked). */
+    std::uint64_t statValue(obs::LsqStat s) const { return table_.value(s); }
 
   private:
     struct LoadEntry
@@ -152,6 +155,7 @@ class Lsq
     std::deque<StoreEntry> sq_;
 
     StatGroup stats_;
+    obs::StatTable<obs::LsqStat> table_;
     Counter &lq_searches_;
     Counter &sq_searches_;
     Counter &cam_entries_examined_;

@@ -1,0 +1,76 @@
+#include "chrome_trace.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+namespace slf::obs
+{
+
+namespace
+{
+
+std::string
+hex(std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%" PRIx64, v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+toChromeTraceJson(const TraceSink &sink, const std::string &run_name)
+{
+    std::ostringstream os;
+    os << "{\"traceEvents\":[\n";
+
+    // Metadata: name the process and each structure lane.
+    os << "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+          "\"args\":{\"name\":\""
+       << run_name << "\"}}";
+    for (unsigned t = 0; t < static_cast<unsigned>(Track::kCount); ++t) {
+        os << ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":" << t
+           << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+           << trackName(static_cast<Track>(t)) << "\"}}";
+    }
+
+    for (const TraceEvent &ev : sink.events()) {
+        const char *detail = eventDetailName(ev.kind, ev.detail);
+        os << ",\n{\"ph\":\"X\",\"pid\":1,\"tid\":"
+           << static_cast<unsigned>(ev.track) << ",\"ts\":" << ev.cycle
+           << ",\"dur\":1,\"name\":\"" << eventKindName(ev.kind) << "\"";
+        os << ",\"args\":{";
+        if (*detail)
+            os << "\"detail\":\"" << detail << "\",";
+        os << "\"seq\":" << ev.seq << ",\"pc\":" << ev.pc
+           << ",\"addr\":\"" << hex(ev.addr) << "\",\"arg\":\""
+           << hex(ev.arg) << "\"}}";
+    }
+
+    os << "\n],\"displayTimeUnit\":\"ns\",\"otherData\":{"
+          "\"recorded\":"
+       << sink.recorded() << ",\"dropped\":" << sink.dropped() << "}}\n";
+    return os.str();
+}
+
+std::string
+toTextTimeline(const TraceSink &sink)
+{
+    std::ostringstream os;
+    for (const TraceEvent &ev : sink.events()) {
+        char buf[192];
+        const char *detail = eventDetailName(ev.kind, ev.detail);
+        std::snprintf(buf, sizeof(buf),
+                      "%10" PRIu64 " [%-10s] %-12s %-14s seq=%-8" PRIu64
+                      " pc=%-6" PRIu64 " addr=%#-10" PRIx64 " arg=%#" PRIx64,
+                      ev.cycle, trackName(ev.track), eventKindName(ev.kind),
+                      *detail ? detail : "-", ev.seq, ev.pc, ev.addr,
+                      ev.arg);
+        os << buf << "\n";
+    }
+    return os.str();
+}
+
+} // namespace slf::obs

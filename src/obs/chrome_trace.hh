@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Exporters for a captured TraceSink: Chrome trace_event JSON (load it
+ * in chrome://tracing or https://ui.perfetto.dev) and a compact text
+ * timeline for terminal inspection.
+ *
+ * The JSON uses "X" (complete) events with ts = cycle and dur = 1, one
+ * pid per run and one tid per Track, plus "M" thread_name metadata so
+ * the viewer labels the lanes ("sfc", "mdt", "store_fifo", ...). All
+ * rendering is canonical (fixed field order, no timestamps), so a
+ * deterministic workload produces a byte-identical trace file — the
+ * golden-file test relies on this.
+ */
+
+#ifndef SLFWD_OBS_CHROME_TRACE_HH_
+#define SLFWD_OBS_CHROME_TRACE_HH_
+
+#include <string>
+
+#include "obs/trace_sink.hh"
+
+namespace slf::obs
+{
+
+/** Render the sink's events as Chrome trace_event JSON. */
+std::string toChromeTraceJson(const TraceSink &sink,
+                              const std::string &run_name = "slfwd");
+
+/** Render one line per event: "cycle [track] kind detail seq pc addr". */
+std::string toTextTimeline(const TraceSink &sink);
+
+} // namespace slf::obs
+
+#endif // SLFWD_OBS_CHROME_TRACE_HH_

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Typed trace-event taxonomy.
+ *
+ * Every observable pipeline/structure action is one EventKind; the
+ * per-kind detail byte refines it (replay reason, violation kind, SFC
+ * probe outcome, ...). Events are fixed-size PODs tagged with the
+ * cycle, the dynamic instruction's sequence number, and a structure id
+ * (Track) that becomes the thread lane in the Chrome-trace export.
+ */
+
+#ifndef SLFWD_OBS_EVENT_HH_
+#define SLFWD_OBS_EVENT_HH_
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace slf::obs
+{
+
+#define SLF_OBS_EVENT_KIND_LIST(X)                                      \
+    X(Fetch, "fetch")                                                   \
+    X(Issue, "issue")                                                   \
+    X(Retire, "retire")                                                 \
+    X(SfcProbe, "sfc_probe")                                            \
+    X(MdtCheck, "mdt_check")                                            \
+    X(FifoCommit, "fifo_commit")                                        \
+    X(Flush, "flush")                                                   \
+    X(Replay, "replay")                                                 \
+    X(FaultInject, "fault_inject")                                      \
+    X(CheckerFail, "checker_fail")
+
+#define SLF_OBS_TRACK_LIST(X)                                           \
+    X(Frontend, "frontend")                                             \
+    X(Issue, "issue")                                                   \
+    X(Retire, "retire")                                                 \
+    X(Sfc, "sfc")                                                       \
+    X(Mdt, "mdt")                                                       \
+    X(StoreFifo, "store_fifo")                                          \
+    X(Recovery, "recovery")                                             \
+    X(Verify, "verify")
+
+#define SLF_OBS_ENUM_MEMBER(sym, str) sym,
+
+enum class EventKind : std::uint8_t
+{
+    SLF_OBS_EVENT_KIND_LIST(SLF_OBS_ENUM_MEMBER) kCount
+};
+
+/** Structure id: the lane ("thread") the event renders on. */
+enum class Track : std::uint8_t
+{
+    SLF_OBS_TRACK_LIST(SLF_OBS_ENUM_MEMBER) kCount
+};
+
+#undef SLF_OBS_ENUM_MEMBER
+
+// --- per-kind detail refinements --------------------------------------
+
+/** Detail byte of EventKind::Replay (mirrors ReplayReason). */
+enum class ReplayDetail : std::uint8_t
+{
+    SfcConflict,
+    SfcCorrupt,
+    SfcPartial,
+    MdtConflict,
+    DepWait,
+    kCount
+};
+
+/** Detail byte of EventKind::Flush. */
+enum class FlushDetail : std::uint8_t
+{
+    Branch,       ///< branch-mispredict recovery
+    DepTrue,      ///< memory-ordering violation, true dependence
+    DepAnti,
+    DepOutput,
+    ValueReplay,  ///< retirement-time value-check failure
+    kCount
+};
+
+/** Detail byte of EventKind::SfcProbe. */
+enum class SfcProbeDetail : std::uint8_t
+{
+    Miss,
+    Full,
+    Partial,
+    Corrupt,
+    StoreAccept,
+    StoreConflict,
+    kCount
+};
+
+/** Detail byte of EventKind::MdtCheck. */
+enum class MdtCheckDetail : std::uint8_t
+{
+    Ok,
+    Conflict,
+    ViolTrue,
+    ViolAnti,
+    ViolOutput,
+    kCount
+};
+
+/** Detail byte of EventKind::FaultInject (mirrors the fault sites). */
+enum class FaultDetail : std::uint8_t
+{
+    SfcMask,
+    SfcData,
+    MdtEvict,
+    FifoPayload,
+    kCount
+};
+
+/** Detail byte of EventKind::CheckerFail (mirrors CheckFailure::Kind). */
+enum class CheckerDetail : std::uint8_t
+{
+    Pc,
+    Opcode,
+    Result,
+    Address,
+    StoreValue,
+    Control,
+    StoreCommit,
+    FinalMemory,
+    kCount
+};
+
+/**
+ * One recorded event. Fixed-size POD so the ring buffer is a flat
+ * allocation with no per-event heap traffic.
+ */
+struct TraceEvent
+{
+    Cycle cycle = 0;
+    SeqNum seq = 0;
+    std::uint64_t pc = 0;
+    Addr addr = 0;
+    /** Kind-specific payload (forwarded value, squash count, ...). */
+    std::uint64_t arg = 0;
+    EventKind kind = EventKind::Fetch;
+    std::uint8_t detail = 0;
+    Track track = Track::Frontend;
+};
+
+const char *eventKindName(EventKind kind);
+const char *trackName(Track track);
+
+/** Human name of @p detail under @p kind; "" when the kind carries no
+ *  detail refinement. */
+const char *eventDetailName(EventKind kind, std::uint8_t detail);
+
+} // namespace slf::obs
+
+#endif // SLFWD_OBS_EVENT_HH_

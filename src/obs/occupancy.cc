@@ -1,0 +1,58 @@
+#include "occupancy.hh"
+
+#include <sstream>
+
+namespace slf::obs
+{
+
+const char *
+occStatName(OccStat s)
+{
+#define SLF_OCC_NAME_CASE(sym, str)                                     \
+  case OccStat::sym:                                                    \
+    return str;
+    switch (s) {
+        SLF_OCC_STAT_LIST(SLF_OCC_NAME_CASE)
+      case OccStat::kCount:
+        break;
+    }
+#undef SLF_OCC_NAME_CASE
+    return "?";
+}
+
+std::string
+OccSnapshot::toString() const
+{
+    std::ostringstream os;
+    bool first = true;
+    for (std::size_t i = 0; i < kOccStatCount; ++i) {
+        if (value[i] == kOccUnset)
+            continue;
+        if (!first)
+            os << " ";
+        first = false;
+        os << occStatName(static_cast<OccStat>(i)) << "=" << value[i];
+        if (cap[i] != kOccUnset)
+            os << "/" << cap[i];
+    }
+    return os.str();
+}
+
+void
+OccupancySet::sampleSnapshot(const OccSnapshot &snap)
+{
+    for (std::size_t i = 0; i < kOccStatCount; ++i) {
+        if (snap.value[i] != kOccUnset)
+            dists_[i].sample(snap.value[i]);
+    }
+}
+
+void
+OccupancySet::mergeFrom(const OccupancySet &other)
+{
+    enabled_ = enabled_ || other.enabled_;
+    for (std::size_t i = 0; i < kOccStatCount; ++i)
+        dists_[i].mergeFrom(other.dists_[i]);
+}
+
+} // namespace slf::obs

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Per-structure occupancy and port-contention metrics.
+ *
+ * OccSnapshot is one cycle's census: every structure the core and its
+ * memory unit expose (ROB, scheduler, fetch queue, store FIFO, SFC/MDT
+ * valid entries, LSQ queues) plus the per-cycle issue/retire port usage.
+ * The same snapshot feeds two consumers that previously could disagree:
+ *
+ *  - OccupancySet samples it into Distributions every cycle (when
+ *    CoreConfig::obs.sample_occupancy is on); the set rides inside
+ *    SimResult through the campaign's mergeFrom shard aggregation and
+ *    lands in the schema-v2 "obs" JSON section;
+ *  - the watchdog fatal() dump renders it with toString(), so the text
+ *    in a wedge report and the exported stats come from one source.
+ *
+ * Unset slots use kOccUnset so a unit only reports structures it has
+ * (the LSQ unit has no store FIFO, the MDT/SFC unit no load queue).
+ */
+
+#ifndef SLFWD_OBS_OCCUPANCY_HH_
+#define SLFWD_OBS_OCCUPANCY_HH_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "sim/stats.hh"
+
+namespace slf::obs
+{
+
+#define SLF_OCC_STAT_LIST(X)                                            \
+    X(Rob, "rob")                                                       \
+    X(Sched, "sched")                                                   \
+    X(FetchQ, "fetchq")                                                 \
+    X(StoreFifo, "store_fifo")                                          \
+    X(SfcValid, "sfc_valid")                                            \
+    X(MdtValid, "mdt_valid")                                            \
+    X(LoadQ, "lq")                                                      \
+    X(StoreQ, "sq")                                                     \
+    X(IssuedPerCycle, "issued_per_cycle")                               \
+    X(RetiredPerCycle, "retired_per_cycle")
+
+#define SLF_OCC_ENUM_MEMBER(sym, str) sym,
+enum class OccStat : unsigned
+{
+    SLF_OCC_STAT_LIST(SLF_OCC_ENUM_MEMBER) kCount
+};
+#undef SLF_OCC_ENUM_MEMBER
+
+inline constexpr std::size_t kOccStatCount =
+    static_cast<std::size_t>(OccStat::kCount);
+
+const char *occStatName(OccStat s);
+
+/** Sentinel: this structure does not exist in the current config. */
+inline constexpr std::uint64_t kOccUnset = ~std::uint64_t{0};
+
+/** One cycle's occupancy census. */
+struct OccSnapshot
+{
+    std::array<std::uint64_t, kOccStatCount> value;
+    std::array<std::uint64_t, kOccStatCount> cap;
+
+    OccSnapshot()
+    {
+        value.fill(kOccUnset);
+        cap.fill(kOccUnset);
+    }
+
+    void
+    set(OccStat s, std::uint64_t v, std::uint64_t capacity = kOccUnset)
+    {
+        value[static_cast<std::size_t>(s)] = v;
+        cap[static_cast<std::size_t>(s)] = capacity;
+    }
+
+    bool
+    isSet(OccStat s) const
+    {
+        return value[static_cast<std::size_t>(s)] != kOccUnset;
+    }
+
+    std::uint64_t
+    get(OccStat s) const
+    {
+        return value[static_cast<std::size_t>(s)];
+    }
+
+    /** "rob=5/128 sched=3/128 mdt_valid=7 ..." — set slots only. */
+    std::string toString() const;
+};
+
+/**
+ * Accumulated occupancy distributions for one run (or a merged shard
+ * aggregate). Disabled sets stay empty and merge as no-ops, so a
+ * campaign mixing sampled and unsampled jobs still aggregates exactly.
+ */
+class OccupancySet
+{
+  public:
+    bool enabled() const { return enabled_; }
+    void setEnabled(bool on) { enabled_ = on; }
+
+    void
+    sample(OccStat s, std::uint64_t v)
+    {
+        dists_[static_cast<std::size_t>(s)].sample(v);
+    }
+
+    /** Sample every slot the snapshot filled in. */
+    void sampleSnapshot(const OccSnapshot &snap);
+
+    const Distribution &
+    dist(OccStat s) const
+    {
+        return dists_[static_cast<std::size_t>(s)];
+    }
+
+    /**
+     * Fold another set's samples into this one. Distribution::mergeFrom
+     * is associative and order-independent, so the merged set equals
+     * one set sampled with both streams regardless of merge order.
+     * enabled flags OR together.
+     */
+    void mergeFrom(const OccupancySet &other);
+
+  private:
+    bool enabled_ = false;
+    std::array<Distribution, kOccStatCount> dists_{};
+};
+
+} // namespace slf::obs
+
+#endif // SLFWD_OBS_OCCUPANCY_HH_

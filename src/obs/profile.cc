@@ -1,0 +1,76 @@
+#include "profile.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+namespace slf::obs
+{
+
+const char *
+profSectionName(ProfSection s)
+{
+#define SLF_PROF_NAME_CASE(sym, str)                                    \
+  case ProfSection::sym:                                                \
+    return str;
+    switch (s) {
+        SLF_PROF_SECTION_LIST(SLF_PROF_NAME_CASE)
+      case ProfSection::kCount:
+        break;
+    }
+#undef SLF_PROF_NAME_CASE
+    return "?";
+}
+
+void
+HostProfiler::mergeFrom(const HostProfiler &other)
+{
+    for (std::size_t i = 0; i < kProfSectionCount; ++i) {
+        sections_[i].ns += other.sections_[i].ns;
+        sections_[i].calls += other.sections_[i].calls;
+    }
+}
+
+void
+HostProfiler::reset()
+{
+    sections_.fill(Section{});
+}
+
+std::string
+HostProfiler::toString() const
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < kProfSectionCount; ++i) {
+        const Section &s = sections_[i];
+        if (s.calls == 0)
+            continue;
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      "%-12s calls=%-12" PRIu64 " total=%9.3f ms"
+                      "  %7.1f ns/call",
+                      profSectionName(static_cast<ProfSection>(i)),
+                      s.calls, double(s.ns) / 1e6,
+                      double(s.ns) / double(s.calls));
+        os << buf << "\n";
+    }
+    return os.str();
+}
+
+std::string
+HostProfiler::toJson() const
+{
+    std::ostringstream os;
+    os << "{";
+    for (std::size_t i = 0; i < kProfSectionCount; ++i) {
+        if (i)
+            os << ", ";
+        os << "\"" << profSectionName(static_cast<ProfSection>(i))
+           << "\": {\"ns\": " << sections_[i].ns
+           << ", \"calls\": " << sections_[i].calls << "}";
+    }
+    os << "}";
+    return os.str();
+}
+
+} // namespace slf::obs

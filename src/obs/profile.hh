@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Host-time profiling of the simulator's own hot loops.
+ *
+ * A HostProfiler accumulates wall-clock nanoseconds and call counts per
+ * ProfSection; ScopedTimer is the RAII probe placed around a section.
+ * With no profiler attached (ObsHooks::profiler == nullptr) a probe is
+ * two predictable branches and no clock reads, so the hooks can stay in
+ * release builds. Results surface through toString()/toJson() so
+ * BENCH_*.json files can track simulator throughput per PR.
+ */
+
+#ifndef SLFWD_OBS_PROFILE_HH_
+#define SLFWD_OBS_PROFILE_HH_
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace slf::obs
+{
+
+#define SLF_PROF_SECTION_LIST(X)                                        \
+    X(Fetch, "fetch")                                                   \
+    X(Dispatch, "dispatch")                                             \
+    X(SchedWakeup, "sched_wakeup")                                      \
+    X(MemProbe, "mem_probe")                                            \
+    X(Complete, "complete")                                             \
+    X(Retire, "retire")
+
+#define SLF_PROF_ENUM_MEMBER(sym, str) sym,
+enum class ProfSection : unsigned
+{
+    SLF_PROF_SECTION_LIST(SLF_PROF_ENUM_MEMBER) kCount
+};
+#undef SLF_PROF_ENUM_MEMBER
+
+inline constexpr std::size_t kProfSectionCount =
+    static_cast<std::size_t>(ProfSection::kCount);
+
+const char *profSectionName(ProfSection s);
+
+class HostProfiler
+{
+  public:
+    struct Section
+    {
+        std::uint64_t ns = 0;
+        std::uint64_t calls = 0;
+    };
+
+    void
+    add(ProfSection s, std::uint64_t ns)
+    {
+        Section &sec = sections_[static_cast<std::size_t>(s)];
+        sec.ns += ns;
+        ++sec.calls;
+    }
+
+    const Section &
+    section(ProfSection s) const
+    {
+        return sections_[static_cast<std::size_t>(s)];
+    }
+
+    void mergeFrom(const HostProfiler &other);
+    void reset();
+
+    /** "section  calls  total_ms  ns/call" table. */
+    std::string toString() const;
+    /** {"fetch":{"ns":...,"calls":...},...} for BENCH_*.json files. */
+    std::string toJson() const;
+
+  private:
+    std::array<Section, kProfSectionCount> sections_{};
+};
+
+/** RAII probe; no clock is read when @p profiler is null. */
+class ScopedTimer
+{
+  public:
+    ScopedTimer(HostProfiler *profiler, ProfSection section)
+        : profiler_(profiler), section_(section)
+    {
+        if (profiler_)
+            start_ = std::chrono::steady_clock::now();
+    }
+
+    ~ScopedTimer()
+    {
+        if (profiler_) {
+            const auto end = std::chrono::steady_clock::now();
+            profiler_->add(
+                section_,
+                std::uint64_t(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        end - start_)
+                        .count()));
+        }
+    }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    HostProfiler *profiler_;
+    ProfSection section_;
+    std::chrono::steady_clock::time_point start_{};
+};
+
+} // namespace slf::obs
+
+#endif // SLFWD_OBS_PROFILE_HH_

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * StatTable: the typed face of a StatGroup.
+ *
+ * A StatTable<Enum> registers every stat named in the enum's X-macro
+ * list into a StatGroup once, at construction, and stores the stable
+ * Counter references in an enum-indexed array. Hot paths increment
+ * through operator[] (an array index, no map lookup); harvesting reads
+ * through value(). Because the only way to reach a counter is the enum,
+ * an unknown stat name is a compile error — the stringly-typed
+ * counterValue("...") pattern this replaces silently returned 0.
+ *
+ * The underlying StatGroup keeps its string-keyed map, so mergeFrom(),
+ * toString() and the campaign shard aggregation are unchanged.
+ */
+
+#ifndef SLFWD_OBS_STAT_TABLE_HH_
+#define SLFWD_OBS_STAT_TABLE_HH_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "obs/stat_ids.hh"
+#include "sim/stats.hh"
+
+namespace slf::obs
+{
+
+template <typename Enum>
+class StatTable
+{
+  public:
+    static constexpr std::size_t kCount =
+        static_cast<std::size_t>(Enum::kCount);
+
+    /** Register every stat of @p Enum in @p group (get-or-create, so
+     *  re-registration is harmless) and cache the references. */
+    explicit StatTable(StatGroup &group)
+    {
+        for (std::size_t i = 0; i < kCount; ++i)
+            slots_[i] = &group.counter(statName(static_cast<Enum>(i)));
+    }
+
+    Counter &operator[](Enum e) { return *slots_[index(e)]; }
+    const Counter &operator[](Enum e) const { return *slots_[index(e)]; }
+
+    /** Typed read of one counter's value. */
+    std::uint64_t value(Enum e) const { return (*this)[e].value(); }
+
+  private:
+    static std::size_t index(Enum e) { return static_cast<std::size_t>(e); }
+
+    std::array<Counter *, kCount> slots_{};
+};
+
+} // namespace slf::obs
+
+#endif // SLFWD_OBS_STAT_TABLE_HH_

@@ -1,0 +1,250 @@
+#include "trace_sink.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace slf::obs
+{
+
+namespace
+{
+
+#define SLF_OBS_NAME_CASE(sym, str)                                     \
+  case E::sym:                                                          \
+    return str;
+
+} // namespace
+
+const char *
+eventKindName(EventKind kind)
+{
+    using E = EventKind;
+    switch (kind) {
+        SLF_OBS_EVENT_KIND_LIST(SLF_OBS_NAME_CASE)
+      case E::kCount:
+        break;
+    }
+    return "?";
+}
+
+const char *
+trackName(Track track)
+{
+    using E = Track;
+    switch (track) {
+        SLF_OBS_TRACK_LIST(SLF_OBS_NAME_CASE)
+      case E::kCount:
+        break;
+    }
+    return "?";
+}
+
+#undef SLF_OBS_NAME_CASE
+
+const char *
+eventDetailName(EventKind kind, std::uint8_t detail)
+{
+    switch (kind) {
+      case EventKind::Replay:
+        switch (static_cast<ReplayDetail>(detail)) {
+          case ReplayDetail::SfcConflict: return "sfc_conflict";
+          case ReplayDetail::SfcCorrupt: return "sfc_corrupt";
+          case ReplayDetail::SfcPartial: return "sfc_partial";
+          case ReplayDetail::MdtConflict: return "mdt_conflict";
+          case ReplayDetail::DepWait: return "dep_wait";
+          case ReplayDetail::kCount: break;
+        }
+        break;
+      case EventKind::Flush:
+        switch (static_cast<FlushDetail>(detail)) {
+          case FlushDetail::Branch: return "branch";
+          case FlushDetail::DepTrue: return "dep_true";
+          case FlushDetail::DepAnti: return "dep_anti";
+          case FlushDetail::DepOutput: return "dep_output";
+          case FlushDetail::ValueReplay: return "value_replay";
+          case FlushDetail::kCount: break;
+        }
+        break;
+      case EventKind::SfcProbe:
+        switch (static_cast<SfcProbeDetail>(detail)) {
+          case SfcProbeDetail::Miss: return "miss";
+          case SfcProbeDetail::Full: return "full";
+          case SfcProbeDetail::Partial: return "partial";
+          case SfcProbeDetail::Corrupt: return "corrupt";
+          case SfcProbeDetail::StoreAccept: return "store_accept";
+          case SfcProbeDetail::StoreConflict: return "store_conflict";
+          case SfcProbeDetail::kCount: break;
+        }
+        break;
+      case EventKind::MdtCheck:
+        switch (static_cast<MdtCheckDetail>(detail)) {
+          case MdtCheckDetail::Ok: return "ok";
+          case MdtCheckDetail::Conflict: return "conflict";
+          case MdtCheckDetail::ViolTrue: return "viol_true";
+          case MdtCheckDetail::ViolAnti: return "viol_anti";
+          case MdtCheckDetail::ViolOutput: return "viol_output";
+          case MdtCheckDetail::kCount: break;
+        }
+        break;
+      case EventKind::FaultInject:
+        switch (static_cast<FaultDetail>(detail)) {
+          case FaultDetail::SfcMask: return "sfc_mask";
+          case FaultDetail::SfcData: return "sfc_data";
+          case FaultDetail::MdtEvict: return "mdt_evict";
+          case FaultDetail::FifoPayload: return "fifo_payload";
+          case FaultDetail::kCount: break;
+        }
+        break;
+      case EventKind::CheckerFail:
+        switch (static_cast<CheckerDetail>(detail)) {
+          case CheckerDetail::Pc: return "pc";
+          case CheckerDetail::Opcode: return "opcode";
+          case CheckerDetail::Result: return "result";
+          case CheckerDetail::Address: return "address";
+          case CheckerDetail::StoreValue: return "store_value";
+          case CheckerDetail::Control: return "control";
+          case CheckerDetail::StoreCommit: return "store_commit";
+          case CheckerDetail::FinalMemory: return "final_memory";
+          case CheckerDetail::kCount: break;
+        }
+        break;
+      default:
+        break;
+    }
+    return "";
+}
+
+// ---------------------------------------------------------------------
+// TraceSink
+// ---------------------------------------------------------------------
+
+TraceSink::TraceSink(std::size_t capacity)
+    : capacity_(capacity ? capacity : 1)
+{
+    ring_.reserve(capacity_ < 4096 ? capacity_ : 4096);
+}
+
+void
+TraceSink::record(EventKind kind, Track track, SeqNum seq, std::uint64_t pc,
+                  Addr addr, std::uint64_t arg, std::uint8_t detail)
+{
+    TraceEvent ev;
+    ev.cycle = cycle_;
+    ev.seq = seq;
+    ev.pc = pc;
+    ev.addr = addr;
+    ev.arg = arg;
+    ev.kind = kind;
+    ev.detail = detail;
+    ev.track = track;
+
+    if (ring_.size() < capacity_)
+        ring_.push_back(ev);
+    else
+        ring_[recorded_ % capacity_] = ev;
+    ++recorded_;
+}
+
+std::size_t
+TraceSink::size() const
+{
+    return ring_.size();
+}
+
+std::vector<TraceEvent>
+TraceSink::events() const
+{
+    if (recorded_ <= capacity_)
+        return ring_;
+    // The ring wrapped: the oldest surviving event sits at the write
+    // cursor; rotate so the result reads oldest-first.
+    std::vector<TraceEvent> out;
+    out.reserve(ring_.size());
+    const std::size_t cursor = recorded_ % capacity_;
+    out.insert(out.end(), ring_.begin() + cursor, ring_.end());
+    out.insert(out.end(), ring_.begin(), ring_.begin() + cursor);
+    return out;
+}
+
+void
+TraceSink::clear()
+{
+    ring_.clear();
+    recorded_ = 0;
+    cycle_ = 0;
+}
+
+// ---------------------------------------------------------------------
+// Debug-shim text path
+// ---------------------------------------------------------------------
+
+const char *
+eventFlagName(EventKind kind, std::uint8_t detail)
+{
+    switch (kind) {
+      case EventKind::Fetch: return "Fetch";
+      case EventKind::Issue: return "Issue";
+      case EventKind::Retire: return "Retire";
+      case EventKind::SfcProbe: return "SFC";
+      case EventKind::MdtCheck:
+        // Violations keep the historical flag name so existing
+        // SLFWD_DEBUG=MDTViol workflows see the same lines.
+        return static_cast<MdtCheckDetail>(detail) >=
+                       MdtCheckDetail::ViolTrue
+                   ? "MDTViol"
+                   : "MDT";
+      case EventKind::FifoCommit: return "FIFO";
+      case EventKind::Flush: return "Flush";
+      case EventKind::Replay: return "Replay";
+      case EventKind::FaultInject: return "Fault";
+      case EventKind::CheckerFail: return "Checker";
+      case EventKind::kCount: break;
+    }
+    return "Obs";
+}
+
+std::string
+formatEventText(const TraceEvent &ev)
+{
+    char buf[192];
+    const char *detail = eventDetailName(ev.kind, ev.detail);
+    std::snprintf(buf, sizeof(buf),
+                  "[%s] %s%s%s seq %" PRIu64 " pc %" PRIu64
+                  " addr %" PRIx64 " arg %" PRIx64,
+                  trackName(ev.track), eventKindName(ev.kind),
+                  *detail ? " " : "", detail, ev.seq, ev.pc, ev.addr,
+                  ev.arg);
+    return buf;
+}
+
+namespace detail
+{
+
+void
+emitEventSlow(TraceSink *sink, EventKind kind, Track track, SeqNum seq,
+              std::uint64_t pc, Addr addr, std::uint64_t arg,
+              std::uint8_t detail)
+{
+    if (sink)
+        sink->record(kind, track, seq, pc, addr, arg, detail);
+
+    if (Debug::anyEnabled()) {
+        const char *flag = eventFlagName(kind, detail);
+        if (Debug::enabled(flag)) {
+            TraceEvent ev;
+            ev.cycle = sink ? sink->cycle() : 0;
+            ev.seq = seq;
+            ev.pc = pc;
+            ev.addr = addr;
+            ev.arg = arg;
+            ev.kind = kind;
+            ev.detail = detail;
+            ev.track = track;
+            Debug::trace(flag, formatEventText(ev));
+        }
+    }
+}
+
+} // namespace detail
+
+} // namespace slf::obs

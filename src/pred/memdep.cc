@@ -21,11 +21,12 @@ depKindName(DepKind kind)
 MemDepPredictor::MemDepPredictor(const MemDepParams &params)
     : params_(params),
       stats_("memdep"),
-      violations_true_(stats_.counter("violations_true")),
-      violations_anti_(stats_.counter("violations_anti")),
-      violations_output_(stats_.counter("violations_output")),
-      deps_inserted_(stats_.counter("deps_inserted")),
-      tag_exhaustion_(stats_.counter("tag_exhaustion_stalls"))
+      table_(stats_),
+      violations_true_(table_[obs::MemDepStat::ViolationsTrue]),
+      violations_anti_(table_[obs::MemDepStat::ViolationsAnti]),
+      violations_output_(table_[obs::MemDepStat::ViolationsOutput]),
+      deps_inserted_(table_[obs::MemDepStat::DepsInserted]),
+      tag_exhaustion_(table_[obs::MemDepStat::TagExhaustionStalls])
 {
     auto pow2 = [](std::uint64_t v) { return v && !(v & (v - 1)); };
     if (!pow2(params.table_entries) || !pow2(params.lfpt_entries))

@@ -29,6 +29,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/stat_table.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -126,6 +127,11 @@ class MemDepPredictor
     void reset();
 
     StatGroup &stats() { return stats_; }
+    /** Typed counter read (the name is compile-checked). */
+    std::uint64_t statValue(obs::MemDepStat s) const
+    {
+        return table_.value(s);
+    }
 
   private:
     std::uint64_t pcIndex(std::uint64_t pc) const;
@@ -159,6 +165,7 @@ class MemDepPredictor
     std::uint32_t next_set_id_ = 0;
 
     StatGroup stats_;
+    obs::StatTable<obs::MemDepStat> table_;
     Counter &violations_true_;
     Counter &violations_anti_;
     Counter &violations_output_;

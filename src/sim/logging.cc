@@ -1,5 +1,6 @@
 #include "logging.hh"
 
+#include <atomic>
 #include <cstdlib>
 #include <mutex>
 #include <set>
@@ -11,12 +12,23 @@ namespace slf
 namespace
 {
 
+/** Lock-free census of enabled flags, kept in sync with flagSet() so
+ *  Debug::anyEnabled() needs no mutex. */
+std::atomic<std::size_t> &
+flagCount()
+{
+    static std::atomic<std::size_t> count{0};
+    return count;
+}
+
 std::set<std::string> &
 flagSet()
 {
     static std::set<std::string> flags = [] {
         const char *env = std::getenv("SLFWD_DEBUG");
-        return Debug::parseFlagList(env ? env : "");
+        auto parsed = Debug::parseFlagList(env ? env : "");
+        flagCount().store(parsed.size(), std::memory_order_relaxed);
+        return parsed;
     }();
     return flags;
 }
@@ -71,6 +83,20 @@ Debug::enabled(const std::string &flag)
     return flags.count(flag) != 0 || flags.count("All") != 0;
 }
 
+bool
+Debug::anyEnabled()
+{
+    // First call forces the SLFWD_DEBUG environment parse (under the
+    // mutex); afterwards this is a guard check plus a relaxed load.
+    static const bool init = [] {
+        std::lock_guard<std::mutex> lock(flagMutex());
+        flagSet();
+        return true;
+    }();
+    (void)init;
+    return flagCount().load(std::memory_order_relaxed) != 0;
+}
+
 void
 Debug::setFlag(const std::string &flag, bool on)
 {
@@ -79,6 +105,7 @@ Debug::setFlag(const std::string &flag, bool on)
         flagSet().insert(flag);
     else
         flagSet().erase(flag);
+    flagCount().store(flagSet().size(), std::memory_order_relaxed);
 }
 
 void

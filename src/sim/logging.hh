@@ -55,6 +55,13 @@ class Debug
     /** @return true if tracing for @p flag is enabled. */
     static bool enabled(const std::string &flag);
 
+    /**
+     * @return true if any flag at all is enabled. A relaxed atomic
+     * load (no mutex), cheap enough to guard per-instruction event
+     * sites before the string-keyed enabled() lookup.
+     */
+    static bool anyEnabled();
+
     /** Enable/disable a flag at runtime. */
     static void setFlag(const std::string &flag, bool on);
 

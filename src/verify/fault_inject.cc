@@ -2,6 +2,7 @@
 
 #include "core/mdt.hh"
 #include "core/sfc.hh"
+#include "obs/trace_sink.hh"
 
 namespace slf
 {
@@ -10,10 +11,11 @@ FaultInjector::FaultInjector(const FaultInjectParams &params)
     : params_(params),
       rng_(params.seed),
       stats_("fault_inject"),
-      sfc_mask_faults_(stats_.counter("sfc_mask_faults")),
-      sfc_data_faults_(stats_.counter("sfc_data_faults")),
-      mdt_evict_faults_(stats_.counter("mdt_evict_faults")),
-      fifo_payload_faults_(stats_.counter("fifo_payload_faults"))
+      table_(stats_),
+      sfc_mask_faults_(table_[obs::FaultStat::SfcMaskFaults]),
+      sfc_data_faults_(table_[obs::FaultStat::SfcDataFaults]),
+      mdt_evict_faults_(table_[obs::FaultStat::MdtEvictFaults]),
+      fifo_payload_faults_(table_[obs::FaultStat::FifoPayloadFaults])
 {}
 
 void
@@ -22,11 +24,17 @@ FaultInjector::onSfcAccess(Sfc &sfc)
     if (params_.sfc_mask_rate > 0.0 && rng_.chance(params_.sfc_mask_rate) &&
         sfc.injectCorruptMask(rng_)) {
         ++sfc_mask_faults_;
+        SLF_OBS_EMIT(trace_, obs::EventKind::FaultInject, obs::Track::Verify,
+                     0, 0, 0, sfc_mask_faults_.value(),
+                     obs::FaultDetail::SfcMask);
     }
     if (params_.sfc_data_rate > 0.0 && rng_.chance(params_.sfc_data_rate) &&
         sfc.injectDataClobber(rng_,
                               static_cast<std::uint8_t>(rng_.next()))) {
         ++sfc_data_faults_;
+        SLF_OBS_EMIT(trace_, obs::EventKind::FaultInject, obs::Track::Verify,
+                     0, 0, 0, sfc_data_faults_.value(),
+                     obs::FaultDetail::SfcData);
     }
 }
 
@@ -36,6 +44,9 @@ FaultInjector::onMdtAccess(Mdt &mdt)
     if (params_.mdt_evict_rate > 0.0 &&
         rng_.chance(params_.mdt_evict_rate) && mdt.injectEviction(rng_)) {
         ++mdt_evict_faults_;
+        SLF_OBS_EMIT(trace_, obs::EventKind::FaultInject, obs::Track::Verify,
+                     0, 0, 0, mdt_evict_faults_.value(),
+                     obs::FaultDetail::MdtEvict);
     }
 }
 
@@ -50,6 +61,9 @@ FaultInjector::onStoreRetire(unsigned size)
         size >= 8 ? ~std::uint64_t{0}
                   : ((std::uint64_t{1} << (8 * size)) - 1);
     ++fifo_payload_faults_;
+    SLF_OBS_EMIT(trace_, obs::EventKind::FaultInject, obs::Track::Verify,
+                 0, 0, 0, fifo_payload_faults_.value(),
+                 obs::FaultDetail::FifoPayload);
     // Bit 0 is always flipped so the stored value provably changes.
     return (rng_.next() & byte_mask) | 1;
 }

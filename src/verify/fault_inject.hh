@@ -29,6 +29,8 @@
 
 #include <cstdint>
 
+#include "obs/hooks.hh"
+#include "obs/stat_table.hh"
 #include "sim/rng.hh"
 #include "sim/stats.hh"
 
@@ -92,12 +94,22 @@ class FaultInjector
     }
 
     StatGroup &stats() { return stats_; }
+    /** Typed counter read (the name is compile-checked). */
+    std::uint64_t statValue(obs::FaultStat s) const
+    {
+        return table_.value(s);
+    }
+
+    /** Attach an event sink; each injected fault emits a FaultInject. */
+    void setTraceSink(obs::TraceSink *sink) { trace_ = sink; }
 
   private:
     FaultInjectParams params_;
     Rng rng_;
+    obs::TraceSink *trace_ = nullptr;
 
     StatGroup stats_;
+    obs::StatTable<obs::FaultStat> table_;
     Counter &sfc_mask_faults_;
     Counter &sfc_data_faults_;
     Counter &mdt_evict_faults_;

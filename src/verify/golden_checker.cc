@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "isa/inst.hh"
+#include "obs/trace_sink.hh"
 #include "sim/logging.hh"
 
 namespace slf
@@ -48,11 +49,12 @@ GoldenChecker::GoldenChecker(const Program &prog, bool abort_on_divergence)
     : golden_(prog),
       abort_on_divergence_(abort_on_divergence),
       stats_("golden_checker"),
-      checked_(stats_.counter("retirements_checked")),
-      failures_(stats_.counter("failures")),
-      store_commit_failures_(stats_.counter("failures_store_commit")),
-      final_checks_(stats_.counter("final_memory_checks")),
-      squashes_seen_(stats_.counter("squashes_seen"))
+      table_(stats_),
+      checked_(table_[obs::CheckerStat::RetirementsChecked]),
+      failures_(table_[obs::CheckerStat::Failures]),
+      store_commit_failures_(table_[obs::CheckerStat::FailuresStoreCommit]),
+      final_checks_(table_[obs::CheckerStat::FinalMemoryChecks]),
+      squashes_seen_(table_[obs::CheckerStat::SquashesSeen])
 {}
 
 void
@@ -88,6 +90,9 @@ GoldenChecker::report(CheckFailure f)
     f.golden_state = golden_.stateString();
     f.squash_history = squashHistoryString();
     ++failures_;
+    SLF_OBS_EMIT(trace_, obs::EventKind::CheckerFail, obs::Track::Verify,
+                 f.seq, f.pc, f.addr, f.expected ^ f.actual,
+                 static_cast<obs::CheckerDetail>(f.kind));
     if (f.kind == CheckFailure::Kind::StoreCommit)
         ++store_commit_failures_;
     if (abort_on_divergence_)

@@ -29,6 +29,8 @@
 #include "arch/func_sim.hh"
 #include "cpu/dyn_inst.hh"
 #include "mem/main_memory.hh"
+#include "obs/hooks.hh"
+#include "obs/stat_table.hh"
 #include "prog/program.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -112,6 +114,14 @@ class GoldenChecker
 
     const FuncSim &golden() const { return golden_; }
     StatGroup &stats() { return stats_; }
+    /** Typed counter read (the name is compile-checked). */
+    std::uint64_t statValue(obs::CheckerStat s) const
+    {
+        return table_.value(s);
+    }
+
+    /** Attach an event sink; divergences emit CheckerFail events. */
+    void setTraceSink(obs::TraceSink *sink) { trace_ = sink; }
 
     static constexpr std::size_t kMaxReports = 32;
     static constexpr std::size_t kSquashHistory = 8;
@@ -134,8 +144,10 @@ class GoldenChecker
     bool abort_on_divergence_;
     std::deque<SquashEvent> squashes_;
     std::vector<CheckFailure> reports_;
+    obs::TraceSink *trace_ = nullptr;
 
     StatGroup stats_;
+    obs::StatTable<obs::CheckerStat> table_;
     Counter &checked_;
     Counter &failures_;
     Counter &store_commit_failures_;

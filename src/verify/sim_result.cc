@@ -58,6 +58,8 @@ SimResult::mergeFrom(const SimResult &other)
     faults_sfc_data += other.faults_sfc_data;
     faults_mdt_evict += other.faults_mdt_evict;
     faults_fifo_payload += other.faults_fifo_payload;
+
+    occ.mergeFrom(other.occ);
 }
 
 } // namespace slf

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/occupancy.hh"
 #include "prog/program.hh"
 #include "sim/types.hh"
 #include "verify/golden_checker.hh"
@@ -79,6 +80,10 @@ struct SimResult
     std::uint64_t faults_sfc_data = 0;
     std::uint64_t faults_mdt_evict = 0;
     std::uint64_t faults_fifo_payload = 0;
+
+    /** Per-cycle occupancy distributions (disabled and empty unless the
+     *  run sampled them; merges as a no-op then). */
+    obs::OccupancySet occ;
 
     std::uint64_t memOps() const { return loads_retired + stores_retired; }
 
