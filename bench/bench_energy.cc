@@ -4,6 +4,13 @@
  * activity counts of the LSQ and the SFC/MDT into picojoules with the
  * first-order energy model (src/power) and report energy per memory
  * operation for both subsystems on both cores.
+ *
+ * The config x workload cross-product runs on the parallel campaign
+ * runner (jobs=N selects the worker count). Pass out=FILE to dump the
+ * canonical campaign JSON (results/energy.json); the activity counters
+ * it records (cam_entries_examined, lsq_searches, mdt_accesses,
+ * sfc_accesses, loads/stores) are exactly the EnergyModel inputs, so
+ * the pJ table below is recomputable from the file alone.
  */
 
 #include <cstdio>
@@ -35,40 +42,25 @@ countsFor(const SimResult &r, const CoreConfig &cfg)
     return a;
 }
 
-void
-runTable(const Config &opts, bool aggressive)
+struct CoreVariant
 {
-    const WorkloadParams wp = workloadParams(opts);
-    const EnergyModel model;
+    const char *lsq_name;
+    const char *sfc_name;
+    CoreConfig lsq_cfg;
+    CoreConfig sfc_cfg;
+    const char *title;
+};
 
-    printHeader(std::string("Ordering/forwarding energy per memory op "
-                            "(pJ), ") +
-                    (aggressive ? "aggressive core" : "baseline core"),
-                {"lsqPJ", "mdtsfcPJ", "ratio"});
-
-    double lsq_sum = 0, sfc_sum = 0;
-    for (const auto &info : selectedWorkloads(opts)) {
-        const Program prog = info.make(wp);
-        const CoreConfig lsq_cfg = aggressive ? aggressiveLsq(120, 80)
-                                              : baselineLsq(48, 32);
-        const CoreConfig sfc_cfg = aggressive
-            ? aggressiveMdtSfc(MemDepMode::EnforceAllTotalOrder)
-            : baselineMdtSfc(MemDepMode::EnforceAll);
-
-        const SimResult rl = runWorkload(lsq_cfg, prog);
-        const SimResult rs = runWorkload(sfc_cfg, prog);
-
-        const double lsq_pj =
-            model.lsqEnergy(countsFor(rl, lsq_cfg)).pj_per_mem_op;
-        const double sfc_pj =
-            model.mdtSfcEnergy(countsFor(rs, sfc_cfg)).pj_per_mem_op;
-        printRow(info.name,
-                 {lsq_pj, sfc_pj, sfc_pj > 0 ? lsq_pj / sfc_pj : 0});
-        lsq_sum += lsq_pj;
-        sfc_sum += sfc_pj;
-    }
-    std::printf("\naggregate LSQ : MDT/SFC energy ratio = %.2f : 1\n\n",
-                sfc_sum > 0 ? lsq_sum / sfc_sum : 0);
+std::vector<CoreVariant>
+variants()
+{
+    return {
+        {"baseline_lsq", "baseline_mdtsfc", baselineLsq(48, 32),
+         baselineMdtSfc(MemDepMode::EnforceAll), "baseline core"},
+        {"aggressive_lsq", "aggressive_mdtsfc", aggressiveLsq(120, 80),
+         aggressiveMdtSfc(MemDepMode::EnforceAllTotalOrder),
+         "aggressive core"},
+    };
 }
 
 } // namespace
@@ -77,8 +69,45 @@ int
 main(int argc, char **argv)
 {
     const Config opts = parseArgs(argc, argv);
-    runTable(opts, false);
-    runTable(opts, true);
+    const WorkloadParams wp = workloadParams(opts);
+
+    campaign::Campaign c("energy");
+    for (const CoreVariant &v : variants())
+        for (const auto &info : selectedWorkloads(opts)) {
+            c.addJob(benchJob(v.lsq_name, info, v.lsq_cfg, wp));
+            c.addJob(benchJob(v.sfc_name, info, v.sfc_cfg, wp));
+        }
+    const auto results = c.run(campaignOptions(opts));
+    writeCampaignJson(opts, c.name(), results);
+
+    const EnergyModel model;
+    for (const CoreVariant &v : variants()) {
+        printHeader(std::string("Ordering/forwarding energy per memory "
+                                "op (pJ), ") +
+                        v.title,
+                    {"lsqPJ", "mdtsfcPJ", "ratio"});
+
+        double lsq_sum = 0, sfc_sum = 0;
+        for (const auto &info : selectedWorkloads(opts)) {
+            const SimResult &rl =
+                findResult(results, v.lsq_name, info.name).result;
+            const SimResult &rs =
+                findResult(results, v.sfc_name, info.name).result;
+            const double lsq_pj =
+                model.lsqEnergy(countsFor(rl, v.lsq_cfg)).pj_per_mem_op;
+            const double sfc_pj =
+                model.mdtSfcEnergy(countsFor(rs, v.sfc_cfg))
+                    .pj_per_mem_op;
+            printRow(info.name,
+                     {lsq_pj, sfc_pj, sfc_pj > 0 ? lsq_pj / sfc_pj : 0});
+            lsq_sum += lsq_pj;
+            sfc_sum += sfc_pj;
+        }
+        std::printf("\naggregate LSQ : MDT/SFC energy ratio = "
+                    "%.2f : 1\n\n",
+                    sfc_sum > 0 ? lsq_sum / sfc_sum : 0);
+    }
+
     std::printf("(model: CAM match line %.2f pJ + priority encode %.2f "
                 "pJ per occupied entry per search;\n RAM way read/write "
                 "%.2f/%.2f pJ — first-order relative magnitudes)\n",

@@ -4,6 +4,10 @@
  * the default per-byte corruption masks versus the paper's proposed
  * flush-endpoint alternative, at several tracked-range budgets, on the
  * corruption-dominated analogs (aggressive core).
+ *
+ * Runs on the parallel campaign runner (jobs=N selects the worker
+ * count). Pass out=FILE to dump the canonical campaign JSON
+ * (results/flush_endpoints.json).
  */
 
 #include <cstdio>
@@ -14,37 +18,64 @@
 using namespace slf;
 using namespace slf::bench;
 
+namespace
+{
+
+CoreConfig
+endpoints(unsigned ranges)
+{
+    CoreConfig c = aggressiveMdtSfc(MemDepMode::EnforceAllTotalOrder);
+    c.sfc.use_flush_endpoints = true;
+    c.sfc.max_flush_ranges = ranges;
+    return c;
+}
+
+/** The corruption-dominated analogs the ablation focuses on. */
+std::vector<WorkloadInfo>
+focusWorkloads(const Config &opts)
+{
+    std::vector<WorkloadInfo> out;
+    for (const auto &info : selectedWorkloads(opts)) {
+        const std::string &name = info.name;
+        if (opts.getString("bench").empty() && name != "vpr_route" &&
+            name != "ammp" && name != "equake" && name != "gcc" &&
+            name != "crafty") {
+            continue;
+        }
+        out.push_back(info);
+    }
+    return out;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
     const Config opts = parseArgs(argc, argv);
     const WorkloadParams wp = workloadParams(opts);
 
+    const CoreConfig masks =
+        aggressiveMdtSfc(MemDepMode::EnforceAllTotalOrder);
+
+    campaign::Campaign c("flush_endpoints");
+    for (const auto &info : focusWorkloads(opts)) {
+        c.addJob(benchJob("masks", info, masks, wp));
+        c.addJob(benchJob("endp1", info, endpoints(1), wp));
+        c.addJob(benchJob("endp8", info, endpoints(8), wp));
+        c.addJob(benchJob("endp64", info, endpoints(64), wp));
+    }
+    const auto results = c.run(campaignOptions(opts));
+    writeCampaignJson(opts, c.name(), results);
+
     printHeader("SFC canceled-store mechanism (aggressive core, IPC)",
                 {"masks", "endp1", "endp8", "endp64"});
-
-    for (const auto &info : selectedWorkloads(opts)) {
-        const std::string name = info.name;
-        if (opts.getString("bench").empty() && name != "vpr_route" &&
-            name != "ammp" && name != "equake" && name != "gcc" &&
-            name != "crafty") {
-            continue;
-        }
-        const Program prog = info.make(wp);
-
-        const CoreConfig masks =
-            aggressiveMdtSfc(MemDepMode::EnforceAllTotalOrder);
-        auto endpoints = [&](unsigned ranges) {
-            CoreConfig c = masks;
-            c.sfc.use_flush_endpoints = true;
-            c.sfc.max_flush_ranges = ranges;
-            return c;
-        };
-
-        printRow(info.name, {runWorkload(masks, prog).ipc,
-                             runWorkload(endpoints(1), prog).ipc,
-                             runWorkload(endpoints(8), prog).ipc,
-                             runWorkload(endpoints(64), prog).ipc});
+    for (const auto &info : focusWorkloads(opts)) {
+        printRow(info.name,
+                 {findResult(results, "masks", info.name).result.ipc,
+                  findResult(results, "endp1", info.name).result.ipc,
+                  findResult(results, "endp8", info.name).result.ipc,
+                  findResult(results, "endp64", info.name).result.ipc});
     }
     std::printf("\npaper (Sec. 3.2): 'the performance of this mechanism "
                 "would depend on the number of flush endpoints tracked'\n");

@@ -11,8 +11,9 @@
  *   trace  TraceSink attached (every event recorded into the ring)
  *   prof   HostProfiler attached (RAII timers around the five stages)
  *
- * Each mode runs `reps` times and reports the minimum wall-clock (the
- * standard noise filter for throughput benches). The "prof" run's
+ * Each mode runs `reps` times, interleaved round-robin across modes,
+ * and reports the minimum wall-clock (the standard noise filter for
+ * throughput benches). The "prof" run's
  * per-stage breakdown is included verbatim. Pass out=FILE to write
  * results/BENCH_obs.json; scale=N grows the workloads.
  *
@@ -49,23 +50,15 @@ workloadMix(std::uint64_t scale)
     return mix;
 }
 
-/** Minimum wall-clock seconds of @p reps runs of the full mix. */
+/** One timed pass of the full mix. */
 double
-timeMode(const CoreConfig &cfg, const std::vector<Program> &mix,
-         unsigned reps)
+timeOnce(const CoreConfig &cfg, const std::vector<Program> &mix)
 {
-    double best = 0;
-    for (unsigned r = 0; r < reps; ++r) {
-        const auto t0 = std::chrono::steady_clock::now();
-        for (const Program &prog : mix)
-            runWorkload(cfg, prog);
-        const auto t1 = std::chrono::steady_clock::now();
-        const double secs =
-            std::chrono::duration<double>(t1 - t0).count();
-        if (r == 0 || secs < best)
-            best = secs;
-    }
-    return best;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const Program &prog : mix)
+        runWorkload(cfg, prog);
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
 }
 
 std::string
@@ -89,21 +82,31 @@ main(int argc, char **argv)
 
     const CoreConfig base = baselineMdtSfc(MemDepMode::EnforceAll);
 
-    const double t_off = timeMode(base, mix, reps);
-
     CoreConfig cfg_occ = base;
     cfg_occ.obs.sample_occupancy = true;
-    const double t_occ = timeMode(cfg_occ, mix, reps);
 
     obs::TraceSink sink;
     CoreConfig cfg_trace = base;
     cfg_trace.obs.trace = &sink;
-    const double t_trace = timeMode(cfg_trace, mix, reps);
 
     obs::HostProfiler prof;
     CoreConfig cfg_prof = base;
     cfg_prof.obs.profiler = &prof;
-    const double t_prof = timeMode(cfg_prof, mix, reps);
+
+    // Interleave the reps round-robin across modes so slow system
+    // phases (thermal, noisy neighbors) bias every mode equally
+    // instead of whichever mode happened to run during them.
+    double t_off = 0, t_occ = 0, t_trace = 0, t_prof = 0;
+    for (unsigned r = 0; r < reps; ++r) {
+        auto keep_min = [&](double &best, double secs) {
+            if (r == 0 || secs < best)
+                best = secs;
+        };
+        keep_min(t_off, timeOnce(base, mix));
+        keep_min(t_occ, timeOnce(cfg_occ, mix));
+        keep_min(t_trace, timeOnce(cfg_trace, mix));
+        keep_min(t_prof, timeOnce(cfg_prof, mix));
+    }
 
     std::printf("obs overhead (scale=%llu, reps=%u, min wall-clock)\n",
                 static_cast<unsigned long long>(scale), reps);

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "campaign/result_sink.hh"
 #include "campaign/sweeps.hh"
 #include "sim/logging.hh"
 
@@ -53,6 +54,31 @@ campaignOptions(const Config &opts)
     co.max_retries =
         static_cast<unsigned>(opts.getUInt("retries", co.max_retries));
     return co;
+}
+
+campaign::JobSpec
+benchJob(const std::string &config_name, const WorkloadInfo &info,
+         CoreConfig cfg, const WorkloadParams &wp)
+{
+    campaign::JobSpec spec;
+    spec.config_name = config_name;
+    spec.workload = info.name;
+    spec.cfg = cfg;
+    const WorkloadFactory make = info.make;
+    spec.make_prog = [make, wp] { return make(wp); };
+    return spec;
+}
+
+void
+writeCampaignJson(const Config &opts, const std::string &name,
+                  const std::vector<campaign::JobResult> &results)
+{
+    const std::string out = opts.getString("out");
+    if (out.empty())
+        return;
+    campaign::ResultSink::writeFileAtomic(
+        out, campaign::ResultSink::toJson(name, 1, results));
+    std::printf("wrote %s\n", out.c_str());
 }
 
 const campaign::JobResult &

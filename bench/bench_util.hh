@@ -40,6 +40,22 @@ campaign::SweepOptions sweepOptions(const Config &opts);
 campaign::CampaignOptions campaignOptions(const Config &opts);
 
 /**
+ * One campaign job for a bench's (config, workload) cell: the analog
+ * program built with @p wp, fixed seeds (benches are deterministic
+ * tables, not fault studies).
+ */
+campaign::JobSpec benchJob(const std::string &config_name,
+                           const WorkloadInfo &info, CoreConfig cfg,
+                           const WorkloadParams &wp);
+
+/**
+ * Write a campaign's canonical ResultSink JSON to the `out=FILE`
+ * bench argument if present; no-op otherwise.
+ */
+void writeCampaignJson(const Config &opts, const std::string &name,
+                       const std::vector<campaign::JobResult> &results);
+
+/**
  * Look up the result of (config, workload) in a campaign's output.
  * fatal() if the job is missing or died on every attempt — a bench
  * table cell must never silently read a default-constructed result.

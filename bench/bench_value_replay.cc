@@ -7,9 +7,15 @@
  * penalty for ordering violations ... in [checkpointed processors with
  * large instruction windows], disambiguating memory references at
  * completion is preferable."
+ *
+ * Runs on the parallel campaign runner (jobs=N selects the worker
+ * count). Pass out=FILE to dump the canonical campaign JSON
+ * (results/value_replay.json).
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util.hh"
 
@@ -19,46 +25,37 @@ using namespace slf::bench;
 namespace
 {
 
-void
-runTable(const Config &opts, bool aggressive)
+struct CoreVariant
 {
-    const WorkloadParams wp = workloadParams(opts);
-    printHeader(std::string("Detection point comparison, ") +
-                    (aggressive ? "aggressive core (1024-entry window)"
-                                : "baseline core (128-entry window)"),
-                {"lsqIPC", "mdtsfc", "vbr", "vbrNoHint"});
+    std::string prefix;
+    CoreConfig lsq;
+    CoreConfig sfc;
+    const char *title;
+};
 
-    std::vector<double> sfc_rel, vbr_rel, nohint_rel;
-    for (const auto &info : selectedWorkloads(opts)) {
-        const Program prog = info.make(wp);
+std::vector<CoreVariant>
+variants()
+{
+    std::vector<CoreVariant> out;
+    out.push_back({"baseline_", baselineLsq(48, 32),
+                   baselineMdtSfc(MemDepMode::EnforceAll),
+                   "baseline core (128-entry window)"});
+    out.push_back({"aggressive_", aggressiveLsq(120, 80),
+                   aggressiveMdtSfc(MemDepMode::EnforceAllTotalOrder),
+                   "aggressive core (1024-entry window)"});
+    return out;
+}
 
-        CoreConfig lsq = aggressive ? aggressiveLsq(120, 80)
-                                    : baselineLsq(48, 32);
-        CoreConfig sfc = aggressive
-            ? aggressiveMdtSfc(MemDepMode::EnforceAllTotalOrder)
-            : baselineMdtSfc(MemDepMode::EnforceAll);
-        CoreConfig vbr = lsq;
-        vbr.subsys = MemSubsystem::ValueReplay;
-        CoreConfig nohint = vbr;
-        nohint.value_replay_filtered = true;
-        // No-hint variant: disable the dependence hints by observing
-        // that they only matter after a violation; we model "no hints"
-        // by replaying every load at retirement (pure value checking).
-        nohint.value_replay_filtered = false;
-
-        const SimResult rl = runWorkload(lsq, prog);
-        const SimResult rs = runWorkload(sfc, prog);
-        const SimResult rv = runWorkload(vbr, prog);
-        const SimResult rn = runWorkload(nohint, prog);
-        const double d = rl.ipc > 0 ? rl.ipc : 1;
-        printRow(info.name, {rl.ipc, rs.ipc / d, rv.ipc / d, rn.ipc / d});
-        sfc_rel.push_back(rs.ipc / d);
-        vbr_rel.push_back(rv.ipc / d);
-        nohint_rel.push_back(rn.ipc / d);
-    }
-    std::printf("\n");
-    printRow("avg", {0.0, mean(sfc_rel), mean(vbr_rel), mean(nohint_rel)});
-    std::printf("\n");
+CoreConfig
+valueReplay(CoreConfig lsq, bool filtered)
+{
+    CoreConfig c = lsq;
+    c.subsys = MemSubsystem::ValueReplay;
+    // The "no hints" variant replays every load at retirement (pure
+    // value checking); the hinted one filters replays through the
+    // load-PC dependence predictor.
+    c.value_replay_filtered = filtered;
+    return c;
 }
 
 } // namespace
@@ -67,8 +64,50 @@ int
 main(int argc, char **argv)
 {
     const Config opts = parseArgs(argc, argv);
-    runTable(opts, false);
-    runTable(opts, true);
+    const WorkloadParams wp = workloadParams(opts);
+
+    campaign::Campaign c("value_replay");
+    for (const CoreVariant &v : variants())
+        for (const auto &info : selectedWorkloads(opts)) {
+            c.addJob(benchJob(v.prefix + "lsq", info, v.lsq, wp));
+            c.addJob(benchJob(v.prefix + "mdtsfc", info, v.sfc, wp));
+            c.addJob(benchJob(v.prefix + "vbr", info,
+                              valueReplay(v.lsq, true), wp));
+            c.addJob(benchJob(v.prefix + "vbr_nohint", info,
+                              valueReplay(v.lsq, false), wp));
+        }
+    const auto results = c.run(campaignOptions(opts));
+    writeCampaignJson(opts, c.name(), results);
+
+    for (const CoreVariant &v : variants()) {
+        printHeader(std::string("Detection point comparison, ") + v.title,
+                    {"lsqIPC", "mdtsfc", "vbr", "vbrNoHint"});
+
+        std::vector<double> sfc_rel, vbr_rel, nohint_rel;
+        for (const auto &info : selectedWorkloads(opts)) {
+            const SimResult &rl =
+                findResult(results, v.prefix + "lsq", info.name).result;
+            const SimResult &rs =
+                findResult(results, v.prefix + "mdtsfc", info.name)
+                    .result;
+            const SimResult &rv =
+                findResult(results, v.prefix + "vbr", info.name).result;
+            const SimResult &rn =
+                findResult(results, v.prefix + "vbr_nohint", info.name)
+                    .result;
+            const double d = rl.ipc > 0 ? rl.ipc : 1;
+            printRow(info.name,
+                     {rl.ipc, rs.ipc / d, rv.ipc / d, rn.ipc / d});
+            sfc_rel.push_back(rs.ipc / d);
+            vbr_rel.push_back(rv.ipc / d);
+            nohint_rel.push_back(rn.ipc / d);
+        }
+        std::printf("\n");
+        printRow("avg",
+                 {0.0, mean(sfc_rel), mean(vbr_rel), mean(nohint_rel)});
+        std::printf("\n");
+    }
+
     std::printf("paper (Sec. 4): completion-time disambiguation (MDT) is "
                 "preferable to retirement-time replay\nin checkpointed "
                 "large-window processors\n");

@@ -1,0 +1,207 @@
+#!/usr/bin/env python3
+"""Regression differ for campaign result JSONs.
+
+Compares two ResultSink files (schema v1..v3) job-by-job and
+aggregate-by-aggregate, and fails when any stat drifts beyond its
+threshold. Used as the CI gate against checked-in golden results:
+
+    stats_diff.py golden.json current.json
+    stats_diff.py --rel-tol 0.02 golden.json current.json
+    stats_diff.py --per-stat ipc=0.05 --per-stat cycles=0.01 a.json b.json
+
+Thresholds:
+  * default is EXACT comparison (the simulator's campaign JSON is
+    canonical and deterministic, so any drift is a real change);
+  * --rel-tol R allows |a-b| <= R*max(|a|,|b|) for every numeric stat;
+  * --abs-tol A allows |a-b| <= A;
+  * --per-stat NAME=R overrides the relative tolerance for one stat
+    name (the innermost JSON key, e.g. "ipc" or "refetch_cycles").
+
+A value passes if it is within EITHER the absolute or the relative
+tolerance. Structural differences (missing jobs, missing stats, type
+mismatches) always fail. Exit status: 0 clean, 1 drift found, 2 usage.
+
+--self-test runs the built-in unit checks (no files needed); ctest
+runs this so the gate itself is gated.
+"""
+
+import argparse
+import json
+import sys
+
+
+def job_key(job):
+    return (job.get("config", "?"), job.get("workload", "?"))
+
+
+def walk(prefix, value):
+    """Yield (path, leaf) for every scalar in a nested JSON value."""
+    if isinstance(value, dict):
+        for k, v in value.items():
+            yield from walk(f"{prefix}.{k}" if prefix else k, v)
+    elif isinstance(value, list):
+        for i, v in enumerate(value):
+            yield from walk(f"{prefix}[{i}]", v)
+    else:
+        yield prefix, value
+
+
+def leaf_name(path):
+    """Innermost key name: 'jobs.cpi_stack.flush_true' -> 'flush_true'."""
+    return path.rsplit(".", 1)[-1].split("[")[0]
+
+
+def within(a, b, rel_tol, abs_tol):
+    if a == b:
+        return True
+    if isinstance(a, bool) or isinstance(b, bool):
+        return a == b
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        diff = abs(a - b)
+        if diff <= abs_tol:
+            return True
+        scale = max(abs(a), abs(b))
+        return scale > 0 and diff / scale <= rel_tol
+    return False
+
+
+def diff_records(label, golden, current, opts, failures):
+    paths_g = dict(walk("", golden))
+    paths_c = dict(walk("", current))
+    for path, gv in paths_g.items():
+        if path in ("index", "attempts"):
+            continue  # layout bookkeeping, not simulator output
+        if path not in paths_c:
+            failures.append(f"{label}: stat '{path}' missing from current")
+            continue
+        cv = paths_c[path]
+        rel = opts.per_stat.get(leaf_name(path), opts.rel_tol)
+        if not within(gv, cv, rel, opts.abs_tol):
+            failures.append(
+                f"{label}: {path} drifted: golden={gv} current={cv} "
+                f"(rel_tol={rel}, abs_tol={opts.abs_tol})")
+    for path in paths_c:
+        if path not in paths_g and path not in ("index", "attempts"):
+            failures.append(f"{label}: new stat '{path}' not in golden")
+
+
+def diff_files(golden, current, opts):
+    failures = []
+    for top in ("schema_version", "campaign", "root_seed"):
+        if golden.get(top) != current.get(top):
+            failures.append(
+                f"header: {top} golden={golden.get(top)} "
+                f"current={current.get(top)}")
+
+    for section, key_fn in (("jobs", job_key),
+                            ("aggregates", lambda a: a.get("config", "?"))):
+        gmap = {key_fn(j): j for j in golden.get(section, [])}
+        cmap = {key_fn(j): j for j in current.get(section, [])}
+        for key in gmap:
+            if key not in cmap:
+                failures.append(f"{section}: {key} missing from current")
+                continue
+            diff_records(f"{section} {key}", gmap[key], cmap[key], opts,
+                         failures)
+        for key in cmap:
+            if key not in gmap:
+                failures.append(f"{section}: {key} not in golden")
+    return failures
+
+
+def self_test():
+    class Opts:
+        rel_tol = 0.0
+        abs_tol = 0.0
+        per_stat = {}
+
+    base = {
+        "schema_version": 3, "campaign": "t", "root_seed": 1,
+        "jobs": [{"index": 0, "config": "a", "workload": "w",
+                  "cycles": 100, "ipc": 2.5,
+                  "cpi_stack": {"total": 400, "base": 250}}],
+        "aggregates": [{"config": "a", "cycles": 100}],
+    }
+    same = json.loads(json.dumps(base))
+    assert diff_files(base, same, Opts()) == [], "identical files differ"
+
+    drift = json.loads(json.dumps(base))
+    drift["jobs"][0]["cycles"] = 105
+    fails = diff_files(base, drift, Opts())
+    assert any("cycles drifted" in f for f in fails), fails
+
+    tol = Opts()
+    tol.rel_tol = 0.10
+    assert diff_files(base, drift, tol) == [], "10% rel tol rejected 5%"
+
+    per = Opts()
+    per.per_stat = {"cycles": 0.10}
+    assert diff_files(base, drift, per) == [], "per-stat tol not applied"
+
+    missing = json.loads(json.dumps(base))
+    del missing["jobs"][0]["cpi_stack"]
+    fails = diff_files(base, missing, Opts())
+    assert any("missing from current" in f for f in fails), fails
+
+    extra_job = json.loads(json.dumps(base))
+    extra_job["jobs"].append({"index": 1, "config": "b", "workload": "w"})
+    fails = diff_files(base, extra_job, Opts())
+    assert any("not in golden" in f for f in fails), fails
+
+    # index/attempts are bookkeeping and never gate.
+    renum = json.loads(json.dumps(base))
+    renum["jobs"][0]["index"] = 7
+    assert diff_files(base, renum, Opts()) == [], "index should not gate"
+
+    print("stats_diff self-test: ok")
+    return 0
+
+
+def parse_per_stat(items):
+    out = {}
+    for item in items or []:
+        name, _, tol = item.partition("=")
+        if not tol:
+            raise SystemExit(f"--per-stat expects NAME=REL, got '{item}'")
+        out[name] = float(tol)
+    return out
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("golden", nargs="?", help="golden campaign JSON")
+    ap.add_argument("current", nargs="?", help="current campaign JSON")
+    ap.add_argument("--rel-tol", type=float, default=0.0,
+                    help="default relative tolerance (default: exact)")
+    ap.add_argument("--abs-tol", type=float, default=0.0,
+                    help="absolute tolerance (default: exact)")
+    ap.add_argument("--per-stat", action="append", metavar="NAME=REL",
+                    help="relative tolerance for one stat name")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run built-in unit checks and exit")
+    opts = ap.parse_args(argv)
+
+    if opts.self_test:
+        return self_test()
+    if not opts.golden or not opts.current:
+        ap.error("golden and current files are required")
+
+    opts.per_stat = parse_per_stat(opts.per_stat)
+    with open(opts.golden) as f:
+        golden = json.load(f)
+    with open(opts.current) as f:
+        current = json.load(f)
+
+    failures = diff_files(golden, current, opts)
+    if failures:
+        print(f"stats_diff: {len(failures)} drift(s) between "
+              f"{opts.golden} and {opts.current}:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"stats_diff: {opts.current} matches {opts.golden}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -70,6 +70,23 @@ struct DynInst
     /** Value-replay schemes: issued past an unresolved older store. */
     bool replay_vulnerable = false;
 
+    // --- pipeline lifetime timestamps -------------------------------------
+    // Stamped unconditionally (a store to a resident cache line per
+    // milestone); the CPI-stack classifier and the lifetime/Konata
+    // export read them. kNoCycle = milestone never reached.
+    Cycle fetch_cycle = kNoCycle;
+    Cycle dispatch_cycle = kNoCycle;
+    /** First cycle the scheduler selected this instruction. */
+    Cycle ready_cycle = kNoCycle;
+    /** Final (successful) issue cycle; replays push it past ready. */
+    Cycle issue_cycle = kNoCycle;
+    /** Last memory-unit probe (issue-time disambiguation access). */
+    Cycle mem_probe_cycle = kNoCycle;
+    Cycle complete_cycle = kNoCycle;
+    /** Reason of the most recent replay (ReplayReason, type-erased to
+     *  avoid a cpu/mem_unit.hh include cycle). */
+    std::uint8_t last_replay_reason = 0;
+
     bool isLoadInst() const { return isLoad(si.op); }
     bool isStoreInst() const { return isStore(si.op); }
     bool isMemInst() const { return isMem(si.op); }

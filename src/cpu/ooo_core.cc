@@ -1,6 +1,7 @@
 #include "ooo_core.hh"
 
 #include <algorithm>
+#include <cstring>
 #include <sstream>
 
 #include "obs/trace_sink.hh"
@@ -18,6 +19,7 @@ OooCore::OooCore(const CoreConfig &cfg, const Program &prog)
       memdep_(cfg.memdep),
       trace_(cfg.obs.trace),
       profiler_(cfg.obs.profiler),
+      lifetime_(cfg.obs.lifetime),
       stats_("core"),
       table_(stats_),
       insts_retired_(table_[obs::CoreStat::InstsRetired]),
@@ -176,18 +178,44 @@ OooCore::readyProducedTag(DynInst &inst)
 // Recovery
 // ---------------------------------------------------------------------
 
+void
+OooCore::finalizeLifetime(const DynInst &inst, bool squashed)
+{
+    if (!lifetime_)
+        return;
+    obs::InstLifetime lt;
+    lt.seq = inst.seq;
+    lt.pc = inst.pc;
+    lt.fetch = inst.fetch_cycle;
+    lt.dispatch = inst.dispatch_cycle;
+    lt.ready = inst.ready_cycle;
+    lt.issue = inst.issue_cycle;
+    lt.mem_probe = inst.mem_probe_cycle;
+    lt.complete = inst.complete_cycle;
+    lt.end = cycle_;
+    lt.replays = inst.replays;
+    lt.squashed = squashed;
+    lt.on_correct_path = inst.on_correct_path;
+    lt.is_mem = inst.isMemInst();
+    const std::string text = disassemble(inst.si);
+    std::strncpy(lt.text, text.c_str(), sizeof(lt.text) - 1);
+    lifetime_->record(lt);
+}
+
 std::uint64_t
 OooCore::squashFrom(SeqNum seq)
 {
     std::uint64_t squashed = 0;
 
     while (!fetchq_.empty() && fetchq_.back().seq >= seq) {
+        finalizeLifetime(fetchq_.back(), /*squashed=*/true);
         fetchq_.pop_back();
         ++squashed;
     }
 
     while (!rob_.empty() && rob_.back().seq >= seq) {
         DynInst &d = rob_.back();
+        finalizeLifetime(d, /*squashed=*/true);
         if (d.in_scheduler) {
             if (d.stalled && stalled_count_ > 0)
                 --stalled_count_;
@@ -210,6 +238,15 @@ OooCore::squashFrom(SeqNum seq)
     if (squashed > 0)
         ++squash_count_;
     return squashed;
+}
+
+void
+OooCore::noteFlush(obs::FlushCause cause, std::uint64_t squashed,
+                   Cycle penalty_until)
+{
+    blame_.recordFlush(cause, squashed);
+    last_flush_cause_ = cause;
+    flush_penalty_until_ = penalty_until;
 }
 
 void
@@ -258,6 +295,7 @@ OooCore::recoverBranchMispredict(DynInst &branch)
     fetch_cp_index_ = cp_index + 1;
     fetch_halted_ = false;
     fetch_ready_cycle_ = cycle_ + cfg_.mispredict_penalty;
+    noteFlush(obs::FlushCause::Branch, squashed, fetch_ready_cycle_);
 
     clearStallBits();
 }
@@ -338,6 +376,22 @@ OooCore::recoverViolation(const MemIssueOutcome &outcome, bool value_replay)
         penalty += cfg_.mdt_violation_extra_penalty;
     fetch_ready_cycle_ = cycle_ + penalty;
 
+    obs::FlushCause cause = obs::FlushCause::ValueReplay;
+    if (!value_replay) {
+        switch (outcome.dep_kind) {
+          case DepKind::True:
+            cause = obs::FlushCause::MemDepTrue;
+            break;
+          case DepKind::Anti:
+            cause = obs::FlushCause::MemDepAnti;
+            break;
+          case DepKind::Output:
+            cause = obs::FlushCause::MemDepOutput;
+            break;
+        }
+    }
+    noteFlush(cause, squashed, fetch_ready_cycle_);
+
     clearStallBits();
 }
 
@@ -396,6 +450,7 @@ OooCore::retireStage()
         last_retire_cycle_ = cycle_;
         SLF_OBS_EMIT(trace_, obs::EventKind::Retire, obs::Track::Retire,
                      head.seq, head.pc, head.addr, head.result, 0);
+        finalizeLifetime(head, /*squashed=*/false);
         rob_.pop_front();
 
         if (was_halt || insts_retired_.value() >= cfg_.max_insts) {
@@ -413,6 +468,7 @@ void
 OooCore::completeInst(DynInst &inst)
 {
     inst.completed = true;
+    inst.complete_cycle = cycle_;
     writebackDst(inst);
 
     if (inst.isCondBranch()) {
@@ -475,6 +531,7 @@ OooCore::executeAtIssue(DynInst &inst)
         const bool at_head = !rob_.empty() && rob_.front().seq == inst.seq;
 
         MemIssueOutcome out;
+        inst.mem_probe_cycle = cycle_;
         {
             obs::ScopedTimer t(profiler_, obs::ProfSection::MemProbe);
             if (isLoad(op)) {
@@ -502,6 +559,8 @@ OooCore::executeAtIssue(DynInst &inst)
           case MemIssueOutcome::Kind::Replay:
             ++replays_;
             ++inst.replays;
+            inst.last_replay_reason =
+                static_cast<std::uint8_t>(out.replay_reason);
             SLF_OBS_EMIT(trace_, obs::EventKind::Replay, obs::Track::Issue,
                          inst.seq, inst.pc, inst.addr, inst.replays,
                          static_cast<obs::ReplayDetail>(out.replay_reason));
@@ -568,6 +627,9 @@ OooCore::issueStage()
         }
         inst->in_scheduler = false;
         inst->issued = true;
+        if (inst->ready_cycle == kNoCycle)
+            inst->ready_cycle = cycle_;
+        inst->issue_cycle = cycle_;
         ++issued;
         SLF_OBS_EMIT(trace_, obs::EventKind::Issue, obs::Track::Issue,
                      inst->seq, inst->pc, 0, inst->replays, 0);
@@ -654,8 +716,10 @@ OooCore::dispatchStage()
             rat_[inst.si.dst] = inst.dst_preg;
         }
 
+        inst.dispatch_cycle = cycle_;
         if (completes_at_dispatch) {
             inst.completed = true;
+            inst.complete_cycle = cycle_;
             if (op == Op::JMP) {
                 inst.taken = true;
                 inst.actual_next_pc = inst.si.branchTarget;
@@ -717,6 +781,7 @@ OooCore::fetchStage()
         d.on_correct_path = fetch_on_cp_;
         d.cp_index = fetch_cp_index_;
         d.ghist = gshare_.history();
+        d.fetch_cycle = cycle_;
 
         if (fetch_on_cp_ && fetch_cp_index_ < trace_pc_.size() &&
             trace_pc_[fetch_cp_index_] != fetch_pc_) {
@@ -808,28 +873,24 @@ OooCore::tick()
 
     const std::uint64_t retired_before = insts_retired_.value();
     issued_this_cycle_ = 0;
-    {
-        obs::ScopedTimer t(profiler_, obs::ProfSection::Retire);
-        retireStage();
-    }
+    // Batched host profiling: one timestamp per stage boundary (the
+    // read that ends one section starts the next) instead of a
+    // ScopedTimer pair per stage.
+    obs::StageFrame frame(profiler_);
+    retireStage();
+    frame.mark(obs::ProfSection::Retire);
     if (!done_) {
-        {
-            obs::ScopedTimer t(profiler_, obs::ProfSection::Complete);
-            completeStage();
-        }
-        {
-            obs::ScopedTimer t(profiler_, obs::ProfSection::SchedWakeup);
-            issueStage();
-        }
-        {
-            obs::ScopedTimer t(profiler_, obs::ProfSection::Dispatch);
-            dispatchStage();
-        }
-        {
-            obs::ScopedTimer t(profiler_, obs::ProfSection::Fetch);
-            fetchStage();
-        }
+        completeStage();
+        frame.mark(obs::ProfSection::Complete);
+        issueStage();
+        frame.mark(obs::ProfSection::SchedWakeup);
+        dispatchStage();
+        frame.mark(obs::ProfSection::Dispatch);
+        fetchStage();
+        frame.mark(obs::ProfSection::Fetch);
     }
+
+    classifyCycle(insts_retired_.value() - retired_before);
 
     if (occ_.enabled()) {
         obs::OccSnapshot snap = occSnapshot();
@@ -870,6 +931,104 @@ OooCore::tick()
     }
 
     return !done_;
+}
+
+void
+OooCore::classifyCycle(std::uint64_t retired_this_cycle)
+{
+    using C = obs::CpiComponent;
+
+    // Slot accounting (the classic CPI-stack construction): every
+    // cycle offers `width` retire slots. Slots that retired an
+    // instruction are base work; ALL remaining slots charge the single
+    // reason the oldest unretired instruction could not retire. The
+    // component sum is therefore exactly width * cycles, and two runs
+    // of the same program (identical retired-instruction count, hence
+    // identical base) differ only in their stall components — which is
+    // what makes an IPC gap between configs fully attributable.
+    const std::uint64_t width = cfg_.width;
+    const std::uint64_t used = std::min<std::uint64_t>(
+        retired_this_cycle, width);
+    if (used > 0)
+        cpi_.add(C::Base, used);
+    const std::uint64_t lost = width - used;
+    if (lost == 0)
+        return;
+
+    // Wedging: no retirement for more than half the retire-watchdog
+    // budget. Split out so a hung configuration's stack doesn't read as
+    // an enormous memory-latency component.
+    if (cfg_.watchdog_retire_cycles && !rob_.empty() &&
+        cycle_ - last_retire_cycle_ > cfg_.watchdog_retire_cycles / 2) {
+        cpi_.add(C::WatchdogStall, lost);
+        return;
+    }
+
+    if (rob_.empty()) {
+        // Nothing in flight. If a flush's refetch window is still open,
+        // the flush pays; otherwise the frontend starved the core.
+        if (cycle_ < flush_penalty_until_ &&
+            last_flush_cause_ != obs::FlushCause::kCount) {
+            switch (last_flush_cause_) {
+              case obs::FlushCause::Branch:
+                cpi_.add(C::FlushBranch, lost);
+                break;
+              case obs::FlushCause::MemDepTrue:
+                cpi_.add(C::FlushTrue, lost);
+                break;
+              case obs::FlushCause::MemDepAnti:
+                cpi_.add(C::FlushAnti, lost);
+                break;
+              case obs::FlushCause::MemDepOutput:
+                cpi_.add(C::FlushOutput, lost);
+                break;
+              case obs::FlushCause::ValueReplay:
+                cpi_.add(C::FlushValueReplay, lost);
+                break;
+              case obs::FlushCause::kCount:
+                break;
+            }
+            blame_.addRefetchCycle(last_flush_cause_);
+        } else {
+            cpi_.add(C::FetchStarved, lost);
+        }
+        return;
+    }
+
+    // The oldest unretired instruction gates retirement; attribute the
+    // empty slots to whatever it is waiting for.
+    const DynInst &head = rob_.front();
+    if (head.in_scheduler) {
+        if (head.replays > 0 && cycle_ < head.retry_cycle) {
+            // Serving a memory-unit replay. SFC corrupt/partial are the
+            // forwardable cases the SFC could not honor (the paper's
+            // SFC-miss-but-forwardable stalls); everything else is a
+            // generic replay (set conflict, MDT conflict, dep wait).
+            const auto rr =
+                static_cast<ReplayReason>(head.last_replay_reason);
+            if (rr == ReplayReason::SfcCorrupt ||
+                rr == ReplayReason::SfcPartial) {
+                cpi_.add(C::SfcMissForwardable, lost);
+            } else {
+                cpi_.add(C::Replay, lost);
+            }
+        } else {
+            // Selectable but not issued: issue-bandwidth / window
+            // refill pressure.
+            cpi_.add(C::SchedulerFull, lost);
+        }
+        return;
+    }
+    if (head.issued && !head.completed) {
+        // In flight in a functional unit; memory time is its own
+        // component, plain FU latency is exec_latency.
+        cpi_.add(head.isMemInst() ? C::MemLatency : C::ExecLatency,
+                 lost);
+        return;
+    }
+    // Completed but not retired this cycle (completes after the retire
+    // stage ran; retires next cycle): commit-pipeline latency.
+    cpi_.add(C::ExecLatency, lost);
 }
 
 obs::OccSnapshot

@@ -43,6 +43,9 @@
 #include "cpu/mem_unit.hh"
 #include "mem/cache.hh"
 #include "mem/main_memory.hh"
+#include "obs/analysis/blame.hh"
+#include "obs/analysis/cpi_stack.hh"
+#include "obs/analysis/lifetime.hh"
 #include "obs/occupancy.hh"
 #include "obs/profile.hh"
 #include "obs/stat_table.hh"
@@ -84,6 +87,10 @@ class OooCore
     std::uint64_t coreStat(obs::CoreStat s) const { return table_.value(s); }
     /** Per-cycle occupancy distributions (empty unless sampling is on). */
     const obs::OccupancySet &occupancy() const { return occ_; }
+    /** Slot attribution; components sum to width x cycles() exactly. */
+    const obs::CpiStack &cpiStack() const { return cpi_; }
+    /** Per-cause flush cost accounting. */
+    const obs::BlameSet &blame() const { return blame_; }
     MemUnit &memUnit() { return *memu_; }
     MemDepPredictor &memDep() { return memdep_; }
     GsharePredictor &gshare() { return gshare_; }
@@ -134,6 +141,14 @@ class OooCore
     /** Squash every in-flight instruction with seq >= @p seq.
      *  @return number of instructions squashed. */
     std::uint64_t squashFrom(SeqNum seq);
+    /** Attribute the just-simulated cycle to one CpiComponent. */
+    void classifyCycle(std::uint64_t retired_this_cycle);
+    /** Open a refetch-penalty attribution window for @p cause. */
+    void noteFlush(obs::FlushCause cause, std::uint64_t squashed,
+                   Cycle penalty_until);
+    /** Finalize a lifetime record for an instruction leaving the
+     *  machine (retired or squashed). */
+    void finalizeLifetime(const DynInst &inst, bool squashed);
     void clearStallBits();
     /** Compose the watchdog fatal() message with an occupancy dump. */
     std::string watchdogDump(const std::string &reason) const;
@@ -218,8 +233,19 @@ class OooCore
     // --- observability ---------------------------------------------------
     obs::TraceSink *trace_ = nullptr;       ///< borrowed from cfg.obs
     obs::HostProfiler *profiler_ = nullptr; ///< borrowed from cfg.obs
+    obs::LifetimeSink *lifetime_ = nullptr; ///< borrowed from cfg.obs
     obs::OccupancySet occ_;
     unsigned issued_this_cycle_ = 0;
+
+    // --- cycle attribution (always on; plain counter arithmetic) ---------
+    obs::CpiStack cpi_;
+    obs::BlameSet blame_;
+    /** Cause of the most recent flush (valid while the refetch window
+     *  below is open). */
+    obs::FlushCause last_flush_cause_ = obs::FlushCause::kCount;
+    /** Frontend-hold deadline of the most recent flush; empty-ROB
+     *  cycles before it are blamed on last_flush_cause_. */
+    Cycle flush_penalty_until_ = 0;
 
     // --- statistics -------------------------------------------------------
     StatGroup stats_;

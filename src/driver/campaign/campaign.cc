@@ -58,12 +58,13 @@ runJob(const JobSpec &spec, std::size_t index, const CampaignOptions &opts)
         jr.attempts = attempt + 1;
 
         CoreConfig cfg = spec.cfg;
-        // TraceSink / HostProfiler are single-run, single-thread objects;
-        // sharing one across pool workers would race. Campaign jobs keep
-        // only the occupancy sampling flag (distributions are per-job and
-        // merge in the sink).
+        // TraceSink / HostProfiler / LifetimeSink are single-run,
+        // single-thread objects; sharing one across pool workers would
+        // race. Campaign jobs keep only the occupancy sampling flag
+        // (distributions are per-job and merge in the sink).
         cfg.obs.trace = nullptr;
         cfg.obs.profiler = nullptr;
+        cfg.obs.lifetime = nullptr;
         if (spec.derive_seeds || attempt > 0) {
             cfg.rng_seed =
                 jobSeed(opts.root_seed, index, SeedStream::Core, attempt);

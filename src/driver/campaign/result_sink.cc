@@ -129,6 +129,30 @@ emitCounters(std::ostringstream &os, const std::string &indent,
         }
         os << "}}";
     }
+
+    // Schema v3: cycle attribution. Gated on classified cycles being
+    // present so synthetic results (tests) keep rendering v1/v2
+    // byte-identically; every real run classifies all its cycles.
+    if (r.cpi.total() > 0) {
+        os << ",\n" << indent << "\"cpi_stack\": {\"total\": "
+           << r.cpi.total();
+        for (std::size_t i = 0; i < obs::kCpiComponentCount; ++i) {
+            const auto c = static_cast<obs::CpiComponent>(i);
+            os << ", \"" << obs::cpiComponentName(c)
+               << "\": " << r.cpi.value(c);
+        }
+        os << "},\n";
+        os << indent << "\"blame\": {";
+        for (std::size_t i = 0; i < obs::kFlushCauseCount; ++i) {
+            const auto c = static_cast<obs::FlushCause>(i);
+            const obs::BlameRecord &b = r.blame.record(c);
+            os << (i ? ", " : "") << "\"" << obs::flushCauseName(c)
+               << "\": {\"flushes\": " << b.flushes
+               << ", \"squashed_insts\": " << b.squashed_insts
+               << ", \"refetch_cycles\": " << b.refetch_cycles << "}";
+        }
+        os << "}";
+    }
     os << "\n";
 }
 
@@ -140,13 +164,18 @@ ResultSink::toJson(const std::string &campaign_name,
                    const std::vector<JobResult> &results)
 {
     bool any_obs = false;
-    for (const JobResult &jr : results)
+    bool any_cpi = false;
+    for (const JobResult &jr : results) {
         any_obs = any_obs || jr.result.occ.enabled();
+        any_cpi = any_cpi || jr.result.cpi.total() > 0;
+    }
 
     std::ostringstream os;
     os << "{\n";
     os << "  \"schema_version\": "
-       << (any_obs ? kSchemaVersionObs : kSchemaVersion) << ",\n";
+       << (any_cpi ? kSchemaVersionCpi
+                   : any_obs ? kSchemaVersionObs : kSchemaVersion)
+       << ",\n";
     os << "  \"campaign\": \"" << jsonEscape(campaign_name) << "\",\n";
     os << "  \"root_seed\": " << root_seed << ",\n";
     os << "  \"jobs\": [\n";

@@ -31,13 +31,19 @@ class ResultSink
   public:
     /**
      * Schema versions. v1 is the original counters-only layout; v2 adds
-     * the per-job / per-aggregate "obs" occupancy section. A campaign
-     * that sampled no occupancy distributions renders as v1, byte for
-     * byte, so downstream diffing against pre-obs result files still
-     * works and the determinism ctest keeps its guarantee.
+     * the per-job / per-aggregate "obs" occupancy section; v3 adds the
+     * "cpi_stack" and "blame" attribution sections. Sections are only
+     * emitted when their data is present, and the version is the
+     * highest section present anywhere in the file: a campaign with no
+     * occupancy samples and no classified cycles (synthetic results)
+     * renders as v1, byte for byte, so downstream diffing against
+     * pre-obs result files still works and the determinism ctest keeps
+     * its guarantee. Every real core run classifies its cycles, so
+     * campaign output is v3 in practice.
      */
     static constexpr unsigned kSchemaVersion = 1;
     static constexpr unsigned kSchemaVersionObs = 2;
+    static constexpr unsigned kSchemaVersionCpi = 3;
 
     /**
      * Render a campaign's results as canonical JSON. Includes one

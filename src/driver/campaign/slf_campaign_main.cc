@@ -6,7 +6,7 @@
  *   slf_campaign --sweep fig5|lsq_size|assoc|fault [--jobs N]
  *                [--out results/fig5.json] [--retries N] [--seed S]
  *                [--no-progress] [--trace FILE] [--trace-text FILE]
- *                [--trace-job N] [key=value ...]
+ *                [--pipeview FILE] [--trace-job N] [key=value ...]
  *
  * key=value arguments:
  *   scale=N bench=<name> wseed=S   workload selection (analog sweeps)
@@ -17,9 +17,11 @@
  * --trace FILE re-runs one job (--trace-job, default 0) after the
  * campaign with a TraceSink attached and writes Chrome trace_event
  * JSON; --trace-text FILE writes the compact text timeline of the same
- * capture. The traced re-run happens on this thread with the job's
- * campaign seeds, so it replays exactly what the campaign measured
- * without ever sharing a sink across pool workers.
+ * capture; --pipeview FILE attaches a LifetimeSink to the same re-run
+ * and writes the per-instruction pipeline view in Konata (Kanata 0004)
+ * format. The re-run happens on this thread with the job's campaign
+ * seeds, so it replays exactly what the campaign measured without ever
+ * sharing a sink across pool workers.
  *
  * The JSON written with --out is canonical: byte-identical for any
  * --jobs value (the determinism ctest relies on this). A summary table
@@ -34,6 +36,8 @@
 
 #include "campaign/result_sink.hh"
 #include "campaign/sweeps.hh"
+#include "obs/analysis/konata.hh"
+#include "obs/analysis/lifetime.hh"
 #include "obs/chrome_trace.hh"
 #include "obs/trace_sink.hh"
 #include "sim/logging.hh"
@@ -50,8 +54,8 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s --sweep <name> [--jobs N] [--out FILE] "
                  "[--retries N] [--seed S] [--no-progress] "
-                 "[--trace FILE] [--trace-text FILE] [--trace-job N] "
-                 "[key=value ...]\n  sweeps:",
+                 "[--trace FILE] [--trace-text FILE] [--pipeview FILE] "
+                 "[--trace-job N] [key=value ...]\n  sweeps:",
                  argv0);
     for (const std::string &n : sweepNames())
         std::fprintf(stderr, " %s", n.c_str());
@@ -67,6 +71,7 @@ main(int argc, char **argv)
     std::string out_path;
     std::string trace_path;
     std::string trace_text_path;
+    std::string pipeview_path;
     std::size_t trace_job = 0;
     CampaignOptions copts;
     SweepOptions sopts;
@@ -97,6 +102,8 @@ main(int argc, char **argv)
             trace_path = next("--trace");
         } else if (arg == "--trace-text") {
             trace_text_path = next("--trace-text");
+        } else if (arg == "--pipeview") {
+            pipeview_path = next("--pipeview");
         } else if (arg == "--trace-job") {
             trace_job = std::stoul(next("--trace-job"));
         } else if (arg == "--help" || arg == "-h") {
@@ -158,7 +165,8 @@ main(int argc, char **argv)
                         json.size());
         }
 
-        if (!trace_path.empty() || !trace_text_path.empty()) {
+        if (!trace_path.empty() || !trace_text_path.empty() ||
+            !pipeview_path.empty()) {
             if (trace_job >= c.jobCount())
                 fatal("--trace-job " + std::to_string(trace_job) +
                       " out of range (campaign has " +
@@ -166,8 +174,12 @@ main(int argc, char **argv)
             const JobSpec &spec = c.jobs()[trace_job];
 
             obs::TraceSink sink;
+            obs::LifetimeSink lifetimes;
             CoreConfig cfg = spec.cfg;
-            cfg.obs.trace = &sink;
+            if (!trace_path.empty() || !trace_text_path.empty())
+                cfg.obs.trace = &sink;
+            if (!pipeview_path.empty())
+                cfg.obs.lifetime = &lifetimes;
             if (spec.derive_seeds) {
                 cfg.rng_seed = jobSeed(copts.root_seed, trace_job,
                                        SeedStream::Core, 0);
@@ -198,6 +210,22 @@ main(int argc, char **argv)
                 ResultSink::writeFileAtomic(trace_text_path, tt);
                 std::printf("wrote %s (%zu bytes)\n",
                             trace_text_path.c_str(), tt.size());
+            }
+            if (!pipeview_path.empty()) {
+                std::fprintf(stderr,
+                             "pipeview job %zu: %llu retired, %llu "
+                             "squashed, %llu dropped lifetime records\n",
+                             trace_job,
+                             static_cast<unsigned long long>(
+                                 lifetimes.retired()),
+                             static_cast<unsigned long long>(
+                                 lifetimes.squashed()),
+                             static_cast<unsigned long long>(
+                                 lifetimes.dropped()));
+                const std::string kon = obs::toKonata(lifetimes);
+                ResultSink::writeFileAtomic(pipeview_path, kon);
+                std::printf("wrote %s (%zu bytes)\n",
+                            pipeview_path.c_str(), kon.size());
             }
         }
         return fatal_jobs ? 1 : 0;

@@ -33,6 +33,8 @@ runWorkload(const CoreConfig &cfg, const Program &prog)
 
     core.memUnit().exportStats(r);
     r.occ = core.occupancy();
+    r.cpi = core.cpiStack();
+    r.blame = core.blame();
 
     if (const GoldenChecker *checker = core.checker()) {
         r.checker_enabled = true;

@@ -1,0 +1,79 @@
+#include "blame.hh"
+
+#include <sstream>
+
+namespace slf::obs
+{
+
+const char *
+flushCauseName(FlushCause c)
+{
+#define SLF_FLUSH_CAUSE_NAME_CASE(sym, str)                             \
+  case FlushCause::sym:                                                 \
+    return str;
+    switch (c) {
+        SLF_FLUSH_CAUSE_LIST(SLF_FLUSH_CAUSE_NAME_CASE)
+      case FlushCause::kCount:
+        break;
+    }
+#undef SLF_FLUSH_CAUSE_NAME_CASE
+    return "?";
+}
+
+std::uint64_t
+BlameSet::totalFlushes() const
+{
+    std::uint64_t sum = 0;
+    for (const BlameRecord &r : records_)
+        sum += r.flushes;
+    return sum;
+}
+
+std::uint64_t
+BlameSet::totalSquashed() const
+{
+    std::uint64_t sum = 0;
+    for (const BlameRecord &r : records_)
+        sum += r.squashed_insts;
+    return sum;
+}
+
+std::uint64_t
+BlameSet::totalRefetchCycles() const
+{
+    std::uint64_t sum = 0;
+    for (const BlameRecord &r : records_)
+        sum += r.refetch_cycles;
+    return sum;
+}
+
+void
+BlameSet::mergeFrom(const BlameSet &other)
+{
+    for (std::size_t i = 0; i < kFlushCauseCount; ++i) {
+        records_[i].flushes += other.records_[i].flushes;
+        records_[i].squashed_insts += other.records_[i].squashed_insts;
+        records_[i].refetch_cycles += other.records_[i].refetch_cycles;
+    }
+}
+
+std::string
+BlameSet::toString() const
+{
+    std::ostringstream os;
+    bool first = true;
+    for (std::size_t i = 0; i < kFlushCauseCount; ++i) {
+        const BlameRecord &r = records_[i];
+        if (r.flushes == 0 && r.squashed_insts == 0 &&
+            r.refetch_cycles == 0)
+            continue;
+        os << (first ? "" : "; ")
+           << flushCauseName(static_cast<FlushCause>(i)) << ": "
+           << r.flushes << " flushes / " << r.squashed_insts
+           << " squashed / " << r.refetch_cycles << " refetch cycles";
+        first = false;
+    }
+    return os.str();
+}
+
+} // namespace slf::obs

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Flush-blame accounting: who pays for every squash.
+ *
+ * Every OooCore::squashFrom() caller attributes the flush to one
+ * FlushCause — a branch mispredict, a memory-ordering violation by
+ * dependence class (a true-dependence violation is, by construction, a
+ * memory-dependence-predictor miss: the predictor failed to enforce the
+ * store→load edge), or a retirement-time value-replay failure. The
+ * record accumulates three costs per cause:
+ *
+ *  - flushes:        squashFrom() invocations that squashed work,
+ *  - squashed_insts: dynamic instructions destroyed,
+ *  - refetch_cycles: cycles the CPI classifier attributed to this
+ *                    cause's refetch window (ROB empty, frontend held
+ *                    back by the flush penalty) — i.e. the flush_* CPI
+ *                    components, broken out per cause.
+ *
+ * BlameSet rides SimResult through the campaign shard merge and lands
+ * in the schema-v3 "blame" JSON section, so the ENF-vs-ideal IPC gap in
+ * a fig5 campaign is explained by the file itself.
+ */
+
+#ifndef SLFWD_OBS_ANALYSIS_BLAME_HH_
+#define SLFWD_OBS_ANALYSIS_BLAME_HH_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace slf::obs
+{
+
+#define SLF_FLUSH_CAUSE_LIST(X)                                         \
+    X(Branch, "branch")                                                 \
+    X(MemDepTrue, "mem_dep_true")                                       \
+    X(MemDepAnti, "mem_dep_anti")                                       \
+    X(MemDepOutput, "mem_dep_output")                                   \
+    X(ValueReplay, "value_replay")
+
+#define SLF_FLUSH_CAUSE_ENUM_MEMBER(sym, str) sym,
+enum class FlushCause : unsigned
+{
+    SLF_FLUSH_CAUSE_LIST(SLF_FLUSH_CAUSE_ENUM_MEMBER) kCount
+};
+#undef SLF_FLUSH_CAUSE_ENUM_MEMBER
+
+inline constexpr std::size_t kFlushCauseCount =
+    static_cast<std::size_t>(FlushCause::kCount);
+
+const char *flushCauseName(FlushCause c);
+
+struct BlameRecord
+{
+    std::uint64_t flushes = 0;
+    std::uint64_t squashed_insts = 0;
+    std::uint64_t refetch_cycles = 0;
+};
+
+class BlameSet
+{
+  public:
+    void
+    recordFlush(FlushCause c, std::uint64_t squashed)
+    {
+        BlameRecord &r = records_[static_cast<std::size_t>(c)];
+        ++r.flushes;
+        r.squashed_insts += squashed;
+    }
+
+    void
+    addRefetchCycle(FlushCause c)
+    {
+        ++records_[static_cast<std::size_t>(c)].refetch_cycles;
+    }
+
+    const BlameRecord &
+    record(FlushCause c) const
+    {
+        return records_[static_cast<std::size_t>(c)];
+    }
+
+    std::uint64_t totalFlushes() const;
+    std::uint64_t totalSquashed() const;
+    std::uint64_t totalRefetchCycles() const;
+
+    /** Shard aggregation: field-wise addition per cause. */
+    void mergeFrom(const BlameSet &other);
+
+    /** "branch: 3 flushes / 41 squashed / 24 refetch cycles ..." */
+    std::string toString() const;
+
+  private:
+    std::array<BlameRecord, kFlushCauseCount> records_{};
+};
+
+} // namespace slf::obs
+
+#endif // SLFWD_OBS_ANALYSIS_BLAME_HH_

@@ -1,0 +1,55 @@
+#include "cpi_stack.hh"
+
+#include <sstream>
+
+namespace slf::obs
+{
+
+const char *
+cpiComponentName(CpiComponent c)
+{
+#define SLF_CPI_NAME_CASE(sym, str)                                     \
+  case CpiComponent::sym:                                               \
+    return str;
+    switch (c) {
+        SLF_CPI_COMPONENT_LIST(SLF_CPI_NAME_CASE)
+      case CpiComponent::kCount:
+        break;
+    }
+#undef SLF_CPI_NAME_CASE
+    return "?";
+}
+
+std::uint64_t
+CpiStack::total() const
+{
+    std::uint64_t sum = 0;
+    for (std::uint64_t v : cycles_)
+        sum += v;
+    return sum;
+}
+
+void
+CpiStack::mergeFrom(const CpiStack &other)
+{
+    for (std::size_t i = 0; i < kCpiComponentCount; ++i)
+        cycles_[i] += other.cycles_[i];
+}
+
+std::string
+CpiStack::toString() const
+{
+    std::ostringstream os;
+    bool first = true;
+    for (std::size_t i = 0; i < kCpiComponentCount; ++i) {
+        if (cycles_[i] == 0)
+            continue;
+        os << (first ? "" : " ")
+           << cpiComponentName(static_cast<CpiComponent>(i)) << "="
+           << cycles_[i];
+        first = false;
+    }
+    return os.str();
+}
+
+} // namespace slf::obs

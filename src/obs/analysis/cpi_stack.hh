@@ -1,0 +1,121 @@
+/**
+ * @file
+ * CPI stack: top-down decomposition of where the cycles went.
+ *
+ * The unit of account is the *retire slot*: every cycle offers `width`
+ * of them, retired instructions fill slots as base work, and the
+ * core's end-of-cycle classifier (OooCore::classifyCycle) charges all
+ * remaining slots of the cycle to the single reason the oldest
+ * unretired instruction could not retire. The components therefore
+ * always sum to exactly width x cycles — an identity the analysis
+ * tests assert, not an estimate — and because two configs running the
+ * same program retire the same instruction count (identical base), an
+ * IPC gap between them is fully attributable to their stall-component
+ * deltas. Components:
+ *
+ *  - base:               a slot that retired an instruction. Base is
+ *                        therefore exactly the retired-instruction
+ *                        count, identical for any two configs running
+ *                        the same program.
+ *  - exec_latency:       empty slots behind a ROB head executing a
+ *                        non-memory op (plain FU latency) or already
+ *                        completed and awaiting commit bandwidth.
+ *  - fetch_starved:      ROB empty with no flush penalty outstanding —
+ *                        the frontend (I-cache miss, taken-branch
+ *                        redirect, fetch-queue refill) starved the core.
+ *  - scheduler_full:     the ROB head is still waiting in the scheduler
+ *                        with no replay pending: issue bandwidth /
+ *                        window-refill pressure.
+ *  - mem_latency:        the ROB head issued a memory operation and is
+ *                        waiting for it to complete (cache/memory time).
+ *  - sfc_miss_forwardable: the ROB head is serving a replay whose last
+ *                        cause was an SFC corrupt/partial outcome — a
+ *                        forwarding opportunity the SFC could not honor
+ *                        (the paper's SFC-miss-but-forwardable case).
+ *  - replay:             the ROB head is serving a replay for any other
+ *                        reason (set conflicts, MDT conflicts, explicit
+ *                        dependence waits).
+ *  - flush_*:            ROB empty inside a flush's refetch window; the
+ *                        cause is the flush that opened the window
+ *                        (branch mispredict, memory-ordering violation
+ *                        by dependence class, or a retirement-time
+ *                        value-replay failure).
+ *  - watchdog_stall:     no retirement for more than half the retire
+ *                        watchdog budget — the core is wedging; these
+ *                        cycles are split out so a hung config's stack
+ *                        doesn't masquerade as memory latency.
+ *
+ * The stack rides SimResult through the campaign shard merge and lands
+ * in the schema-v3 "cpi_stack" JSON section.
+ */
+
+#ifndef SLFWD_OBS_ANALYSIS_CPI_STACK_HH_
+#define SLFWD_OBS_ANALYSIS_CPI_STACK_HH_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace slf::obs
+{
+
+#define SLF_CPI_COMPONENT_LIST(X)                                       \
+    X(Base, "base")                                                     \
+    X(ExecLatency, "exec_latency")                                      \
+    X(FetchStarved, "fetch_starved")                                    \
+    X(SchedulerFull, "scheduler_full")                                  \
+    X(MemLatency, "mem_latency")                                        \
+    X(SfcMissForwardable, "sfc_miss_forwardable")                       \
+    X(Replay, "replay")                                                 \
+    X(FlushBranch, "flush_branch")                                      \
+    X(FlushTrue, "flush_true")                                          \
+    X(FlushAnti, "flush_anti")                                          \
+    X(FlushOutput, "flush_output")                                      \
+    X(FlushValueReplay, "flush_value_replay")                           \
+    X(WatchdogStall, "watchdog_stall")
+
+#define SLF_CPI_ENUM_MEMBER(sym, str) sym,
+enum class CpiComponent : unsigned
+{
+    SLF_CPI_COMPONENT_LIST(SLF_CPI_ENUM_MEMBER) kCount
+};
+#undef SLF_CPI_ENUM_MEMBER
+
+inline constexpr std::size_t kCpiComponentCount =
+    static_cast<std::size_t>(CpiComponent::kCount);
+
+const char *cpiComponentName(CpiComponent c);
+
+/** Per-run (or merged-shard) cycle attribution. */
+class CpiStack
+{
+  public:
+    void
+    add(CpiComponent c, std::uint64_t cycles = 1)
+    {
+        cycles_[static_cast<std::size_t>(c)] += cycles;
+    }
+
+    std::uint64_t
+    value(CpiComponent c) const
+    {
+        return cycles_[static_cast<std::size_t>(c)];
+    }
+
+    /** Sum of every component == cycles classified. */
+    std::uint64_t total() const;
+
+    /** Shard aggregation: component-wise addition (associative and
+     *  commutative, like every other SimResult counter). */
+    void mergeFrom(const CpiStack &other);
+
+    /** "base=812 mem_latency=90 ..." — nonzero components only. */
+    std::string toString() const;
+
+  private:
+    std::array<std::uint64_t, kCpiComponentCount> cycles_{};
+};
+
+} // namespace slf::obs
+
+#endif // SLFWD_OBS_ANALYSIS_CPI_STACK_HH_

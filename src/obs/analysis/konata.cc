@@ -1,0 +1,103 @@
+#include "konata.hh"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace slf::obs
+{
+
+namespace
+{
+
+/** One Kanata line anchored to a simulation cycle. Sorting is total
+ *  (cycle, then seq, then milestone order), so the render is canonical
+ *  no matter what order records were finalized in. */
+struct KLine
+{
+    Cycle cycle;
+    SeqNum seq;
+    unsigned order;
+    std::string text;
+};
+
+} // namespace
+
+std::string
+toKonata(const LifetimeSink &sink)
+{
+    std::vector<const InstLifetime *> recs;
+    recs.reserve(sink.records().size());
+    for (const InstLifetime &lt : sink.records())
+        recs.push_back(&lt);
+    std::sort(recs.begin(), recs.end(),
+              [](const InstLifetime *a, const InstLifetime *b) {
+                  return a->seq < b->seq;
+              });
+
+    std::vector<KLine> lines;
+    lines.reserve(recs.size() * 8);
+    std::uint64_t id = 0;
+    for (const InstLifetime *lt : recs) {
+        if (lt->fetch == kNoCycle)
+            continue;   // never entered the pipeline; nothing to draw
+        std::ostringstream os;
+        unsigned order = 0;
+        auto put = [&](Cycle c, const std::string &s) {
+            lines.push_back(KLine{c, lt->seq, order++, s});
+        };
+
+        os << "I\t" << id << "\t" << lt->seq << "\t0";
+        put(lt->fetch, os.str());
+        os.str("");
+        os << "L\t" << id << "\t0\t" << std::hex << lt->pc << std::dec
+           << ": " << lt->text
+           << (lt->on_correct_path ? "" : " (wrong path)");
+        put(lt->fetch, os.str());
+
+        auto stage = [&](Cycle c, const char *name) {
+            if (c == kNoCycle)
+                return;
+            std::ostringstream ss;
+            ss << "S\t" << id << "\t0\t" << name;
+            put(c, ss.str());
+        };
+        stage(lt->fetch, "F");
+        stage(lt->dispatch, "Ds");
+        stage(lt->ready, "Is");
+        stage(lt->issue, "Ex");
+        stage(lt->complete, "Cm");
+
+        if (lt->end != kNoCycle) {
+            std::ostringstream ss;
+            ss << "R\t" << id << "\t" << lt->seq << "\t"
+               << (lt->squashed ? 1 : 0);
+            put(lt->end, ss.str());
+        }
+        ++id;
+    }
+
+    std::stable_sort(lines.begin(), lines.end(),
+                     [](const KLine &a, const KLine &b) {
+                         if (a.cycle != b.cycle)
+                             return a.cycle < b.cycle;
+                         if (a.seq != b.seq)
+                             return a.seq < b.seq;
+                         return a.order < b.order;
+                     });
+
+    std::ostringstream out;
+    out << "Kanata\t0004\n";
+    Cycle cur = lines.empty() ? 0 : lines.front().cycle;
+    out << "C=\t" << cur << "\n";
+    for (const KLine &l : lines) {
+        if (l.cycle != cur) {
+            out << "C\t" << (l.cycle - cur) << "\n";
+            cur = l.cycle;
+        }
+        out << l.text << "\n";
+    }
+    return out.str();
+}
+
+} // namespace slf::obs

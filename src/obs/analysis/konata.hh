@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Konata (Kanata log format) exporter for pipeline lifetime records.
+ *
+ * Renders a LifetimeSink capture as a Kanata 0004 text log, the format
+ * the Konata pipeline viewer (https://github.com/shioyadan/Konata)
+ * opens directly: one lane per dynamic instruction with stage segments
+ * F (fetch), Ds (dispatch/rename), Is (issue-eligible in the
+ * scheduler), Ex (final issue / execute), Cm (complete, waiting to
+ * retire), ending in a retire (R type 0) or flush (R type 1) marker.
+ * Milestones an instruction never reached are simply absent, so
+ * squashed wrong-path work renders as a short flushed lane.
+ *
+ * The output is canonical: records ordered by sequence number, cycle
+ * advances emitted as minimal deltas, no timestamps — the same capture
+ * always renders byte-identically (the analysis tests rely on this).
+ */
+
+#ifndef SLFWD_OBS_ANALYSIS_KONATA_HH_
+#define SLFWD_OBS_ANALYSIS_KONATA_HH_
+
+#include <string>
+
+#include "lifetime.hh"
+
+namespace slf::obs
+{
+
+/** Render @p sink's records as a Kanata 0004 log. */
+std::string toKonata(const LifetimeSink &sink);
+
+} // namespace slf::obs
+
+#endif // SLFWD_OBS_ANALYSIS_KONATA_HH_

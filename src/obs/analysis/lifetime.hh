@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Per-instruction pipeline lifetime records.
+ *
+ * The core stamps every DynInst with the cycle it passed each pipeline
+ * milestone (fetch, dispatch, first issue attempt, final issue, memory
+ * probe, complete, retire). When a LifetimeSink is attached through
+ * ObsHooks::lifetime, the core finalizes one InstLifetime record per
+ * dynamic instruction at the moment it leaves the machine — at
+ * retirement *or* when a squash destroys it — so squashed work is
+ * accounted, never leaked. The Konata exporter renders these records as
+ * a steppable pipeline view (slf_campaign --pipeview).
+ *
+ * The sink is capacity-bounded: once full it counts drops instead of
+ * growing, so attaching it to a long run cannot exhaust memory.
+ *
+ * This layer deliberately knows nothing about DynInst (obs/ sits below
+ * cpu/ in the link order); the core fills the flat record, including
+ * the pre-rendered disassembly text.
+ */
+
+#ifndef SLFWD_OBS_ANALYSIS_LIFETIME_HH_
+#define SLFWD_OBS_ANALYSIS_LIFETIME_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace slf::obs
+{
+
+/** One dynamic instruction's trip through the pipeline. */
+struct InstLifetime
+{
+    SeqNum seq = kInvalidSeqNum;
+    std::uint64_t pc = 0;
+
+    Cycle fetch = kNoCycle;
+    Cycle dispatch = kNoCycle;
+    /** First cycle the scheduler selected it (issue-eligible). */
+    Cycle ready = kNoCycle;
+    /** Final (successful) issue; replays push this past `ready`. */
+    Cycle issue = kNoCycle;
+    Cycle mem_probe = kNoCycle;
+    Cycle complete = kNoCycle;
+    /** Retirement cycle, or the cycle the squash destroyed it. */
+    Cycle end = kNoCycle;
+
+    std::uint32_t replays = 0;
+    bool squashed = false;
+    bool on_correct_path = true;
+    bool is_mem = false;
+
+    /** Disassembly, rendered by the core at finalization time. */
+    char text[40] = {0};
+};
+
+class LifetimeSink
+{
+  public:
+    explicit LifetimeSink(std::size_t capacity = std::size_t{1} << 20)
+        : capacity_(capacity)
+    {
+    }
+
+    /** Append a finalized record; counts a drop when at capacity. */
+    void
+    record(const InstLifetime &lt)
+    {
+        if (records_.size() >= capacity_) {
+            ++dropped_;
+            return;
+        }
+        records_.push_back(lt);
+        if (lt.squashed)
+            ++squashed_;
+        else
+            ++retired_;
+    }
+
+    const std::vector<InstLifetime> &records() const { return records_; }
+    std::uint64_t retired() const { return retired_; }
+    std::uint64_t squashed() const { return squashed_; }
+    std::uint64_t dropped() const { return dropped_; }
+
+    void
+    clear()
+    {
+        records_.clear();
+        retired_ = squashed_ = dropped_ = 0;
+    }
+
+  private:
+    std::size_t capacity_;
+    std::vector<InstLifetime> records_;
+    std::uint64_t retired_ = 0;
+    std::uint64_t squashed_ = 0;
+    std::uint64_t dropped_ = 0;
+};
+
+} // namespace slf::obs
+
+#endif // SLFWD_OBS_ANALYSIS_LIFETIME_HH_

@@ -16,6 +16,7 @@ namespace slf::obs
 
 class TraceSink;
 class HostProfiler;
+class LifetimeSink;
 
 struct ObsHooks
 {
@@ -23,6 +24,9 @@ struct ObsHooks
     TraceSink *trace = nullptr;
     /** Host-time profiler for the simulator's hot loops; null = off. */
     HostProfiler *profiler = nullptr;
+    /** Per-instruction pipeline lifetime records (Konata export);
+     *  null = off. */
+    LifetimeSink *lifetime = nullptr;
     /** Sample per-structure occupancy into SimResult every cycle. */
     bool sample_occupancy = false;
 };

@@ -7,6 +7,33 @@
 namespace slf::obs
 {
 
+double
+HostProfiler::nsPerTick()
+{
+#ifdef SLFWD_PROF_TSC
+    // Calibrate the TSC rate against steady_clock once per process: a
+    // ~2 ms paired read keeps the relative error well under the noise
+    // of the sections being measured.
+    static const double rate = [] {
+        const auto t0 = std::chrono::steady_clock::now();
+        const std::uint64_t c0 = __rdtsc();
+        for (;;) {
+            const auto t1 = std::chrono::steady_clock::now();
+            const std::uint64_t c1 = __rdtsc();
+            const auto ns =
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    t1 - t0)
+                    .count();
+            if (ns >= 2'000'000 && c1 > c0)
+                return double(ns) / double(c1 - c0);
+        }
+    }();
+    return rate;
+#else
+    return 1.0;
+#endif
+}
+
 const char *
 profSectionName(ProfSection s)
 {

@@ -17,6 +17,9 @@ using Addr = std::uint64_t;
 /** Simulation time in core clock cycles. */
 using Cycle = std::uint64_t;
 
+/** Sentinel for "this cycle-stamped event never happened". */
+inline constexpr Cycle kNoCycle = ~Cycle{0};
+
 /**
  * Global dynamic-instruction sequence number.
  *

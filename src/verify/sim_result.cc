@@ -60,6 +60,8 @@ SimResult::mergeFrom(const SimResult &other)
     faults_fifo_payload += other.faults_fifo_payload;
 
     occ.mergeFrom(other.occ);
+    cpi.mergeFrom(other.cpi);
+    blame.mergeFrom(other.blame);
 }
 
 } // namespace slf

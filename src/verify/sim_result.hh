@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/analysis/blame.hh"
+#include "obs/analysis/cpi_stack.hh"
 #include "obs/occupancy.hh"
 #include "prog/program.hh"
 #include "sim/types.hh"
@@ -84,6 +86,12 @@ struct SimResult
     /** Per-cycle occupancy distributions (disabled and empty unless the
      *  run sampled them; merges as a no-op then). */
     obs::OccupancySet occ;
+
+    /** CPI stack: every simulated cycle attributed to one component;
+     *  cpi.total() == cycles, exactly (empty on synthetic results). */
+    obs::CpiStack cpi;
+    /** Per-cause flush cost accounting (squashes + refetch cycles). */
+    obs::BlameSet blame;
 
     std::uint64_t memOps() const { return loads_retired + stores_retired; }
 

@@ -507,9 +507,13 @@ TEST(ResultSinkObs, EndToEndOccupancyReachesCampaignJson)
     ASSERT_TRUE(results[0].result.occ.enabled());
 
     const std::string json = ResultSink::toJson("obs-e2e", 1, results);
-    EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
+    // A real core run classifies every cycle, so the file carries the
+    // v3 attribution sections on top of the occupancy ones.
+    EXPECT_NE(json.find("\"schema_version\": 3"), std::string::npos);
     EXPECT_NE(json.find("\"obs\": {\"occupancy\": {"), std::string::npos);
     EXPECT_NE(json.find("\"issued_per_cycle\""), std::string::npos);
+    EXPECT_NE(json.find("\"cpi_stack\": {\"total\": "), std::string::npos);
+    EXPECT_NE(json.find("\"blame\": {"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------
