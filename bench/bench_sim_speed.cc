@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Simulation-throughput benchmark: the tracked performance metric for
+ * the hot-path kernel work. Runs a deterministic fig5 campaign slice
+ * `reps` times and reports simulated kilo-instructions per wall-clock
+ * second (kips) for the fastest repetition — min-of-N rejects scheduler
+ * and frequency noise, and jobs=1 keeps the number an honest one-CPU
+ * figure (see EXPERIMENTS.md, "Simulation throughput methodology").
+ *
+ * The simulated-instruction census comes from the campaign results
+ * themselves, so the metric is insensitive to workload edits: changing
+ * the slice changes both numerator and denominator.
+ *
+ * Args: bench=<analog>  workload filter          (default gzip)
+ *       scale=N         iteration multiplier     (default 1)
+ *       reps=N          repetitions, min taken   (default 5)
+ *       jobs=N          worker threads           (default 1)
+ *       out=FILE        JSON summary (kips, census, timing)
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "campaign/result_sink.hh"
+#include "campaign/sweeps.hh"
+
+using namespace slf;
+using namespace slf::bench;
+
+int
+main(int argc, char **argv)
+{
+    Config opts = parseArgs(argc, argv);
+    if (!opts.has("bench"))
+        opts.set("bench", "gzip");
+    const std::uint64_t reps = opts.getUInt("reps", 5);
+    const std::uint64_t scale = opts.getUInt("scale", 1);
+    const std::uint64_t jobs = opts.getUInt("jobs", 1);
+    opts.setUInt("jobs", jobs);   // campaignOptions default is 1 CPU
+
+    const campaign::Campaign c =
+        campaign::makeFig5Campaign(sweepOptions(opts));
+    const campaign::CampaignOptions copts = campaignOptions(opts);
+
+    using clock = std::chrono::steady_clock;
+    std::vector<campaign::JobResult> results;
+    double best_ms = 0.0;
+    for (std::uint64_t r = 0; r < reps; ++r) {
+        const auto t0 = clock::now();
+        results = c.run(copts);
+        const auto t1 = clock::now();
+        const double ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        if (r == 0 || ms < best_ms)
+            best_ms = ms;
+    }
+
+    std::uint64_t insts = 0;
+    Cycle cycles = 0;
+    for (const auto &jr : results) {
+        insts += jr.result.insts;
+        cycles += jr.result.cycles;
+    }
+
+    // insts per millisecond == kilo-insts per second.
+    const double kips = best_ms > 0 ? double(insts) / best_ms : 0.0;
+
+    printHeader("Simulation throughput (fig5 slice, min of " +
+                    std::to_string(reps) + " reps)",
+                {"sim Minsts", "best ms", "kips"});
+    printRow(opts.getString("bench"),
+             {double(insts) / 1e6, best_ms, kips});
+
+    const std::string out = opts.getString("out");
+    if (!out.empty()) {
+        char buf[512];
+        std::snprintf(buf, sizeof buf,
+                      "{\n"
+                      "  \"name\": \"bench_sim_speed\",\n"
+                      "  \"campaign\": \"fig5\",\n"
+                      "  \"bench\": \"%s\",\n"
+                      "  \"scale\": %llu,\n"
+                      "  \"jobs\": %llu,\n"
+                      "  \"reps\": %llu,\n"
+                      "  \"sim_insts\": %llu,\n"
+                      "  \"sim_cycles\": %llu,\n"
+                      "  \"best_ms\": %.3f,\n"
+                      "  \"kips\": %.1f\n"
+                      "}\n",
+                      opts.getString("bench").c_str(),
+                      static_cast<unsigned long long>(scale),
+                      static_cast<unsigned long long>(jobs),
+                      static_cast<unsigned long long>(reps),
+                      static_cast<unsigned long long>(insts),
+                      static_cast<unsigned long long>(cycles), best_ms,
+                      kips);
+        campaign::ResultSink::writeFileAtomic(out, buf);
+    }
+    return 0;
+}

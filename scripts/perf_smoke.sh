@@ -1,36 +1,51 @@
 #!/usr/bin/env bash
-# Perf smoke: assert that the observability hooks cost nothing when
-# tracing is off.
+# Perf smoke, two gates:
 #
-# Builds bench_fig5_baseline twice — the default build (event hooks
-# compiled in, no sink attached) and a build with -DSLFWD_OBS_EVENTS=OFF
-# (emission sites removed entirely) — runs each REPS times on the same
-# deterministic fig5 workload slice, and fails if the min wall-clock of
-# the default build exceeds the hook-free build by more than TOL.
+#  1. Observability overhead: assert that the event hooks cost nothing
+#     when tracing is off. Builds bench_fig5_baseline twice — the
+#     default build (event hooks compiled in, no sink attached) and a
+#     build with -DSLFWD_OBS_EVENTS=OFF (emission sites removed
+#     entirely) — runs each REPS times on the same deterministic fig5
+#     workload slice, and fails if the min wall-clock of the default
+#     build exceeds the hook-free build by more than TOL.
 #
-# Usage: scripts/perf_smoke.sh [build-on-dir] [build-off-dir]
+#  2. Simulation throughput: run bench_sim_speed on the default build
+#     and record simulated kilo-insts/sec to results/BENCH_sim_speed.json
+#     (the CI artifact). When a baseline build directory is supplied
+#     (third argument), additionally time the same fig5 slice there and
+#     fail if this tree's throughput fell below SIM_TOL of the
+#     baseline's — the >5% regression gate. Wall-clock only compares
+#     meaningfully on one machine, so the gate is A/B-on-this-host,
+#     never a cross-machine constant.
+#
+# Usage: scripts/perf_smoke.sh [build-on-dir] [build-off-dir] [baseline-build-dir]
 # Env:   SCALE (workload scale, default 2), REPS (default 5),
-#        TOL (ratio ceiling, default 1.02), BENCH_FILTER (default gzip)
+#        TOL (obs overhead ratio ceiling, default 1.02),
+#        SIM_TOL (throughput floor vs baseline, default 0.95),
+#        BENCH_FILTER (default gzip)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_ON="${1:-$ROOT/build-perf-on}"
 BUILD_OFF="${2:-$ROOT/build-perf-off}"
+BASELINE_BUILD="${3:-}"
 SCALE="${SCALE:-2}"
 REPS="${REPS:-5}"
 TOL="${TOL:-1.02}"
+SIM_TOL="${SIM_TOL:-0.95}"
 BENCH_FILTER="${BENCH_FILTER:-gzip}"
 
 cmake -S "$ROOT" -B "$BUILD_ON" -DCMAKE_BUILD_TYPE=Release \
       -DSLFWD_OBS_EVENTS=ON >/dev/null
 cmake -S "$ROOT" -B "$BUILD_OFF" -DCMAKE_BUILD_TYPE=Release \
       -DSLFWD_OBS_EVENTS=OFF >/dev/null
-cmake --build "$BUILD_ON" --target bench_fig5_baseline -j"$(nproc)" >/dev/null
+cmake --build "$BUILD_ON" --target bench_fig5_baseline bench_sim_speed \
+      -j"$(nproc)" >/dev/null
 cmake --build "$BUILD_OFF" --target bench_fig5_baseline -j"$(nproc)" >/dev/null
 
-# Min-of-N wall-clock of one fig5 slice, in milliseconds.
-time_build() {
-    local bin="$1/bench/bench_fig5_baseline" best= ms t0 t1
+# Min-of-N wall-clock of one fig5 slice via $2/bench/$1, in milliseconds.
+time_bin() {
+    local bin="$2/bench/$1" best= ms t0 t1
     for _ in $(seq "$REPS"); do
         t0=$(date +%s%N)
         "$bin" scale="$SCALE" bench="$BENCH_FILTER" jobs=1 >/dev/null
@@ -41,8 +56,10 @@ time_build() {
     echo "$best"
 }
 
-ms_on=$(time_build "$BUILD_ON")
-ms_off=$(time_build "$BUILD_OFF")
+# --- Gate 1: observability overhead --------------------------------
+
+ms_on=$(time_bin bench_fig5_baseline "$BUILD_ON")
+ms_off=$(time_bin bench_fig5_baseline "$BUILD_OFF")
 
 ratio=$(awk -v on="$ms_on" -v off="$ms_off" \
             'BEGIN { printf "%.4f", (off > 0 ? on / off : 99) }')
@@ -53,4 +70,31 @@ awk -v r="$ratio" -v tol="$TOL" 'BEGIN { exit !(r <= tol) }' || {
     echo "FAIL: tracing-disabled overhead ${ratio} exceeds ${TOL}" >&2
     exit 1
 }
+
+# --- Gate 2: simulation throughput ---------------------------------
+
+mkdir -p "$ROOT/results"
+"$BUILD_ON/bench/bench_sim_speed" scale="$SCALE" bench="$BENCH_FILTER" \
+    jobs=1 reps="$REPS" out="$ROOT/results/BENCH_sim_speed.json"
+kips=$(grep -o '"kips": [0-9.]*' "$ROOT/results/BENCH_sim_speed.json" |
+       awk '{print $2}')
+echo "perf smoke: sim throughput ${kips} kips" \
+     "(results/BENCH_sim_speed.json)"
+
+if [ -n "$BASELINE_BUILD" ]; then
+    # Same binary, same slice, same host: min-of-N wall-clock ratio is
+    # the throughput ratio (the simulated-instruction count is
+    # identical by the determinism contract).
+    ms_new=$(time_bin bench_fig5_baseline "$BUILD_ON")
+    ms_base=$(time_bin bench_fig5_baseline "$BASELINE_BUILD")
+    speedup=$(awk -v new="$ms_new" -v base="$ms_base" \
+                  'BEGIN { printf "%.4f", (new > 0 ? base / new : 0) }')
+    echo "perf smoke: throughput vs baseline ${speedup}x" \
+         "(new ${ms_new}ms, baseline ${ms_base}ms, floor ${SIM_TOL})"
+    awk -v s="$speedup" -v tol="$SIM_TOL" 'BEGIN { exit !(s >= tol) }' || {
+        echo "FAIL: sim throughput ${speedup}x of baseline is below" \
+             "${SIM_TOL}" >&2
+        exit 1
+    }
+fi
 echo "PASS"

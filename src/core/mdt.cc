@@ -131,7 +131,6 @@ Mdt::findOrAlloc(std::uint64_t block)
 {
     const std::uint64_t set = setIndex(block);
     Entry *base = &entries_[set * params_.assoc];
-    ++lru_clock_;
 
     if (!params_.tagged) {
         Entry &e = base[0];
@@ -140,22 +139,18 @@ Mdt::findOrAlloc(std::uint64_t block)
             e.block = block;
             ++valid_count_;
         }
-        e.lru = lru_clock_;
         return &e;
     }
 
     for (unsigned w = 0; w < params_.assoc; ++w) {
-        if (base[w].valid && base[w].block == block) {
-            base[w].lru = lru_clock_;
+        if (base[w].valid && base[w].block == block)
             return &base[w];
-        }
     }
     for (int attempt = 0; attempt < 2; ++attempt) {
         for (unsigned w = 0; w < params_.assoc; ++w) {
             if (!base[w].valid) {
                 base[w].valid = true;
                 base[w].block = block;
-                base[w].lru = lru_clock_;
                 ++valid_count_;
                 return &base[w];
             }

@@ -152,22 +152,25 @@ class Mdt
     std::uint64_t statValue(obs::MdtStat s) const { return table_.value(s); }
 
   private:
+    /**
+     * One MDT way, hot-field-first: the tag every set walk compares,
+     * then the timestamp pair the violation checks read, then the
+     * cold reporting PCs. 48 bytes (down from 72: the LRU stamp was
+     * dead weight — the MDT never evicts by recency, only by
+     * scavenging provably dead ways).
+     */
     struct Entry
     {
-        bool valid = false;
-        std::uint64_t block = 0;        ///< addr / granularity
-        std::uint64_t lru = 0;
-
-        bool load_valid = false;
+        std::uint64_t block = 0;        ///< addr / granularity (tag)
         SeqNum load_seq = kInvalidSeqNum;
-        std::uint64_t load_pc = 0;
-
-        bool store_valid = false;
         SeqNum store_seq = kInvalidSeqNum;
+        std::uint64_t load_pc = 0;
         std::uint64_t store_pc = 0;
-
         /** Loads completed but not yet retired (Section 2.4.1). */
         std::uint32_t completed_loads = 0;
+        bool valid = false;
+        bool load_valid = false;
+        bool store_valid = false;
     };
 
     std::uint64_t setIndex(std::uint64_t block) const;
@@ -197,7 +200,6 @@ class Mdt
 
     MdtParams params_;
     std::vector<Entry> entries_;
-    std::uint64_t lru_clock_ = 0;
     SeqNum oldest_inflight_ = 0;
     std::uint64_t evictions_ = 0;
     std::uint64_t valid_count_ = 0;

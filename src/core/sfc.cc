@@ -91,13 +91,10 @@ Sfc::findOrAlloc(std::uint64_t word)
 {
     const std::uint64_t set = setIndex(word);
     Entry *base = &entries_[set * params_.assoc];
-    ++lru_clock_;
 
     for (unsigned w = 0; w < params_.assoc; ++w) {
-        if (base[w].valid && base[w].word == word) {
-            base[w].lru = lru_clock_;
+        if (base[w].valid && base[w].word == word)
             return &base[w];
-        }
     }
     for (int attempt = 0; attempt < 2; ++attempt) {
         for (unsigned w = 0; w < params_.assoc; ++w) {
@@ -106,11 +103,15 @@ Sfc::findOrAlloc(std::uint64_t word)
                 e.valid = true;
                 ++valid_count_;
                 e.word = word;
-                e.lru = lru_clock_;
                 e.data.fill(0);
                 e.valid_mask = 0;
                 e.corrupt_mask = 0;
                 e.last_store_seq = kInvalidSeqNum;
+                // Reset the oldest-writer bound too: a fresh allocation
+                // must not inherit a stale first_store_seq, or the
+                // flush-endpoint check would test canceled-writer ranges
+                // against a seq from a previous occupant of the slot.
+                e.first_store_seq = kInvalidSeqNum;
                 return &e;
             }
         }
@@ -132,21 +133,30 @@ Sfc::storeWrite(Addr addr, unsigned size, std::uint64_t value, SeqNum seq)
     }
 
     // A store may straddle two aligned words; both must be writable.
-    for (unsigned i = 0; i < size; ++i) {
+    // One table probe per word, not per byte.
+    for (unsigned i = 0; i < size;) {
         const Addr byte_addr = addr + i;
         Entry *e = findOrAlloc(byte_addr / kSfcWordBytes);
         if (!e) {
             ++conflicts_;
             return SfcStoreResult::Conflict;
         }
-        const unsigned off = byte_addr % kSfcWordBytes;
-        e->data[off] = static_cast<std::uint8_t>(value >> (8 * i));
-        e->valid_mask |= static_cast<std::uint8_t>(1u << off);
-        e->corrupt_mask &= static_cast<std::uint8_t>(~(1u << off));
+        const unsigned off0 = byte_addr % kSfcWordBytes;
+        const unsigned span =
+            std::min(size - i, kSfcWordBytes - off0);
+        for (unsigned k = 0; k < span; ++k) {
+            e->data[off0 + k] =
+                static_cast<std::uint8_t>(value >> (8 * (i + k)));
+        }
+        const std::uint8_t bits =
+            static_cast<std::uint8_t>(((1u << span) - 1u) << off0);
+        e->valid_mask |= bits;
+        e->corrupt_mask &= static_cast<std::uint8_t>(~bits);
         if (e->last_store_seq == kInvalidSeqNum || seq > e->last_store_seq)
             e->last_store_seq = seq;
         if (e->first_store_seq == kInvalidSeqNum || seq < e->first_store_seq)
             e->first_store_seq = seq;
+        i += span;
     }
     return SfcStoreResult::Ok;
 }
@@ -160,9 +170,13 @@ Sfc::loadRead(Addr addr, unsigned size)
     bool all_valid = true;
     bool any_corrupt = false;
 
-    for (unsigned i = 0; i < size; ++i) {
+    // One table probe per touched word, not per byte.
+    for (unsigned i = 0; i < size;) {
         const Addr byte_addr = addr + i;
         const std::uint64_t word = byte_addr / kSfcWordBytes;
+        const unsigned off0 = byte_addr % kSfcWordBytes;
+        const unsigned span =
+            std::min(size - i, kSfcWordBytes - off0);
         Entry *e = find(word);
         if (e && (e->corrupt_mask || e->valid_mask) &&
             e->last_store_seq < oldest_inflight_) {
@@ -174,11 +188,12 @@ Sfc::loadRead(Addr addr, unsigned size)
         }
         if (!e) {
             all_valid = false;
+            i += span;
             continue;
         }
-        const unsigned off = byte_addr % kSfcWordBytes;
-        const std::uint8_t bit = static_cast<std::uint8_t>(1u << off);
-        if (e->corrupt_mask & bit)
+        const std::uint8_t span_bits =
+            static_cast<std::uint8_t>(((1u << span) - 1u) << off0);
+        if (e->corrupt_mask & span_bits)
             any_corrupt = true;
         if (params_.use_flush_endpoints && e->valid_mask &&
             writersMaybeCanceled(e->first_store_seq, e->last_store_seq)) {
@@ -186,13 +201,19 @@ Sfc::loadRead(Addr addr, unsigned size)
             // been canceled by a recorded flush; refuse to forward.
             any_corrupt = true;
         }
-        if (e->valid_mask & bit) {
-            any_valid = true;
-            result.value |= std::uint64_t{e->data[off]} << (8 * i);
-            result.valid_mask |= static_cast<std::uint8_t>(1u << i);
-        } else {
-            all_valid = false;
+        for (unsigned k = 0; k < span; ++k) {
+            const unsigned off = off0 + k;
+            if (e->valid_mask & (1u << off)) {
+                any_valid = true;
+                result.value |= std::uint64_t{e->data[off]}
+                                << (8 * (i + k));
+                result.valid_mask |=
+                    static_cast<std::uint8_t>(1u << (i + k));
+            } else {
+                all_valid = false;
+            }
         }
+        i += span;
     }
 
     if (any_corrupt) {
@@ -242,13 +263,16 @@ Sfc::retireStore(Addr addr, unsigned size, SeqNum seq)
 void
 Sfc::markCorrupt(Addr addr, unsigned size)
 {
-    for (unsigned i = 0; i < size; ++i) {
+    for (unsigned i = 0; i < size;) {
         const Addr byte_addr = addr + i;
-        Entry *e = find(byte_addr / kSfcWordBytes);
-        if (!e)
-            continue;
-        const unsigned off = byte_addr % kSfcWordBytes;
-        e->corrupt_mask |= static_cast<std::uint8_t>(1u << off);
+        const unsigned off0 = byte_addr % kSfcWordBytes;
+        const unsigned span =
+            std::min(size - i, kSfcWordBytes - off0);
+        if (Entry *e = find(byte_addr / kSfcWordBytes)) {
+            e->corrupt_mask |= static_cast<std::uint8_t>(
+                ((1u << span) - 1u) << off0);
+        }
+        i += span;
     }
 }
 

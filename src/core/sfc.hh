@@ -157,17 +157,23 @@ class Sfc
     std::uint64_t statValue(obs::SfcStat s) const { return table_.value(s); }
 
   private:
+    /**
+     * One SFC way. Laid out hot-field-first for the probe loops: the
+     * tag word (every lookup), then the forwarding state a hit reads,
+     * then the writer seqs. 40 bytes — the set walk touches a fraction
+     * of the cache lines the old 56-byte layout (with a dead LRU stamp;
+     * the SFC never evicts by recency, only by scavenging) did.
+     */
     struct Entry
     {
-        bool valid = false;               ///< tag valid
-        std::uint64_t word = 0;           ///< addr / 8
-        std::uint64_t lru = 0;
-        std::array<std::uint8_t, kSfcWordBytes> data{};
-        std::uint8_t valid_mask = 0;
-        std::uint8_t corrupt_mask = 0;
+        std::uint64_t word = 0;           ///< addr / 8 (tag)
         SeqNum last_store_seq = kInvalidSeqNum;
         /** Oldest writer since allocation (flush-endpoint checking). */
         SeqNum first_store_seq = kInvalidSeqNum;
+        std::array<std::uint8_t, kSfcWordBytes> data{};
+        std::uint8_t valid_mask = 0;
+        std::uint8_t corrupt_mask = 0;
+        bool valid = false;               ///< tag valid
     };
 
     /** A recorded partial-flush range (flush-endpoint mode). */
@@ -192,7 +198,6 @@ class Sfc
     SfcParams params_;
     std::vector<Entry> entries_;
     std::vector<FlushRange> flush_ranges_;
-    std::uint64_t lru_clock_ = 0;
     SeqNum oldest_inflight_ = 0;
     std::uint64_t evictions_ = 0;
     std::uint64_t valid_count_ = 0;

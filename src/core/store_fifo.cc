@@ -23,8 +23,14 @@ StoreFifo::allocate(SeqNum seq)
 {
     if (slots_.size() >= capacity_)
         return false;
-    if (!slots_.empty() && slots_.back().seq >= seq)
-        panic("StoreFifo::allocate: sequence numbers must increase");
+    if (!slots_.empty() && slots_.back().seq >= seq) {
+        // Catchable like the retireHead checks: an allocation at or
+        // below the current tail seq means a squash failed to pop the
+        // tail — exactly the stale-slot state retireHead must never see.
+        fatal("StoreFifo::allocate: sequence numbers must increase "
+              "(tail seq " + std::to_string(slots_.back().seq) +
+              ", allocating seq " + std::to_string(seq) + ")");
+    }
     Slot slot;
     slot.seq = seq;
     slots_.push_back(slot);
@@ -53,13 +59,29 @@ StoreFifo::fill(SeqNum seq, Addr addr, unsigned size, std::uint64_t value)
 StoreFifo::Slot
 StoreFifo::retireHead(SeqNum seq)
 {
+    // Checked invariants, not assertions: a bookkeeping break here
+    // would silently commit another store's (or a squashed store's)
+    // bytes to memory. fatal() throws a catchable FatalError, so fault
+    // campaigns record a wedged configuration instead of aborting.
+    //
+    // The seq match is what makes a squash-then-refill race impossible
+    // to commit: sequence numbers are never reused, so a slot surviving
+    // a squash it should not have (stale filled data) can never carry
+    // the seq of the store actually retiring.
     if (slots_.empty())
-        panic("StoreFifo::retireHead: empty");
-    Slot slot = slots_.front();
-    if (slot.seq != seq)
-        panic("StoreFifo::retireHead: out-of-order retirement");
-    if (!slot.data_valid)
-        panic("StoreFifo::retireHead: store retired before executing");
+        fatal("StoreFifo::retireHead: empty (retiring store never "
+              "allocated, or its slot was squashed)");
+    const Slot &head = slots_.front();
+    if (head.seq != seq) {
+        fatal("StoreFifo::retireHead: out-of-order retirement (head seq " +
+              std::to_string(head.seq) + ", retiring seq " +
+              std::to_string(seq) + ")");
+    }
+    if (!head.data_valid) {
+        fatal("StoreFifo::retireHead: store seq " + std::to_string(seq) +
+              " retired before executing (slot never filled)");
+    }
+    Slot slot = head;
     slots_.pop_front();
     ++retired_;
     return slot;

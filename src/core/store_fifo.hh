@@ -49,7 +49,13 @@ class StoreFifo
 
     /**
      * The store at the head retires.
-     * @return the drained slot (its data must be valid).
+     *
+     * The head slot must exist, carry exactly @p seq, and be filled;
+     * any breach throws a catchable FatalError (fatal()) — committing
+     * from a mismatched or unfilled slot would silently write another
+     * store's bytes (sequence numbers are never reused, so a seq match
+     * proves the slot belongs to the retiring store).
+     * @return the drained slot.
      */
     Slot retireHead(SeqNum seq);
 

@@ -17,6 +17,8 @@ OooCore::OooCore(const CoreConfig &cfg, const Program &prog)
       gshare_(cfg.gshare_bits, cfg.gshare_history_bits),
       oracle_rng_(cfg.rng_seed),
       memdep_(cfg.memdep),
+      fetchq_(cfg.fetch_queue_entries),
+      rob_(cfg.rob_entries),
       trace_(cfg.obs.trace),
       profiler_(cfg.obs.profiler),
       lifetime_(cfg.obs.lifetime),
@@ -109,12 +111,7 @@ OooCore::oldestInflightSeq() const
 DynInst *
 OooCore::findInst(SeqNum seq)
 {
-    auto it = std::lower_bound(
-        rob_.begin(), rob_.end(), seq,
-        [](const DynInst &d, SeqNum s) { return d.seq < s; });
-    if (it != rob_.end() && it->seq == seq)
-        return &*it;
-    return nullptr;
+    return rob_.findSeq(seq);
 }
 
 bool
@@ -154,8 +151,8 @@ OooCore::opLatency(Op op) const
 void
 OooCore::scheduleCompletion(DynInst &inst, Cycle latency)
 {
-    completions_.emplace_back(cycle_ + std::max<Cycle>(latency, 1),
-                              inst.seq);
+    completions_.push_back(Completion{
+        cycle_ + std::max<Cycle>(latency, 1), &inst, inst.seq});
 }
 
 void
@@ -219,7 +216,7 @@ OooCore::squashFrom(SeqNum seq)
         if (d.in_scheduler) {
             if (d.stalled && stalled_count_ > 0)
                 --stalled_count_;
-            sched_.erase(d.seq);
+            --sched_count_;
         }
         if (d.dst_preg != kInvalidPhysReg) {
             rat_[d.dst_arch] = d.old_dst_preg;
@@ -254,8 +251,10 @@ OooCore::clearStallBits()
 {
     if (stalled_count_ == 0)
         return;
-    for (auto &[seq, inst] : sched_)
-        inst->stalled = false;
+    // Only scheduler residents can carry the stall bit (issue extraction
+    // clears it), so a ROB sweep finds every set bit.
+    for (std::size_t i = 0, n = rob_.size(); i < n; ++i)
+        rob_[i].stalled = false;
     stalled_count_ = 0;
 }
 
@@ -307,15 +306,13 @@ OooCore::recoverViolation(const MemIssueOutcome &outcome, bool value_replay)
     // point; the fetch stage restarts at its PC with its recorded
     // fetch-path state.
     DynInst *victim = nullptr;
-    auto it = std::lower_bound(
-        rob_.begin(), rob_.end(), outcome.squash_from,
-        [](const DynInst &d, SeqNum s) { return d.seq < s; });
-    if (it != rob_.end()) {
-        victim = &*it;
+    const std::size_t idx = rob_.lowerBound(outcome.squash_from);
+    if (idx < rob_.size()) {
+        victim = &rob_[idx];
     } else {
-        for (auto &d : fetchq_) {
-            if (d.seq >= outcome.squash_from) {
-                victim = &d;
+        for (std::size_t i = 0, n = fetchq_.size(); i < n; ++i) {
+            if (fetchq_[i].seq >= outcome.squash_from) {
+                victim = &fetchq_[i];
                 break;
             }
         }
@@ -483,22 +480,24 @@ OooCore::completeStage()
 {
     // Gather events due this cycle, process in sequence order for
     // determinism, and drop events for squashed instructions.
-    std::vector<SeqNum> due;
+    due_.clear();
     for (std::size_t i = 0; i < completions_.size();) {
-        if (completions_[i].first <= cycle_) {
-            due.push_back(completions_[i].second);
+        if (completions_[i].due <= cycle_) {
+            due_.emplace_back(completions_[i].seq, completions_[i].inst);
             completions_[i] = completions_.back();
             completions_.pop_back();
         } else {
             ++i;
         }
     }
-    std::sort(due.begin(), due.end());
+    std::sort(due_.begin(), due_.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
 
-    for (SeqNum seq : due) {
-        DynInst *inst = findInst(seq);
-        if (!inst || inst->completed)
-            continue;   // squashed in the meantime
+    for (const auto &[seq, inst] : due_) {
+        // Slot recycled (pop invalidates the resident seq) or already
+        // completed: the instruction this event was for is gone.
+        if (inst->seq != seq || inst->completed)
+            continue;
         completeInst(*inst);
     }
 }
@@ -598,19 +597,21 @@ OooCore::issueStage()
     const unsigned limit = std::min(cfg_.width, cfg_.num_fus);
     unsigned issued = 0;
 
-    std::vector<std::pair<SeqNum, DynInst *>> candidates(sched_.begin(),
-                                                         sched_.end());
-    const std::uint64_t epoch = squash_count_;
-    for (auto &[seq, snap] : candidates) {
-        if (issued >= limit)
-            break;
-        // Snapshot pointers stay valid until the first squash; after
-        // one, re-resolve through the ROB.
-        DynInst *inst = squash_count_ == epoch ? snap : findInst(seq);
-        if (!inst || !inst->in_scheduler)
-            continue;   // squashed by an earlier candidate's recovery
+    // Scan ROB residents oldest-first: scheduler candidates appear in
+    // exactly the sequence order the old ordered-map iteration gave.
+    // Scanning live (no snapshot) is equivalent: a mid-scan squash only
+    // removes instructions younger than the one that triggered it, which
+    // a snapshot walk would have skipped anyway, and a replay reinserts
+    // at the position just examined.
+    std::uint64_t unseen = sched_count_;
+    for (std::size_t i = 0;
+         i < rob_.size() && issued < limit && unseen > 0; ++i) {
+        DynInst *inst = &rob_[i];
+        if (!inst->in_scheduler)
+            continue;
+        --unseen;
 
-        const bool at_head = !rob_.empty() && rob_.front().seq == seq;
+        const bool at_head = i == 0;
         if (inst->stalled && !at_head)
             continue;
         if (cycle_ < inst->retry_cycle && !at_head)
@@ -620,12 +621,12 @@ OooCore::issueStage()
         if (!consumedTagReady(*inst) && !at_head)
             continue;
 
-        sched_.erase(seq);
+        inst->in_scheduler = false;
+        --sched_count_;
         if (inst->stalled && stalled_count_ > 0) {
             --stalled_count_;
             inst->stalled = false;
         }
-        inst->in_scheduler = false;
         inst->issued = true;
         if (inst->ready_cycle == kNoCycle)
             inst->ready_cycle = cycle_;
@@ -636,8 +637,8 @@ OooCore::issueStage()
 
         if (!executeAtIssue(*inst)) {
             // Replayed: back into the scheduler.
-            sched_.emplace(seq, inst);
             inst->in_scheduler = true;
+            ++sched_count_;
             inst->issued = false;
             if (inst->stalled)
                 ++stalled_count_;
@@ -665,7 +666,7 @@ OooCore::dispatchStage()
         // Side-effect-free resource checks first.
         if (rob_.size() >= cfg_.rob_entries ||
             (!completes_at_dispatch &&
-             sched_.size() >= cfg_.sched_entries) ||
+             sched_count_ >= cfg_.sched_entries) ||
             (has_dst && preg_free_.empty()) ||
             (isLoad(op) && !memu_->canDispatchLoad()) ||
             (isStore(op) && !memu_->canDispatchStore())) {
@@ -730,9 +731,8 @@ OooCore::dispatchStage()
             inst.in_scheduler = true;
         }
 
-        rob_.push_back(inst);
-        if (rob_.back().in_scheduler)
-            sched_.emplace(rob_.back().seq, &rob_.back());
+        if (rob_.push_back(inst).in_scheduler)
+            ++sched_count_;
         fetchq_.pop_front();
     }
     if (stalled)
@@ -1036,7 +1036,7 @@ OooCore::occSnapshot() const
 {
     obs::OccSnapshot snap;
     snap.set(obs::OccStat::Rob, rob_.size(), cfg_.rob_entries);
-    snap.set(obs::OccStat::Sched, sched_.size(), cfg_.sched_entries);
+    snap.set(obs::OccStat::Sched, sched_count_, cfg_.sched_entries);
     snap.set(obs::OccStat::FetchQ, fetchq_.size(),
              cfg_.fetch_queue_entries);
     memu_->snapshotOccupancy(snap);
@@ -1072,25 +1072,25 @@ OooCore::checkInvariants(std::string *why) const
 
     std::size_t in_sched = 0, stalled = 0;
     SeqNum prev = 0;
-    for (const DynInst &d : rob_) {
+    for (std::size_t i = 0, n = rob_.size(); i < n; ++i) {
+        const DynInst &d = rob_[i];
         if (d.seq <= prev)
             return fail("ROB sequence numbers not strictly increasing");
+        if (d.seq == kInvalidSeqNum)
+            return fail("ROB resident carries the invalid-seq sentinel");
         prev = d.seq;
         if (d.in_scheduler) {
             ++in_sched;
-            auto it = sched_.find(d.seq);
-            if (it == sched_.end())
-                return fail("in_scheduler instruction missing from map");
-            if (it->second != &d)
-                return fail("scheduler map points at the wrong DynInst");
+            if (d.completed)
+                return fail("completed instruction still in scheduler");
             if (d.stalled)
                 ++stalled;
-        } else if (sched_.count(d.seq)) {
-            return fail("scheduler map holds a non-resident instruction");
+        } else if (d.stalled) {
+            return fail("stall bit set outside the scheduler");
         }
     }
-    if (in_sched != sched_.size())
-        return fail("scheduler map size disagrees with ROB census");
+    if (in_sched != sched_count_)
+        return fail("scheduler census disagrees with sched_count_");
     if (stalled != stalled_count_)
         return fail("stall-bit census disagrees with stalled_count_");
     return true;

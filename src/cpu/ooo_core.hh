@@ -32,14 +32,13 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
-#include <map>
 #include <memory>
 #include <vector>
 
 #include "arch/func_sim.hh"
 #include "cpu/core_config.hh"
 #include "cpu/dyn_inst.hh"
+#include "cpu/inst_ring.hh"
 #include "cpu/mem_unit.hh"
 #include "mem/cache.hh"
 #include "mem/main_memory.hh"
@@ -98,7 +97,7 @@ class OooCore
     const MainMemory &committedMemory() const { return mem_; }
     const CoreConfig &config() const { return cfg_; }
     std::size_t robOccupancy() const { return rob_.size(); }
-    std::size_t schedulerSize() const { return sched_.size(); }
+    std::size_t schedulerSize() const { return sched_count_; }
     std::uint64_t squashCount() const { return squash_count_; }
 
     /** Lockstep checker (null when cfg.validate is off). */
@@ -109,7 +108,7 @@ class OooCore
 
     /**
      * Structural self-check of the window bookkeeping: ROB sequence
-     * ordering, scheduler-map <-> in_scheduler consistency, and the
+     * ordering, scheduler-census <-> in_scheduler consistency, and the
      * stall-bit census. @return false (with @p why filled) on breakage.
      */
     bool checkInvariants(std::string *why = nullptr) const;
@@ -194,23 +193,40 @@ class OooCore
     std::vector<SeqNum> tag_owner_seq_;
 
     // --- windows ---------------------------------------------------------
-    std::deque<DynInst> fetchq_;
-    std::deque<DynInst> rob_;
     /**
-     * Scheduler window: sequence number -> instruction. The pointers are
-     * stable: std::deque never relocates elements on push/pop at the
-     * ends, scheduler residents are incomplete (never at the retiring
-     * head), and squashFrom() removes an instruction from this map
-     * before destroying it.
+     * Fetch queue and ROB: fixed circular arrays of DynInst slots sized
+     * by the configuration — the per-core instruction arena. Slots are
+     * recycled in place at retire/squash; the backing storage never
+     * reallocates, so DynInst pointers are stable for an instruction's
+     * whole residency and `ptr->seq == seq` is a complete staleness
+     * check afterwards (sequence numbers are never reused).
      */
-    std::map<SeqNum, DynInst *> sched_;
-    /** Bumped by every squash; invalidates scheduler-pointer snapshots. */
+    InstRing fetchq_;
+    InstRing rob_;
+    /**
+     * Scheduler window, realized as the `in_scheduler` flags of ROB
+     * residents plus this census. Insert/extract is a flag flip and a
+     * counter bump (O(1)); the issue stage selects by scanning ROB
+     * residents in sequence order, which visits candidates in exactly
+     * the order the old `std::map<SeqNum, DynInst *>` iteration did.
+     */
+    std::uint64_t sched_count_ = 0;
+    /** Bumped by every squash (introspection/debugging aid). */
     std::uint64_t squash_count_ = 0;
     /** Number of scheduler residents with the stall bit set. */
     std::uint64_t stalled_count_ = 0;
 
-    /** Pending completion events: (due cycle, seq). */
-    std::vector<std::pair<Cycle, SeqNum>> completions_;
+    /** Pending completion event: the handle is revalidated against the
+     *  recorded seq at delivery (slots are recycled, seqs are not). */
+    struct Completion
+    {
+        Cycle due;
+        DynInst *inst;
+        SeqNum seq;
+    };
+    std::vector<Completion> completions_;
+    /** Reused each cycle by completeStage (events due this cycle). */
+    std::vector<std::pair<SeqNum, DynInst *>> due_;
 
     // --- fetch state -----------------------------------------------------
     std::uint64_t fetch_pc_ = 0;

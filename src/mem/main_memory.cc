@@ -11,18 +11,30 @@ namespace slf
 const MainMemory::Page *
 MainMemory::findPage(Addr addr) const
 {
-    auto it = pages_.find(addr >> kPageBits);
-    return it == pages_.end() ? nullptr : it->second.get();
+    const std::uint64_t num = addr >> kPageBits;
+    if (num == cached_num_)
+        return cached_page_;
+    auto it = pages_.find(num);
+    if (it == pages_.end())
+        return nullptr;
+    cached_num_ = num;
+    cached_page_ = it->second.get();
+    return cached_page_;
 }
 
 MainMemory::Page &
 MainMemory::touchPage(Addr addr)
 {
-    auto &slot = pages_[addr >> kPageBits];
+    const std::uint64_t num = addr >> kPageBits;
+    if (num == cached_num_)
+        return *cached_page_;
+    auto &slot = pages_[num];
     if (!slot) {
         slot = std::make_unique<Page>();
         slot->fill(0);
     }
+    cached_num_ = num;
+    cached_page_ = slot.get();
     return *slot;
 }
 
@@ -42,6 +54,18 @@ MainMemory::write8(Addr addr, std::uint8_t value)
 std::uint64_t
 MainMemory::readBytes(Addr addr, unsigned size) const
 {
+    // Fast path: the access lies inside one page (accesses are <= 8
+    // bytes, so a straddle is rare) — one page lookup, then flat reads.
+    const std::size_t off = addr & (kPageSize - 1);
+    if (off + size <= kPageSize) {
+        const Page *page = findPage(addr);
+        if (!page)
+            return 0;
+        std::uint64_t value = 0;
+        for (unsigned i = 0; i < size; ++i)
+            value |= std::uint64_t{(*page)[off + i]} << (8 * i);
+        return value;
+    }
     std::uint64_t value = 0;
     for (unsigned i = 0; i < size; ++i)
         value |= std::uint64_t{read8(addr + i)} << (8 * i);
@@ -51,6 +75,13 @@ MainMemory::readBytes(Addr addr, unsigned size) const
 void
 MainMemory::writeBytes(Addr addr, std::uint64_t value, unsigned size)
 {
+    const std::size_t off = addr & (kPageSize - 1);
+    if (off + size <= kPageSize) {
+        Page &page = touchPage(addr);
+        for (unsigned i = 0; i < size; ++i)
+            page[off + i] = static_cast<std::uint8_t>(value >> (8 * i));
+        return;
+    }
     for (unsigned i = 0; i < size; ++i)
         write8(addr + i, static_cast<std::uint8_t>(value >> (8 * i)));
 }

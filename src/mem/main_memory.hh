@@ -62,6 +62,16 @@ class MainMemory
     Page &touchPage(Addr addr);
 
     std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+
+    /**
+     * Last-page cache: accesses are strongly page-local, so remembering
+     * the most recent hit skips the hash lookup almost always. Safe
+     * because pages are never freed and the Page payloads are heap
+     * allocations whose addresses survive rehashing. Only present pages
+     * are cached (a miss may be populated later).
+     */
+    mutable std::uint64_t cached_num_ = ~std::uint64_t{0};
+    mutable Page *cached_page_ = nullptr;
 };
 
 } // namespace slf

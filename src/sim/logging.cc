@@ -12,22 +12,17 @@ namespace slf
 namespace
 {
 
-/** Lock-free census of enabled flags, kept in sync with flagSet() so
- *  Debug::anyEnabled() needs no mutex. */
-std::atomic<std::size_t> &
-flagCount()
-{
-    static std::atomic<std::size_t> count{0};
-    return count;
-}
-
 std::set<std::string> &
 flagSet()
 {
     static std::set<std::string> flags = [] {
         const char *env = std::getenv("SLFWD_DEBUG");
         auto parsed = Debug::parseFlagList(env ? env : "");
-        flagCount().store(parsed.size(), std::memory_order_relaxed);
+        detail::debug_flag_census.store(parsed.size(),
+                                        std::memory_order_relaxed);
+        // Release-publish the census before announcing the parse, so
+        // the inline anyEnabled() fast path never reads a stale zero.
+        detail::debug_env_parsed.store(true, std::memory_order_release);
         return parsed;
     }();
     return flags;
@@ -84,17 +79,14 @@ Debug::enabled(const std::string &flag)
 }
 
 bool
-Debug::anyEnabled()
+Debug::anyEnabledSlow()
 {
-    // First call forces the SLFWD_DEBUG environment parse (under the
-    // mutex); afterwards this is a guard check plus a relaxed load.
-    static const bool init = [] {
-        std::lock_guard<std::mutex> lock(flagMutex());
-        flagSet();
-        return true;
-    }();
-    (void)init;
-    return flagCount().load(std::memory_order_relaxed) != 0;
+    // First call: force the SLFWD_DEBUG environment parse (under the
+    // mutex), which publishes debug_env_parsed; every later call takes
+    // the inline two-load fast path in the header.
+    std::lock_guard<std::mutex> lock(flagMutex());
+    flagSet();
+    return detail::debug_flag_census.load(std::memory_order_relaxed) != 0;
 }
 
 void
@@ -105,7 +97,8 @@ Debug::setFlag(const std::string &flag, bool on)
         flagSet().insert(flag);
     else
         flagSet().erase(flag);
-    flagCount().store(flagSet().size(), std::memory_order_relaxed);
+    detail::debug_flag_census.store(flagSet().size(),
+                                    std::memory_order_relaxed);
 }
 
 void

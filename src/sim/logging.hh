@@ -8,6 +8,7 @@
 #ifndef SLFWD_SIM_LOGGING_HH_
 #define SLFWD_SIM_LOGGING_HH_
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -17,6 +18,16 @@
 
 namespace slf
 {
+
+namespace detail
+{
+/** Census of enabled debug flags, mirrored from the flag set under its
+ *  mutex. Inline so Debug::anyEnabled() compiles to two loads at every
+ *  per-instruction event site instead of a cross-TU call. */
+inline std::atomic<std::size_t> debug_flag_census{0};
+/** Set (with release order) once SLFWD_DEBUG has been parsed. */
+inline std::atomic<bool> debug_env_parsed{false};
+} // namespace detail
 
 /** Thrown by fatal(): a user-caused, cleanly reportable error. */
 class FatalError : public std::runtime_error
@@ -56,11 +67,20 @@ class Debug
     static bool enabled(const std::string &flag);
 
     /**
-     * @return true if any flag at all is enabled. A relaxed atomic
-     * load (no mutex), cheap enough to guard per-instruction event
-     * sites before the string-keyed enabled() lookup.
+     * @return true if any flag at all is enabled. Fully inline on the
+     * common path — one acquire load (was the environment parsed?) and
+     * one relaxed load of the flag census — cheap enough to guard
+     * per-instruction event sites before the string-keyed enabled()
+     * lookup. The first call falls through to the parsing slow path.
      */
-    static bool anyEnabled();
+    static bool
+    anyEnabled()
+    {
+        if (!detail::debug_env_parsed.load(std::memory_order_acquire))
+            return anyEnabledSlow();
+        return detail::debug_flag_census.load(
+                   std::memory_order_relaxed) != 0;
+    }
 
     /** Enable/disable a flag at runtime. */
     static void setFlag(const std::string &flag, bool on);
@@ -89,6 +109,10 @@ class Debug
      * report every event touching it.
      */
     static std::uint64_t watchAddr();
+
+  private:
+    /** Parse SLFWD_DEBUG (under the flag mutex), then answer. */
+    static bool anyEnabledSlow();
 };
 
 } // namespace slf

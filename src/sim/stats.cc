@@ -8,62 +8,73 @@ namespace slf
 Counter &
 StatGroup::counter(const std::string &stat_name)
 {
-    return counters_[stat_name];
+    auto [it, inserted] =
+        counter_index_.try_emplace(stat_name, counter_slots_.size());
+    if (inserted)
+        counter_slots_.emplace_back();
+    return counter_slots_[it->second];
 }
 
 Distribution &
 StatGroup::distribution(const std::string &stat_name)
 {
-    return distributions_[stat_name];
+    auto [it, inserted] =
+        dist_index_.try_emplace(stat_name, dist_slots_.size());
+    if (inserted)
+        dist_slots_.emplace_back();
+    return dist_slots_[it->second];
 }
 
 std::uint64_t
 StatGroup::counterValue(const std::string &stat_name) const
 {
-    auto it = counters_.find(stat_name);
-    return it == counters_.end() ? 0 : it->second.value();
+    auto it = counter_index_.find(stat_name);
+    return it == counter_index_.end() ? 0
+                                      : counter_slots_[it->second].value();
 }
 
 std::vector<std::pair<std::string, std::uint64_t>>
 StatGroup::counters() const
 {
     std::vector<std::pair<std::string, std::uint64_t>> out;
-    out.reserve(counters_.size());
-    for (const auto &kv : counters_)
-        out.emplace_back(kv.first, kv.second.value());
+    out.reserve(counter_index_.size());
+    for (const auto &[name, slot] : counter_index_)
+        out.emplace_back(name, counter_slots_[slot].value());
     return out;
 }
 
 void
 StatGroup::mergeFrom(const StatGroup &other)
 {
-    for (const auto &kv : other.counters_)
-        counters_[kv.first] += kv.second.value();
-    for (const auto &kv : other.distributions_)
-        distributions_[kv.first].mergeFrom(kv.second);
+    for (const auto &[name, slot] : other.counter_index_)
+        counter(name) += other.counter_slots_[slot].value();
+    for (const auto &[name, slot] : other.dist_index_)
+        distribution(name).mergeFrom(other.dist_slots_[slot]);
 }
 
 void
 StatGroup::reset()
 {
-    for (auto &kv : counters_)
-        kv.second.reset();
-    for (auto &kv : distributions_)
-        kv.second.reset();
+    for (Counter &c : counter_slots_)
+        c.reset();
+    for (Distribution &d : dist_slots_)
+        d.reset();
 }
 
 std::string
 StatGroup::toString() const
 {
     std::ostringstream oss;
-    for (const auto &kv : counters_)
-        oss << name_ << '.' << kv.first << ' ' << kv.second.value() << '\n';
-    for (const auto &kv : distributions_) {
-        const auto &d = kv.second;
-        oss << name_ << '.' << kv.first << ".count " << d.count() << '\n';
-        oss << name_ << '.' << kv.first << ".mean " << d.mean() << '\n';
-        oss << name_ << '.' << kv.first << ".min " << d.min() << '\n';
-        oss << name_ << '.' << kv.first << ".max " << d.max() << '\n';
+    for (const auto &[name, slot] : counter_index_) {
+        oss << name_ << '.' << name << ' '
+            << counter_slots_[slot].value() << '\n';
+    }
+    for (const auto &[name, slot] : dist_index_) {
+        const Distribution &d = dist_slots_[slot];
+        oss << name_ << '.' << name << ".count " << d.count() << '\n';
+        oss << name_ << '.' << name << ".mean " << d.mean() << '\n';
+        oss << name_ << '.' << name << ".min " << d.min() << '\n';
+        oss << name_ << '.' << name << ".max " << d.max() << '\n';
     }
     return oss.str();
 }

@@ -11,6 +11,7 @@
 #define SLFWD_SIM_STATS_HH_
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <string>
 #include <vector>
@@ -86,8 +87,11 @@ class Distribution
 /**
  * A named collection of counters and distributions.
  *
- * Members are registered by name on first access; lookup is by string,
- * so hot paths should cache references (Counter &) at construction time.
+ * Storage is a flat slot pool: members live in deques (stable
+ * addresses, contiguous chunks) and the string->slot maps are consulted
+ * only at registration and export time. Hot paths cache references
+ * (Counter &) at construction, so a counter bump is a plain in-place
+ * increment with no string traffic anywhere near it.
  */
 class StatGroup
 {
@@ -124,8 +128,13 @@ class StatGroup
 
   private:
     std::string name_;
-    std::map<std::string, Counter> counters_;
-    std::map<std::string, Distribution> distributions_;
+    /** Flat slot pools; deque = stable references across growth. */
+    std::deque<Counter> counter_slots_;
+    std::deque<Distribution> dist_slots_;
+    /** Name -> slot index, touched only at registration/export. The
+     *  sorted map keys give export its canonical (name-sorted) order. */
+    std::map<std::string, std::size_t> counter_index_;
+    std::map<std::string, std::size_t> dist_index_;
 };
 
 } // namespace slf

@@ -107,57 +107,52 @@ GoldenChecker::checkRetirement(const DynInst &inst, Cycle cycle)
     const RetireRecord g = golden_.step();
     ++checked_;
 
-    CheckFailure f;
-    f.seq = inst.seq;
-    f.pc = inst.pc;
-    f.cycle = cycle;
-    f.disasm = disassemble(inst.si);
+    // Failure reports are built lazily: disassembly and field copies
+    // happen only on an actual divergence, keeping the per-retirement
+    // happy path to the comparisons alone.
+    auto fail = [&](CheckFailure::Kind kind, std::uint64_t expected,
+                    std::uint64_t actual, Addr addr) {
+        CheckFailure f;
+        f.kind = kind;
+        f.seq = inst.seq;
+        f.pc = inst.pc;
+        f.cycle = cycle;
+        f.disasm = disassemble(inst.si);
+        f.expected = expected;
+        f.actual = actual;
+        f.addr = addr;
+        report(std::move(f));
+    };
 
     if (g.pc != inst.pc) {
-        f.kind = CheckFailure::Kind::Pc;
-        f.expected = g.pc;
-        f.actual = inst.pc;
-        report(std::move(f));
-        return;   // different instruction: nothing below is comparable
+        // Different instruction: nothing below is comparable.
+        fail(CheckFailure::Kind::Pc, g.pc, inst.pc, 0);
+        return;
     }
     if (g.op != inst.si.op) {
-        f.kind = CheckFailure::Kind::Opcode;
-        f.expected = static_cast<std::uint64_t>(g.op);
-        f.actual = static_cast<std::uint64_t>(inst.si.op);
-        report(std::move(f));
+        fail(CheckFailure::Kind::Opcode, static_cast<std::uint64_t>(g.op),
+             static_cast<std::uint64_t>(inst.si.op), 0);
         return;
     }
     if (g.wrote_reg &&
         (inst.dst_preg == kInvalidPhysReg || inst.result != g.result)) {
-        f.kind = CheckFailure::Kind::Result;
-        f.expected = g.result;
-        f.actual = inst.result;
-        f.addr = g.is_mem ? g.addr : 0;
-        report(std::move(f));
+        fail(CheckFailure::Kind::Result, g.result, inst.result,
+             g.is_mem ? g.addr : 0);
         return;
     }
     if (g.is_mem && (inst.addr != g.addr || inst.size != g.size)) {
-        f.kind = CheckFailure::Kind::Address;
-        f.expected = g.addr;
-        f.actual = inst.addr;
-        f.addr = g.addr;
-        report(std::move(f));
+        fail(CheckFailure::Kind::Address, g.addr, inst.addr, g.addr);
         return;
     }
     if (g.is_mem && isStore(g.op) && inst.store_value != g.store_value) {
-        f.kind = CheckFailure::Kind::StoreValue;
-        f.expected = g.store_value;
-        f.actual = inst.store_value;
-        f.addr = g.addr;
-        report(std::move(f));
+        fail(CheckFailure::Kind::StoreValue, g.store_value,
+             inst.store_value, g.addr);
         return;
     }
     if (g.is_control &&
         (inst.taken != g.taken || inst.actual_next_pc != g.next_pc)) {
-        f.kind = CheckFailure::Kind::Control;
-        f.expected = g.next_pc;
-        f.actual = inst.actual_next_pc;
-        report(std::move(f));
+        fail(CheckFailure::Kind::Control, g.next_pc, inst.actual_next_pc,
+             0);
     }
 }
 

@@ -34,11 +34,19 @@ using namespace slf;
 namespace
 {
 
-/** The fixed reproduction corpus. */
+/**
+ * The fixed reproduction corpus. Append only: tests below index into
+ * this table, so reordering or removing entries silently changes what
+ * they cover. The last four seeds feed the squash-at-boundary-biased
+ * generator (and the plain one) — they were picked so the alternating
+ * guard pattern lands squashes exactly at store/flush seq endpoints.
+ */
 const std::vector<std::uint64_t> kSeedCorpus = {
     0x1,    0x2a,        0xdead,     0xbeef,       0xc0ffee,
     0x1234, 0x9e3779b9,  0xfeedface, 0x5ca1ab1e,   0x7,
     0x77,   0x777,
+    // Squash-at-boundary-biased additions (see squashBiasedProgram).
+    0xba5eba11, 0xf1005eed, 0xa55e55ed, 0x0ddb0a7,
 };
 
 constexpr std::int64_t kBase = 0x0050'0000;  ///< fuzz data segment
@@ -135,6 +143,71 @@ randomProgram(std::uint64_t seed, std::uint64_t iterations)
     return b.build();
 }
 
+/**
+ * A squash-heavy variant of randomProgram: most body operations are
+ * stores guarded by a branch on the loop counter's low bit, so the
+ * guard alternates taken/not-taken every iteration and mispredicts
+ * constantly. Each mispredict squashes from the branch's successor —
+ * i.e. exactly at the guarded store's sequence number — so the
+ * partial-flush `from` endpoint and the store's allocation seq
+ * coincide, stressing the inclusive/exclusive boundary handling in
+ * Sfc::partialFlush, StoreFifo::squashFrom and the MDT scavenger.
+ * Every wrong-path store aliases a slot a following load reads back.
+ */
+Program
+squashBiasedProgram(std::uint64_t seed, std::uint64_t iterations)
+{
+    Rng rng(seed);
+    ProgramBuilder b("fuzzsq_" + std::to_string(seed),
+                     WorkloadClass::Int);
+
+    b.movi(1, kBase);
+    for (RegIndex r = 2; r <= 9; ++r)
+        b.movi(r, static_cast<std::int64_t>(rng.next() & 0xffffff));
+    for (unsigned s = 0; s < kSlots; ++s)
+        b.poke64(static_cast<Addr>(kBase) + 8 * s, rng.next());
+
+    b.movi(10, 0);
+    b.movi(11, static_cast<std::int64_t>(iterations));
+    Label top = b.newLabel();
+    b.bind(top);
+
+    const unsigned body_ops = 6 + unsigned(rng.below(8));
+    for (unsigned i = 0; i < body_ops; ++i) {
+        const RegIndex dst = RegIndex(2 + rng.below(8));
+        const RegIndex a = RegIndex(2 + rng.below(8));
+        const std::int64_t disp = 8 * std::int64_t(rng.below(kSlots));
+        switch (rng.below(4)) {
+          case 0: {
+            // The boundary pattern: guard alternates on the counter's
+            // low bit, the store is the first instruction younger than
+            // the branch, and the same slot is read straight after.
+            Label skip = b.newLabel();
+            b.andi(dst, 10, 1);
+            b.bne(dst, 0, skip);
+            b.st8(a, 1, disp);
+            b.bind(skip);
+            b.ld8(dst, 1, disp);
+            break;
+          }
+          case 1:
+            b.st4(a, 1, disp);
+            break;
+          case 2:
+            b.ld8(dst, 1, disp);
+            break;
+          default:
+            b.add(dst, a, RegIndex(2 + rng.below(8)));
+            break;
+        }
+    }
+
+    b.addi(10, 10, 1);
+    b.blt(10, 11, top);
+    b.halt();
+    return b.build();
+}
+
 /** Run @p prog under the golden checker; fail the test on divergence. */
 SimResult
 runChecked(MemSubsystem subsys, const Program &prog,
@@ -182,6 +255,34 @@ TEST(FuzzDifferential, MdtSfcAndLsqMatchFunctionalSim)
         EXPECT_EQ(mdtsfc.stores_retired, lsq.stores_retired);
         EXPECT_EQ(mdtsfc.branches_retired, lsq.branches_retired);
         EXPECT_EQ(mdtsfc.check_retirements, lsq.check_retirements);
+    }
+}
+
+TEST(FuzzDifferential, SquashAtBoundaryBiasedSeeds)
+{
+    // The last four corpus seeds drive the squash-heavy generator:
+    // alternating guarded stores make every other iteration squash at
+    // the store's own sequence number, so flush `from` endpoints land
+    // exactly on allocated-store seqs.
+    const std::size_t n = kSeedCorpus.size();
+    for (std::size_t i = n - 4; i < n; ++i) {
+        const std::uint64_t seed = kSeedCorpus[i];
+        const Program prog = squashBiasedProgram(seed, fuzzIterations());
+
+        const SimResult mdtsfc =
+            runChecked(MemSubsystem::MdtSfc, prog, seed);
+        const SimResult lsq =
+            runChecked(MemSubsystem::LsqBaseline, prog, seed);
+
+        EXPECT_EQ(mdtsfc.insts, lsq.insts) << "seed 0x" << std::hex
+                                           << seed;
+        EXPECT_EQ(mdtsfc.loads_retired, lsq.loads_retired);
+        EXPECT_EQ(mdtsfc.stores_retired, lsq.stores_retired);
+        EXPECT_EQ(mdtsfc.check_retirements, lsq.check_retirements);
+        // The generator only earns its name if wrong paths actually
+        // happen: every mispredict squashes from the guarded store.
+        EXPECT_GT(mdtsfc.mispredicts, 0u) << "seed 0x" << std::hex
+                                          << seed;
     }
 }
 

@@ -326,6 +326,86 @@ TEST(Mdt, RejectsBadGeometry)
     EXPECT_THROW(Mdt m(p), FatalError);
 }
 
+// ---------------------------------------------------------------------
+// Sequence numbers far up the 64-bit range, and the kInvalidSeqNum
+// sentinel. SeqNums are monotonic and never recycled, so long campaigns
+// push the timestamps arbitrarily high; the ordering compares and the
+// exact-match retirement rule must stay correct there, and an
+// invalidated field (sentinel) must never win an ordering compare.
+// ---------------------------------------------------------------------
+
+TEST(Mdt, HugeSeqTimestampOrderingStillDetectsViolations)
+{
+    constexpr SeqNum kBig = ~SeqNum{0} - 64;
+    Mdt mdt(smallParams());
+    mdt.setOldestInflight(kBig - 8);
+    mdt.accessLoad(0x100, 8, kBig + 5, 50);
+    const MdtAccess r = mdt.accessStore(0x100, 8, kBig + 3, 30);
+    ASSERT_EQ(r.status, MdtAccess::Status::Violation);
+    EXPECT_EQ(r.kind, DepKind::True);
+    EXPECT_EQ(r.squash_from, kBig + 4);   // store seq + 1, no overflow
+}
+
+TEST(Mdt, HugeSeqInOrderAccessesStayClean)
+{
+    constexpr SeqNum kBig = ~SeqNum{0} - 64;
+    Mdt mdt(smallParams());
+    mdt.setOldestInflight(kBig - 8);
+    EXPECT_EQ(mdt.accessStore(0x100, 8, kBig, 10).status,
+              MdtAccess::Status::Ok);
+    EXPECT_EQ(mdt.accessLoad(0x100, 8, kBig + 1, 11).status,
+              MdtAccess::Status::Ok);
+    EXPECT_EQ(mdt.accessStore(0x100, 8, kBig + 2, 12).status,
+              MdtAccess::Status::Ok);
+}
+
+TEST(Mdt, HugeSeqRetireStillFreesOnExactMatch)
+{
+    constexpr SeqNum kBig = ~SeqNum{0} - 64;
+    Mdt mdt(smallParams());
+    mdt.setOldestInflight(kBig - 8);
+    mdt.accessLoad(0x100, 8, kBig + 7, 70);
+    mdt.retireLoad(0x100, 8, kBig + 6);   // near miss: entry survives
+    EXPECT_EQ(mdt.validEntries(), 1u);
+    mdt.retireLoad(0x100, 8, kBig + 7);
+    EXPECT_EQ(mdt.validEntries(), 0u);
+}
+
+TEST(Mdt, InvalidatedLoadFieldDoesNotOrderAgainstStores)
+{
+    // After the recorded load retires, only the store side of the entry
+    // is live. The dead load field (now sentinel-valued) must not take
+    // part in ordering: a store older than the *retired* load but newer
+    // than nothing live is clean on the true-dependence axis.
+    Mdt mdt(smallParams());
+    mdt.setOldestInflight(1);
+    mdt.accessLoad(0x100, 8, 5, 50);
+    mdt.accessStore(0x100, 8, 6, 60);
+    mdt.retireLoad(0x100, 8, 5);
+    EXPECT_EQ(mdt.validEntries(), 1u);   // store side still pending
+    const MdtAccess r = mdt.accessStore(0x100, 8, 4, 40);
+    // Output violation against live store 6 — but NOT a true violation
+    // against the retired load 5.
+    ASSERT_EQ(r.status, MdtAccess::Status::Violation);
+    EXPECT_EQ(r.kind, DepKind::Output);
+    EXPECT_FALSE(r.has_secondary);
+}
+
+TEST(Mdt, InvalidatedStoreFieldDoesNotOrderAgainstLoads)
+{
+    Mdt mdt(smallParams());
+    mdt.setOldestInflight(1);
+    mdt.accessLoad(0x100, 8, 7, 70);
+    mdt.accessStore(0x100, 8, 8, 80);
+    EXPECT_FALSE(mdt.retireStore(0x100, 8, 7));   // mismatch: no-op
+    EXPECT_TRUE(mdt.retireStore(0x100, 8, 8));
+    EXPECT_EQ(mdt.validEntries(), 1u);   // load side still pending
+    // An older load completing now must not anti-violate against the
+    // retired (sentinel-valued) store field.
+    EXPECT_EQ(mdt.accessLoad(0x100, 8, 3, 30).status,
+              MdtAccess::Status::Ok);
+}
+
 class MdtGranularitySweep : public ::testing::TestWithParam<unsigned>
 {};
 

@@ -369,3 +369,135 @@ TEST(SfcFlushEndpoints, FullFlushDropsRanges)
     sfc.storeWrite(0x100, 8, 0x7, 500);
     EXPECT_EQ(sfc.loadRead(0x100, 8).status, SfcLoadResult::Status::Full);
 }
+
+// ---------------------------------------------------------------------
+// Flush-range boundary sequence numbers. A squash from seq S cancels
+// every store with seq >= S, and the recorded range is inclusive at
+// both ends: a writer whose seq lands exactly on `from` or exactly on
+// `to` was canceled and must block forwarding.
+// ---------------------------------------------------------------------
+
+TEST(SfcFlushEndpoints, WriterAtRangeFromIsCanceled)
+{
+    Sfc sfc(endpointParams());
+    sfc.setOldestInflight(1);
+    sfc.storeWrite(0x100, 8, 0x1234, 5);
+    sfc.partialFlush(/*from*/ 5, /*to*/ 9);   // seq == from: canceled
+    EXPECT_EQ(sfc.loadRead(0x100, 8).status,
+              SfcLoadResult::Status::Corrupt);
+}
+
+TEST(SfcFlushEndpoints, WriterAtRangeToIsCanceled)
+{
+    Sfc sfc(endpointParams());
+    sfc.setOldestInflight(1);
+    sfc.storeWrite(0x100, 8, 0x1234, 5);
+    sfc.partialFlush(/*from*/ 2, /*to*/ 5);   // seq == to: canceled
+    EXPECT_EQ(sfc.loadRead(0x100, 8).status,
+              SfcLoadResult::Status::Corrupt);
+}
+
+TEST(SfcFlushEndpoints, SingleSeqRangeCancelsExactlyThatWriter)
+{
+    Sfc sfc(endpointParams());
+    sfc.setOldestInflight(1);
+    sfc.storeWrite(0x100, 8, 0x1111, 5);
+    sfc.storeWrite(0x200, 8, 0x2222, 6);
+    sfc.partialFlush(/*from*/ 5, /*to*/ 5);   // degenerate [5, 5] range
+    EXPECT_EQ(sfc.loadRead(0x100, 8).status,
+              SfcLoadResult::Status::Corrupt);
+    // The adjacent-seq writer is untouched by the degenerate range.
+    const SfcLoadResult r = sfc.loadRead(0x200, 8);
+    EXPECT_EQ(r.status, SfcLoadResult::Status::Full);
+    EXPECT_EQ(r.value, 0x2222u);
+}
+
+TEST(SfcFlushEndpoints, OneOffRangesSpareTheWriter)
+{
+    Sfc sfc(endpointParams());
+    sfc.setOldestInflight(1);
+    sfc.storeWrite(0x100, 8, 0x1234, 5);
+    sfc.partialFlush(/*from*/ 6, /*to*/ 9);   // just above: survives
+    sfc.partialFlush(/*from*/ 2, /*to*/ 4);   // just below: survives
+    const SfcLoadResult r = sfc.loadRead(0x100, 8);
+    EXPECT_EQ(r.status, SfcLoadResult::Status::Full);
+    EXPECT_EQ(r.value, 0x1234u);
+}
+
+TEST(SfcFlushEndpoints, OutOfOrderWriterWidensRangeCheckDownward)
+{
+    // Stores execute out of order: an older store (seq 7) writes the
+    // entry after a younger one (seq 10). first_store_seq must track the
+    // minimum, so a flush range touching only the older writer's seq
+    // still blocks forwarding.
+    Sfc sfc(endpointParams());
+    sfc.setOldestInflight(1);
+    sfc.storeWrite(0x100, 8, 0xaaaa, 10);
+    sfc.storeWrite(0x100, 4, 0xbbbb, 7);
+    sfc.partialFlush(/*from*/ 7, /*to*/ 7);   // exactly the older writer
+    EXPECT_EQ(sfc.loadRead(0x100, 8).status,
+              SfcLoadResult::Status::Corrupt);
+}
+
+TEST(SfcFlushEndpoints, FreshEntrySeqBoundsIgnoreSentinel)
+{
+    // kInvalidSeqNum is 0: a freshly allocated entry must not leave a
+    // zero first_store_seq behind, or the writer range would look like
+    // [0, seq] and intersect every low flush range.
+    Sfc sfc(endpointParams());
+    sfc.setOldestInflight(1);
+    sfc.storeWrite(0x100, 8, 0x1234, 100);
+    sfc.partialFlush(/*from*/ 1, /*to*/ 50);   // below the only writer
+    const SfcLoadResult r = sfc.loadRead(0x100, 8);
+    EXPECT_EQ(r.status, SfcLoadResult::Status::Full);
+    EXPECT_EQ(r.value, 0x1234u);
+}
+
+TEST(Sfc, MaskModeFlushCorruptsBoundarySeqWriters)
+{
+    // Corruption-mask mode takes the conservative route: a partial flush
+    // poisons every valid byte, so writers sitting exactly on the squash
+    // endpoints are (trivially) treated as canceled too.
+    Sfc sfc(smallParams());
+    sfc.setOldestInflight(1);
+    sfc.storeWrite(0x100, 8, 0x1111, 5);   // seq == from
+    sfc.storeWrite(0x200, 8, 0x2222, 9);   // seq == to
+    sfc.partialFlush(/*from*/ 5, /*to*/ 9);
+    EXPECT_EQ(sfc.loadRead(0x100, 8).status,
+              SfcLoadResult::Status::Corrupt);
+    EXPECT_EQ(sfc.loadRead(0x200, 8).status,
+              SfcLoadResult::Status::Corrupt);
+}
+
+// ---------------------------------------------------------------------
+// Sequence numbers far up the 64-bit range. SeqNums are never recycled,
+// so long campaigns push them arbitrarily high; the min/max updates on
+// first/last_store_seq and the scavenge compare must stay exact there.
+// ---------------------------------------------------------------------
+
+TEST(Sfc, HugeSeqNumbersTrackFirstAndLastWriters)
+{
+    constexpr SeqNum kBig = ~SeqNum{0} - 16;
+    Sfc sfc(endpointParams());
+    sfc.setOldestInflight(kBig - 8);
+    sfc.storeWrite(0x100, 8, 0xaaaa, kBig + 4);
+    sfc.storeWrite(0x100, 8, 0xbbbb, kBig);       // older, out of order
+    // Range below both writers: forwarding must survive.
+    sfc.partialFlush(kBig - 4, kBig - 1);
+    EXPECT_EQ(sfc.loadRead(0x100, 8).status, SfcLoadResult::Status::Full);
+    // Range clipping exactly the oldest writer: canceled.
+    sfc.partialFlush(kBig, kBig);
+    EXPECT_EQ(sfc.loadRead(0x100, 8).status,
+              SfcLoadResult::Status::Corrupt);
+}
+
+TEST(Sfc, HugeSeqEntryScavengesOnceWritersDrain)
+{
+    constexpr SeqNum kBig = ~SeqNum{0} - 16;
+    Sfc sfc(smallParams());
+    sfc.setOldestInflight(kBig - 8);
+    sfc.storeWrite(0x100, 8, 0x1234, kBig);
+    EXPECT_EQ(sfc.loadRead(0x100, 8).status, SfcLoadResult::Status::Full);
+    sfc.setOldestInflight(kBig + 1);   // writer is now dead
+    EXPECT_EQ(sfc.loadRead(0x100, 8).status, SfcLoadResult::Status::Miss);
+}
