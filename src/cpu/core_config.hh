@@ -99,6 +99,14 @@ struct CoreConfig
      *  the run gracefully, this treats reaching the cap as a wedge). */
     Cycle watchdog_max_cycles = 0;
 
+    /** Host wall-clock deadline in milliseconds (0 = none), polled
+     *  cooperatively every few thousand simulated cycles; expiry throws
+     *  JobTimeout (a FatalError) with an occupancy dump. Unlike the
+     *  cycle watchdogs this bounds *host* time, so it also catches
+     *  simulations that are healthy but merely far too slow for their
+     *  budget (the campaign layer's per-job timeout). */
+    std::uint64_t deadline_ms = 0;
+
     /** Fault injection (all rates default to 0 = disabled). */
     FaultInjectParams fault;
 

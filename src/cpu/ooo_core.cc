@@ -1,6 +1,7 @@
 #include "ooo_core.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <sstream>
 
@@ -58,6 +59,19 @@ OooCore::OooCore(const CoreConfig &cfg, const Program &prog)
         memu_->setFaultInjector(injector_.get());
     }
     Debug::setCycleSource(&cycle_);
+
+    // Arm the host wall-clock deadline before the (potentially long)
+    // trace precompute below: construction time counts against the
+    // budget, a wedged functional trace should not escape it either.
+    if (cfg_.deadline_ms) {
+        const auto now =
+            std::chrono::steady_clock::now().time_since_epoch();
+        deadline_at_ns_ =
+            std::uint64_t(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(now)
+                    .count()) +
+            cfg_.deadline_ms * 1'000'000ull;
+    }
 
     // Precompute the architectural control trace (fetch oracle + path
     // tracking). It must cover everything fetch can reach before the
@@ -920,6 +934,22 @@ OooCore::tick()
         oss << "cycle cap " << cfg_.watchdog_max_cycles
             << " reached before completion";
         fatal(watchdogDump(oss.str()));
+    }
+    // Host wall-clock deadline: polled every 8192 cycles so the clock
+    // read stays off the per-cycle path. JobTimeout (not plain fatal)
+    // lets the campaign layer record the job as Timeout, not Fatal.
+    if (!done_ && deadline_at_ns_ && (cycle_ & 0x1fff) == 0) {
+        const auto now =
+            std::chrono::steady_clock::now().time_since_epoch();
+        const auto now_ns = std::uint64_t(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(now)
+                .count());
+        if (now_ns >= deadline_at_ns_) {
+            std::ostringstream oss;
+            oss << "host deadline of " << cfg_.deadline_ms
+                << " ms exceeded";
+            throw JobTimeout(watchdogDump(oss.str()));
+        }
     }
 
     // The run drained (HALT retired, nothing in flight): cross-check the

@@ -239,6 +239,9 @@ class OooCore
     Cycle cycle_ = 0;
     SeqNum next_seq_ = 1;
     bool done_ = false;
+    /** Host wall-clock deadline (cfg.deadline_ms past construction);
+     *  polled every few thousand cycles in tick(). 0 = no deadline. */
+    std::uint64_t deadline_at_ns_ = 0;
     /** HALT retired (vs a max_insts/max_cycles cut): the run drained, so
      *  the final-memory-image cross-check is meaningful. */
     bool halted_cleanly_ = false;

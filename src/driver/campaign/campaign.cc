@@ -3,9 +3,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <thread>
 #include <unistd.h>
 
+#include "campaign/journal.hh"
 #include "campaign/thread_pool.hh"
 #include "sim/logging.hh"
 #include "sim/rng.hh"
@@ -23,6 +25,20 @@ jobSeed(std::uint64_t root_seed, std::size_t job_index, SeedStream stream,
         root_seed,
         job_index * 2 + static_cast<std::uint64_t>(stream));
     return attempt == 0 ? stream_seed : deriveSeed(stream_seed, attempt);
+}
+
+const char *
+jobStatusName(JobStatus s)
+{
+    switch (s) {
+      case JobStatus::Ok:
+        return "ok";
+      case JobStatus::Fatal:
+        return "fatal";
+      case JobStatus::Timeout:
+        return "timeout";
+    }
+    return "fatal";
 }
 
 std::size_t
@@ -45,7 +61,10 @@ defaultRunner(const JobSpec &spec, const CoreConfig &cfg, unsigned)
     return runWorkload(cfg, prog);
 }
 
-/** Run one job to completion, retrying fatal() deaths with backoff. */
+/** Run one job to completion, retrying fatal() deaths and deadline
+ *  expiries with backoff; exhausted jobs come back quarantined
+ *  (status Fatal/Timeout) with the last error and the seeds of the
+ *  last attempt, never as an exception. */
 JobResult
 runJob(const JobSpec &spec, std::size_t index, const CampaignOptions &opts)
 {
@@ -71,22 +90,35 @@ runJob(const JobSpec &spec, std::size_t index, const CampaignOptions &opts)
             cfg.fault.seed =
                 jobSeed(opts.root_seed, index, SeedStream::Fault, attempt);
         }
+        if (opts.job_timeout_ms)
+            cfg.deadline_ms = opts.job_timeout_ms;
+        // The seeds this attempt actually runs with: recorded so a
+        // quarantined job's manifest entry reproduces offline.
+        jr.core_seed = cfg.rng_seed;
+        jr.fault_seed = cfg.fault.seed;
 
         try {
             jr.result = spec.runner ? spec.runner(spec, cfg, attempt)
                                     : defaultRunner(spec, cfg, attempt);
             jr.status = JobStatus::Ok;
+            jr.error.clear();
             return jr;
+        } catch (const JobTimeout &e) {
+            jr.error = e.what();
+            if (attempt >= opts.max_retries) {
+                jr.status = JobStatus::Timeout;
+                return jr;
+            }
         } catch (const FatalError &e) {
             jr.error = e.what();
             if (attempt >= opts.max_retries) {
                 jr.status = JobStatus::Fatal;
                 return jr;
             }
-            const auto backoff = std::chrono::milliseconds(
-                std::uint64_t(opts.retry_backoff_ms) << attempt);
-            std::this_thread::sleep_for(backoff);
         }
+        const auto backoff = std::chrono::milliseconds(
+            std::uint64_t(opts.retry_backoff_ms) << attempt);
+        std::this_thread::sleep_for(backoff);
     }
 }
 
@@ -99,18 +131,66 @@ Campaign::run(const CampaignOptions &opts) const
     if (jobs_.empty())
         return results;
 
+    // Rehydrate journaled results before spinning up workers: jobs with
+    // an engaged slot are already terminal and never re-run.
+    std::vector<std::optional<JobResult>> cached(jobs_.size());
+    if (!opts.journal_path.empty() && opts.resume) {
+        JobJournal::LoadStats ls;
+        cached = JobJournal::load(opts.journal_path, name_,
+                                  opts.root_seed, jobs_, &ls);
+        if (ls.records || ls.dropped || ls.mismatched) {
+            inform("journal: resumed " + std::to_string(ls.records) +
+                   "/" + std::to_string(jobs_.size()) + " jobs (" +
+                   std::to_string(ls.dropped) + " torn/invalid lines "
+                   "dropped, " + std::to_string(ls.mismatched) +
+                   " stale records ignored)");
+        }
+    }
+
+    std::unique_ptr<JobJournal> journal;
+    if (!opts.journal_path.empty()) {
+        journal = std::make_unique<JobJournal>(
+            opts.journal_path, name_, opts.root_seed, jobs_.size(),
+            opts.resume, opts.journal_hooks);
+    }
+
     const bool live_progress =
         opts.progress && isatty(fileno(stderr)) != 0;
     std::atomic<std::size_t> done{0};
     std::atomic<std::size_t> failed{0};
 
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+        if (cached[i]) {
+            results[i] = std::move(*cached[i]);
+            if (!results[i].ok())
+                failed.fetch_add(1, std::memory_order_relaxed);
+            done.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+
     ThreadPool pool(opts.jobs);
     for (std::size_t i = 0; i < jobs_.size(); ++i) {
+        if (results[i].rehydrated)
+            continue;
         pool.submit([this, i, &opts, &results, &done, &failed,
-                     live_progress] {
+                     live_progress, &journal] {
             // Slot i is exclusively ours: no synchronization needed
             // beyond the pool's completion barrier.
             results[i] = runJob(jobs_[i], i, opts);
+            if (journal) {
+                // Pool tasks must not throw (std::terminate); and a
+                // broken journal must never take the campaign's
+                // in-memory results with it — downgrade to a warning.
+                try {
+                    journal->append(
+                        results[i],
+                        JobJournal::specDigest(jobs_[i], i,
+                                               opts.root_seed));
+                } catch (const FatalError &e) {
+                    warn(std::string("journal append failed: ") +
+                         e.what());
+                }
+            }
             if (!results[i].ok())
                 failed.fetch_add(1, std::memory_order_relaxed);
             const std::size_t n =

@@ -13,9 +13,20 @@
  * A job that dies on the PR-1 watchdog fatal() is retried with
  * backoff; each retry re-derives the core seed with the attempt number
  * as salt (retrying a deterministic simulator with identical inputs
- * would wedge identically). A job that exhausts its retries is
- * recorded as JobStatus::Fatal with the watchdog message — it never
- * aborts the campaign.
+ * would wedge identically). A job that blows its host wall-clock
+ * deadline (CampaignOptions::job_timeout_ms, polled cooperatively in
+ * the sim loop) escalates down the same retry path but is recorded as
+ * JobStatus::Timeout, distinct from Fatal. A job that exhausts its
+ * retries is quarantined — recorded with the last error and the seeds
+ * of the last attempt for offline reproduction — and never aborts the
+ * campaign: the run completes with partial aggregates and a "failures"
+ * manifest in the result JSON.
+ *
+ * Crash safety: with CampaignOptions::journal_path set, every terminal
+ * JobResult is appended (fsync'd) to a write-ahead JSONL journal as it
+ * finishes; with resume=true, journaled jobs are rehydrated instead of
+ * re-run and the final JSON is byte-identical to an uninterrupted run.
+ * See journal.hh for the format and the torn-tail rules.
  */
 
 #ifndef SLFWD_DRIVER_CAMPAIGN_CAMPAIGN_HH_
@@ -66,9 +77,13 @@ struct JobSpec
 
 enum class JobStatus : std::uint8_t
 {
-    Ok,     ///< produced a SimResult (possibly after retries)
-    Fatal,  ///< every attempt died on fatal(); result is empty
+    Ok,       ///< produced a SimResult (possibly after retries)
+    Fatal,    ///< every attempt died on fatal(); result is empty
+    Timeout,  ///< last attempt blew the host wall-clock deadline
 };
+
+/** Canonical JSON/journal rendering of a status ("ok", "fatal", ...). */
+const char *jobStatusName(JobStatus s);
 
 struct JobResult
 {
@@ -78,12 +93,25 @@ struct JobResult
 
     JobStatus status = JobStatus::Ok;
     unsigned attempts = 0;      ///< total attempts made (>= 1)
-    std::string error;          ///< last fatal() message, if any
+    std::string error;          ///< last fatal()/timeout message, if any
+
+    /** Seeds the last attempt actually ran with (offline repro of a
+     *  quarantined job; equal to the spec's own seeds when the job
+     *  neither derives seeds nor retried). */
+    std::uint64_t core_seed = 0;
+    std::uint64_t fault_seed = 0;
+
+    /** Rehydrated from the write-ahead journal instead of re-run.
+     *  Never rendered into the result JSON (it would break the
+     *  byte-identical resume contract). */
+    bool rehydrated = false;
 
     SimResult result;
 
     bool ok() const { return status == JobStatus::Ok; }
 };
+
+struct JournalHooks;  // journal.hh (test seams for fault injection)
 
 struct CampaignOptions
 {
@@ -92,6 +120,18 @@ struct CampaignOptions
     unsigned retry_backoff_ms = 10; ///< doubles per retry
     std::uint64_t root_seed = 1;
     bool progress = true;           ///< live stderr line (tty only)
+
+    /** Per-job host wall-clock deadline in ms (0 = none), polled
+     *  cooperatively in the sim loop; expiry retries, then quarantines
+     *  the job as JobStatus::Timeout. */
+    std::uint64_t job_timeout_ms = 0;
+
+    /** Write-ahead job journal path (JSONL); empty = no journal. */
+    std::string journal_path;
+    /** Rehydrate journaled results and run only the missing suffix. */
+    bool resume = false;
+    /** Borrowed test seams for journal fault injection; may be null. */
+    const JournalHooks *journal_hooks = nullptr;
 };
 
 class Campaign

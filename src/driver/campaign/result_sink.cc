@@ -1,9 +1,13 @@
 #include "result_sink.hh"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <sstream>
-#include <unistd.h>
 
 #include "sim/logging.hh"
 
@@ -165,16 +169,20 @@ ResultSink::toJson(const std::string &campaign_name,
 {
     bool any_obs = false;
     bool any_cpi = false;
+    bool any_failed = false;
     for (const JobResult &jr : results) {
         any_obs = any_obs || jr.result.occ.enabled();
         any_cpi = any_cpi || jr.result.cpi.total() > 0;
+        any_failed = any_failed || !jr.ok();
     }
 
     std::ostringstream os;
     os << "{\n";
     os << "  \"schema_version\": "
-       << (any_cpi ? kSchemaVersionCpi
-                   : any_obs ? kSchemaVersionObs : kSchemaVersion)
+       << (any_failed ? kSchemaVersionFailures
+           : any_cpi  ? kSchemaVersionCpi
+           : any_obs  ? kSchemaVersionObs
+                      : kSchemaVersion)
        << ",\n";
     os << "  \"campaign\": \"" << jsonEscape(campaign_name) << "\",\n";
     os << "  \"root_seed\": " << root_seed << ",\n";
@@ -187,7 +195,7 @@ ResultSink::toJson(const std::string &campaign_name,
            << "\",\n";
         os << "      \"workload\": \"" << jsonEscape(jr.workload)
            << "\",\n";
-        os << "      \"status\": \"" << (jr.ok() ? "ok" : "fatal")
+        os << "      \"status\": \"" << jobStatusName(jr.status)
            << "\",\n";
         os << "      \"attempts\": " << jr.attempts << ",\n";
         os << "      \"error\": \"" << jsonEscape(jr.error) << "\",\n";
@@ -215,7 +223,41 @@ ResultSink::toJson(const std::string &campaign_name,
         emitCounters(os, "      ", kv.second.first);
         os << "    }" << (++n < agg.size() ? "," : "") << "\n";
     }
-    os << "  ]\n";
+    os << "  ]";
+
+    // Schema v4: the quarantine manifest. Job-index order (same as the
+    // "jobs" array), one entry per job that exhausted its retries or
+    // deadline, carrying everything offline reproduction needs. The
+    // aggregates above deliberately exclude these jobs — partial
+    // aggregates over clean results, never poisoned ones.
+    if (any_failed) {
+        std::size_t failed = 0;
+        for (const JobResult &jr : results)
+            failed += jr.ok() ? 0 : 1;
+        os << ",\n  \"failures\": [\n";
+        std::size_t f = 0;
+        for (const JobResult &jr : results) {
+            if (jr.ok())
+                continue;
+            os << "    {\n";
+            os << "      \"index\": " << jr.index << ",\n";
+            os << "      \"config\": \"" << jsonEscape(jr.config_name)
+               << "\",\n";
+            os << "      \"workload\": \"" << jsonEscape(jr.workload)
+               << "\",\n";
+            os << "      \"status\": \"" << jobStatusName(jr.status)
+               << "\",\n";
+            os << "      \"attempts\": " << jr.attempts << ",\n";
+            os << "      \"error\": \"" << jsonEscape(jr.error)
+               << "\",\n";
+            os << "      \"core_seed\": " << jr.core_seed << ",\n";
+            os << "      \"fault_seed\": " << jr.fault_seed << "\n";
+            os << "    }" << (++f < failed ? "," : "") << "\n";
+        }
+        os << "  ]\n";
+    } else {
+        os << "\n";
+    }
     os << "}\n";
     return os.str();
 }
@@ -226,21 +268,57 @@ ResultSink::writeFileAtomic(const std::string &path,
 {
     const std::string tmp =
         path + ".tmp." + std::to_string(::getpid());
-    std::FILE *f = std::fopen(tmp.c_str(), "wb");
-    if (!f)
+
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                          0644);
+    if (fd < 0)
         fatal("ResultSink: cannot open '" + tmp + "' for writing");
-    const std::size_t written =
-        std::fwrite(content.data(), 1, content.size(), f);
-    const bool flushed = std::fflush(f) == 0;
-    std::fclose(f);
-    if (written != content.size() || !flushed) {
-        std::remove(tmp.c_str());
-        fatal("ResultSink: short write to '" + tmp + "'");
+
+    std::size_t off = 0;
+    while (off < content.size()) {
+        const ssize_t w =
+            ::write(fd, content.data() + off, content.size() - off);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            fatal("ResultSink: short write to '" + tmp + "'");
+        }
+        off += std::size_t(w);
     }
+
+    // fsync BEFORE rename: once the new name is visible it must point
+    // at durable bytes, or a crash right after rename can resurface an
+    // empty/partial target on journaling filesystems.
+    if (::fsync(fd) != 0) {
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        fatal("ResultSink: fsync failed on '" + tmp + "'");
+    }
+    ::close(fd);
+
+    // Host-fault seam: crash between the durable tmp file and the
+    // rename (the "mid-final-write" point of the recovery harness).
+    if (const char *e = std::getenv("SLFWD_SINK_KILL_BEFORE_RENAME")) {
+        if (*e && *e != '0')
+            ::_exit(137);
+    }
+
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-        std::remove(tmp.c_str());
+        ::unlink(tmp.c_str());
         fatal("ResultSink: cannot rename '" + tmp + "' over '" + path +
               "'");
+    }
+
+    // fsync the parent directory so the rename itself is durable.
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash + 1);
+    const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd >= 0) {
+        ::fsync(dfd);
+        ::close(dfd);
     }
 }
 

@@ -9,9 +9,13 @@
  * property the determinism ctest asserts. Wall-clock measurements
  * belong next to the file (BENCH_campaign.json), not inside it.
  *
- * Files are written atomically: content goes to "<path>.tmp.<pid>" in
- * the destination directory and is rename(2)d over the target, so a
- * reader never observes a torn file.
+ * Files are written atomically AND durably: content goes to
+ * "<path>.tmp.<pid>" in the destination directory, is fsync'd, is
+ * rename(2)d over the target, and the parent directory is fsync'd — so
+ * a reader never observes a torn file and a crash straight after
+ * writeFileAtomic returns cannot resurface the old contents (or an
+ * empty file) after reboot. Error paths unlink the tmp file instead of
+ * leaking it.
  */
 
 #ifndef SLFWD_DRIVER_CAMPAIGN_RESULT_SINK_HH_
@@ -32,18 +36,22 @@ class ResultSink
     /**
      * Schema versions. v1 is the original counters-only layout; v2 adds
      * the per-job / per-aggregate "obs" occupancy section; v3 adds the
-     * "cpi_stack" and "blame" attribution sections. Sections are only
-     * emitted when their data is present, and the version is the
-     * highest section present anywhere in the file: a campaign with no
-     * occupancy samples and no classified cycles (synthetic results)
-     * renders as v1, byte for byte, so downstream diffing against
-     * pre-obs result files still works and the determinism ctest keeps
-     * its guarantee. Every real core run classifies its cycles, so
-     * campaign output is v3 in practice.
+     * "cpi_stack" and "blame" attribution sections; v4 adds the
+     * "failures" quarantine manifest (config, workload, attempts, last
+     * error and the last attempt's seeds for every job that exhausted
+     * its retries or deadline). Sections are only emitted when their
+     * data is present, and the version is the highest section present
+     * anywhere in the file: a campaign with no occupancy samples and no
+     * classified cycles (synthetic results) renders as v1, byte for
+     * byte, so downstream diffing against pre-obs result files still
+     * works and the determinism ctest keeps its guarantee. Every real
+     * core run classifies its cycles, so campaign output is v3 in
+     * practice; v4 appears exactly when something was quarantined.
      */
     static constexpr unsigned kSchemaVersion = 1;
     static constexpr unsigned kSchemaVersionObs = 2;
     static constexpr unsigned kSchemaVersionCpi = 3;
+    static constexpr unsigned kSchemaVersionFailures = 4;
 
     /**
      * Render a campaign's results as canonical JSON. Includes one

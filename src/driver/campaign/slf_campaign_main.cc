@@ -5,6 +5,7 @@
  * Usage:
  *   slf_campaign --sweep fig5|lsq_size|assoc|fault [--jobs N]
  *                [--out results/fig5.json] [--retries N] [--seed S]
+ *                [--journal FILE] [--resume] [--job-timeout-ms N]
  *                [--no-progress] [--trace FILE] [--trace-text FILE]
  *                [--pipeview FILE] [--trace-job N] [key=value ...]
  *
@@ -13,6 +14,19 @@
  *   iters=N fault_rate=R           fault-sweep shape
  *   anything else                  forwarded to applyOverrides() on
  *                                  every job's core config
+ *
+ * Crash safety: --journal FILE appends one fsync'd record per finished
+ * job to a write-ahead JSONL journal; after a crash (SIGKILL, OOM,
+ * power loss), re-running the same command with --resume rehydrates the
+ * journaled jobs and runs only the missing ones — the --out JSON is
+ * byte-identical to an uninterrupted run. --job-timeout-ms bounds each
+ * job's host wall-clock time; an expired job retries with salted seeds
+ * and, if every attempt expires, is quarantined as a "timeout" failure.
+ *
+ * Exit codes: 0 = every job ok; 1 = campaign-level fatal (bad sweep,
+ * unwritable output, journal/campaign mismatch); 2 = usage error;
+ * 3 = campaign completed but quarantined at least one job (partial
+ * aggregates were still written — check the "failures" manifest).
  *
  * --trace FILE re-runs one job (--trace-job, default 0) after the
  * campaign with a TraceSink attached and writes Chrome trace_event
@@ -53,7 +67,8 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s --sweep <name> [--jobs N] [--out FILE] "
-                 "[--retries N] [--seed S] [--no-progress] "
+                 "[--retries N] [--seed S] [--journal FILE] [--resume] "
+                 "[--job-timeout-ms N] [--no-progress] "
                  "[--trace FILE] [--trace-text FILE] [--pipeview FILE] "
                  "[--trace-job N] [key=value ...]\n  sweeps:",
                  argv0);
@@ -96,6 +111,13 @@ main(int argc, char **argv)
             copts.max_retries = unsigned(std::stoul(next("--retries")));
         } else if (arg == "--seed") {
             copts.root_seed = std::stoull(next("--seed"));
+        } else if (arg == "--journal") {
+            copts.journal_path = next("--journal");
+        } else if (arg == "--resume") {
+            copts.resume = true;
+        } else if (arg == "--job-timeout-ms") {
+            copts.job_timeout_ms =
+                std::stoull(next("--job-timeout-ms"));
         } else if (arg == "--no-progress") {
             copts.progress = false;
         } else if (arg == "--trace") {
@@ -147,15 +169,22 @@ main(int argc, char **argv)
         const double secs =
             std::chrono::duration<double>(t1 - t0).count();
 
-        std::size_t ok = 0, fatal_jobs = 0, retried = 0;
+        std::size_t ok = 0, fatal_jobs = 0, timeout_jobs = 0,
+                    retried = 0;
         for (const JobResult &jr : results) {
-            jr.ok() ? ++ok : ++fatal_jobs;
+            if (jr.ok())
+                ++ok;
+            else if (jr.status == JobStatus::Timeout)
+                ++timeout_jobs;
+            else
+                ++fatal_jobs;
             if (jr.attempts > 1)
                 ++retried;
         }
-        std::printf("%s: %zu ok, %zu fatal, %zu retried, %.2fs "
-                    "wall-clock\n",
-                    c.name().c_str(), ok, fatal_jobs, retried, secs);
+        std::printf("%s: %zu ok, %zu fatal, %zu timeout, %zu retried, "
+                    "%.2fs wall-clock\n",
+                    c.name().c_str(), ok, fatal_jobs, timeout_jobs,
+                    retried, secs);
 
         const std::string json =
             ResultSink::toJson(c.name(), copts.root_seed, results);
@@ -228,7 +257,9 @@ main(int argc, char **argv)
                             pipeview_path.c_str(), kon.size());
             }
         }
-        return fatal_jobs ? 1 : 0;
+        // 3 = graceful degradation: the campaign finished and wrote
+        // partial aggregates, but at least one job was quarantined.
+        return (fatal_jobs || timeout_jobs) ? 3 : 0;
     } catch (const FatalError &e) {
         std::fprintf(stderr, "fatal: %s\n", e.what());
         return 1;

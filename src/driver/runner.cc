@@ -129,6 +129,7 @@ applyOverrides(CoreConfig &cfg, const Config &ov)
         ov.getUInt("watchdog.retire_cycles", cfg.watchdog_retire_cycles);
     cfg.watchdog_max_cycles =
         ov.getUInt("watchdog.max_cycles", cfg.watchdog_max_cycles);
+    cfg.deadline_ms = ov.getUInt("deadline_ms", cfg.deadline_ms);
 
     cfg.fault.sfc_mask_rate =
         ov.getDouble("fault.sfc_mask", cfg.fault.sfc_mask_rate);

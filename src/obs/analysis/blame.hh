@@ -80,6 +80,13 @@ class BlameSet
         return records_[static_cast<std::size_t>(c)];
     }
 
+    /** Replace one cause's record wholesale (journal rehydration). */
+    void
+    restoreRecord(FlushCause c, const BlameRecord &r)
+    {
+        records_[static_cast<std::size_t>(c)] = r;
+    }
+
     std::uint64_t totalFlushes() const;
     std::uint64_t totalSquashed() const;
     std::uint64_t totalRefetchCycles() const;

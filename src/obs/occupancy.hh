@@ -118,6 +118,13 @@ class OccupancySet
         return dists_[static_cast<std::size_t>(s)];
     }
 
+    /** Replace one slot wholesale (campaign-journal rehydration). */
+    void
+    restoreDist(OccStat s, const Distribution &d)
+    {
+        dists_[static_cast<std::size_t>(s)] = d;
+    }
+
     /**
      * Fold another set's samples into this one. Distribution::mergeFrom
      * is associative and order-independent, so the merged set equals

@@ -1,15 +1,64 @@
 #include "program.hh"
 
+#include <algorithm>
 #include <sstream>
+#include <stdexcept>
 
 namespace slf
 {
 
 void
+InitImage::finalize() const
+{
+    if (finalized_)
+        return;
+    // stable_sort keeps equal addresses in poke order, so keeping the
+    // last element of each run preserves last-poke-wins.
+    std::stable_sort(bytes_.begin(), bytes_.end(),
+                     [](const InitByte &a, const InitByte &b) {
+                         return a.addr < b.addr;
+                     });
+    auto out = bytes_.begin();
+    for (auto it = bytes_.begin(); it != bytes_.end(); ++it) {
+        auto last = it;
+        while (std::next(last) != bytes_.end() &&
+               std::next(last)->addr == it->addr)
+            ++last;
+        *out++ = *last;
+        it = last;
+    }
+    bytes_.erase(out, bytes_.end());
+    finalized_ = true;
+}
+
+std::size_t
+InitImage::count(Addr addr) const
+{
+    const auto &v = bytes();
+    const auto it = std::lower_bound(
+        v.begin(), v.end(), addr,
+        [](const InitByte &b, Addr a) { return b.addr < a; });
+    return it != v.end() && it->addr == addr ? 1 : 0;
+}
+
+std::uint8_t
+InitImage::at(Addr addr) const
+{
+    const auto &v = bytes();
+    const auto it = std::lower_bound(
+        v.begin(), v.end(), addr,
+        [](const InitByte &b, Addr a) { return b.addr < a; });
+    if (it == v.end() || it->addr != addr)
+        throw std::out_of_range("InitImage::at: address never poked");
+    return it->value;
+}
+
+void
 Program::pokeBytes(Addr addr, std::uint64_t value, unsigned size)
 {
     for (unsigned i = 0; i < size; ++i)
-        init_data_[addr + i] = static_cast<std::uint8_t>(value >> (8 * i));
+        init_data_.poke8(addr + i,
+                         static_cast<std::uint8_t>(value >> (8 * i)));
 }
 
 std::string

@@ -8,7 +8,6 @@
 #define SLFWD_PROG_PROGRAM_HH_
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <vector>
 
@@ -20,6 +19,84 @@ namespace slf
 
 /** Workload class, mirroring the paper's specint/specfp split. */
 enum class WorkloadClass { Int, Fp };
+
+/** One byte of a program's initial data image. */
+struct InitByte
+{
+    Addr addr;
+    std::uint8_t value;
+
+    friend bool
+    operator==(const InitByte &a, const InitByte &b)
+    {
+        return a.addr == b.addr && a.value == b.value;
+    }
+};
+
+/**
+ * Initial data image as a sorted byte vector.
+ *
+ * Workload generators poke bytes in loops (array images easily run to
+ * hundreds of kilobytes at high scale), and campaigns rebuild every
+ * program once per job, so image construction is campaign-startup cost.
+ * Pokes append to a flat vector — no per-byte node allocation — and the
+ * image is finalized lazily on first read: one stable_sort by address
+ * plus a last-wins dedup, preserving the map semantics writers relied
+ * on (a later poke to the same address overwrites the earlier one).
+ *
+ * Reads and writes may interleave freely on one thread; concurrent
+ * first reads of a shared image are not synchronized (campaign workers
+ * each build their own Program, so the image is never shared).
+ */
+class InitImage
+{
+  public:
+    /** Set one byte; later pokes to the same address win. */
+    void
+    poke8(Addr addr, std::uint8_t value)
+    {
+        bytes_.push_back({addr, value});
+        finalized_ = false;
+    }
+
+    /** Sorted, deduplicated image (finalizes on first use). */
+    const std::vector<InitByte> &
+    bytes() const
+    {
+        finalize();
+        return bytes_;
+    }
+
+    std::vector<InitByte>::const_iterator begin() const
+    {
+        return bytes().begin();
+    }
+    std::vector<InitByte>::const_iterator end() const
+    {
+        return bytes().end();
+    }
+
+    std::size_t size() const { return bytes().size(); }
+    bool empty() const { return bytes().empty(); }
+
+    /** 1 if @p addr was poked, else 0 (std::map-compatible). */
+    std::size_t count(Addr addr) const;
+
+    /** Value at @p addr; throws std::out_of_range if never poked. */
+    std::uint8_t at(Addr addr) const;
+
+    friend bool
+    operator==(const InitImage &a, const InitImage &b)
+    {
+        return a.bytes() == b.bytes();
+    }
+
+  private:
+    void finalize() const;
+
+    mutable std::vector<InitByte> bytes_;
+    mutable bool finalized_ = true;
+};
 
 /**
  * A complete runnable program.
@@ -55,17 +132,13 @@ class Program
     /** @return true if @p pc addresses a valid instruction. */
     bool validPc(std::uint64_t pc) const { return pc < text_.size(); }
 
-    /** Initial data image: byte address -> byte value. */
-    const std::map<Addr, std::uint8_t> &initialData() const
-    {
-        return init_data_;
-    }
+    /** Initial data image, sorted by byte address. */
+    const InitImage &initialData() const { return init_data_; }
 
     /** Set one byte of the initial image. */
-    void
-    poke8(Addr addr, std::uint8_t value)
+    void poke8(Addr addr, std::uint8_t value)
     {
-        init_data_[addr] = value;
+        init_data_.poke8(addr, value);
     }
 
     /** Set @p size little-endian bytes of the initial image. */
@@ -81,7 +154,7 @@ class Program
     std::string name_ = "anonymous";
     WorkloadClass class_ = WorkloadClass::Int;
     std::vector<StaticInst> text_;
-    std::map<Addr, std::uint8_t> init_data_;
+    InitImage init_data_;
 };
 
 } // namespace slf

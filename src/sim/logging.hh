@@ -39,6 +39,19 @@ class FatalError : public std::runtime_error
 };
 
 /**
+ * Thrown when a run blows its host wall-clock deadline
+ * (CoreConfig::deadline_ms). A FatalError subtype so existing recovery
+ * paths (campaign retry, CLI reporting) keep working, but catchable
+ * separately where a timeout must be told apart from a wedge/config
+ * error (JobStatus::Timeout vs Fatal).
+ */
+class JobTimeout : public FatalError
+{
+  public:
+    using FatalError::FatalError;
+};
+
+/**
  * Report an internal simulator bug and abort. Never returns.
  */
 [[noreturn]] void panic(const std::string &msg);

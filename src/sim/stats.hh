@@ -67,6 +67,20 @@ class Distribution
         count_ += other.count_;
     }
 
+    /** Rebuild a distribution from its exported parts (the campaign
+     *  journal round-trips distributions as [count,sum,min,max]). */
+    static Distribution
+    fromParts(std::uint64_t count, std::uint64_t sum, std::uint64_t min,
+              std::uint64_t max)
+    {
+        Distribution d;
+        d.count_ = count;
+        d.sum_ = sum;
+        d.min_ = min;
+        d.max_ = max;
+        return d;
+    }
+
     std::uint64_t count() const { return count_; }
     std::uint64_t sum() const { return sum_; }
     std::uint64_t min() const { return count_ ? min_ : 0; }

@@ -306,9 +306,125 @@ TEST(Campaign, ExhaustedRetriesRecordFatalWithoutAbortingCampaign)
     EXPECT_EQ(results[1].result.insts, 1u);
 }
 
+TEST(Campaign, TimeoutStatusRendersDistinctFromFatal)
+{
+    JobResult to;
+    to.index = 0;
+    to.config_name = "cfg";
+    to.workload = "wl";
+    to.status = JobStatus::Timeout;
+    to.attempts = 3;
+    to.error = "host deadline of 5 ms exceeded";
+    const std::string json = ResultSink::toJson("t", 1, {to});
+    EXPECT_NE(json.find("\"status\": \"timeout\""), std::string::npos);
+    EXPECT_EQ(json.find("\"status\": \"fatal\""), std::string::npos);
+    EXPECT_STREQ(jobStatusName(JobStatus::Ok), "ok");
+    EXPECT_STREQ(jobStatusName(JobStatus::Fatal), "fatal");
+    EXPECT_STREQ(jobStatusName(JobStatus::Timeout), "timeout");
+}
+
 // ---------------------------------------------------------------------
 // ResultSink
 // ---------------------------------------------------------------------
+
+namespace
+{
+
+/** A campaign whose odd-indexed jobs exhaust their retries. */
+Campaign
+partiallyDoomedCampaign(std::size_t jobs)
+{
+    Campaign c("doomed_partial");
+    for (std::size_t i = 0; i < jobs; ++i) {
+        JobSpec spec;
+        spec.config_name = i % 2 ? "bad" : "good";
+        spec.workload = "wl" + std::to_string(i);
+        spec.runner = [i](const JobSpec &, const CoreConfig &, unsigned) {
+            if (i % 2)
+                fatal("wedge " + std::to_string(i));
+            SimResult r;
+            r.insts = 100 + i;
+            r.cycles = 50;
+            r.ipc = double(r.insts) / 50.0;
+            return r;
+        };
+        c.addJob(std::move(spec));
+    }
+    return c;
+}
+
+} // namespace
+
+TEST(ResultSink, ExhaustedRetriesRenderCanonicalFailureManifest)
+{
+    const Campaign c = partiallyDoomedCampaign(6);
+    CampaignOptions opts;
+    opts.jobs = 3;
+    opts.max_retries = 1;
+    opts.retry_backoff_ms = 1;
+    opts.progress = false;
+    const auto results = c.run(opts);
+    const std::string json =
+        ResultSink::toJson(c.name(), opts.root_seed, results);
+
+    // A quarantined failure bumps the schema and emits the manifest.
+    EXPECT_NE(json.find("\"schema_version\": 4"), std::string::npos);
+    const std::size_t fail_at = json.find("\"failures\": [");
+    ASSERT_NE(fail_at, std::string::npos);
+    // The manifest follows the aggregates and lists failed jobs in
+    // job-index order with attempts, error and repro seeds.
+    EXPECT_LT(json.find("\"aggregates\": ["), fail_at);
+    std::size_t prev = fail_at;
+    for (std::size_t i : {1u, 3u, 5u}) {
+        const std::size_t at =
+            json.find("\"workload\": \"wl" + std::to_string(i) + "\"",
+                      fail_at);
+        ASSERT_NE(at, std::string::npos) << "wl" << i;
+        EXPECT_GT(at, prev) << "manifest out of job-index order";
+        prev = at;
+    }
+    EXPECT_NE(json.find("\"error\": \"wedge 1\"", fail_at),
+              std::string::npos);
+    EXPECT_NE(json.find("\"attempts\": 2", fail_at), std::string::npos);
+    EXPECT_NE(json.find("\"core_seed\": ", fail_at), std::string::npos);
+
+    // Aggregates cover only the clean config ("bad" merged zero jobs,
+    // so it contributes no aggregate record at all).
+    const std::size_t agg_at = json.find("\"aggregates\": [");
+    EXPECT_EQ(json.find("\"config\": \"bad\"", agg_at) > fail_at, true);
+    EXPECT_NE(json.find("\"config\": \"good\"", agg_at),
+              std::string::npos);
+
+    // Rendering stays canonical: byte-identical across thread counts.
+    CampaignOptions one = opts;
+    one.jobs = 1;
+    EXPECT_EQ(ResultSink::toJson(c.name(), one.root_seed, c.run(one)),
+              json);
+}
+
+TEST(ResultSink, AllJobsFailedYieldsEmptyAggregates)
+{
+    Campaign c("all_doomed");
+    JobSpec spec;
+    spec.config_name = "bad";
+    spec.workload = "wl";
+    spec.runner = [](const JobSpec &, const CoreConfig &, unsigned) {
+        fatal("nope");
+        return SimResult{};  // unreachable
+    };
+    c.addJob(std::move(spec));
+
+    CampaignOptions opts;
+    opts.jobs = 1;
+    opts.max_retries = 0;
+    opts.progress = false;
+    const std::string json =
+        ResultSink::toJson(c.name(), opts.root_seed, c.run(opts));
+    // No clean job -> the aggregates array renders empty, not absent.
+    EXPECT_NE(json.find("\"aggregates\": [\n  ]"), std::string::npos);
+    EXPECT_NE(json.find("\"failures\": ["), std::string::npos);
+    EXPECT_NE(json.find("\"schema_version\": 4"), std::string::npos);
+}
 
 TEST(ResultSink, WriteFileAtomicReplacesTarget)
 {

@@ -37,9 +37,12 @@ namespace
 /**
  * The fixed reproduction corpus. Append only: tests below index into
  * this table, so reordering or removing entries silently changes what
- * they cover. The last four seeds feed the squash-at-boundary-biased
+ * they cover. Entries 12..15 feed the squash-at-boundary-biased
  * generator (and the plain one) — they were picked so the alternating
  * guard pattern lands squashes exactly at store/flush seq endpoints.
+ * Entries 16..19 feed the fence/sync-idiom + partial-overlap generator
+ * (syncOverlapProgram), picked so acquire-flag branches mispredict and
+ * misaligned mixed-size overlaps hit every partial-forward shape.
  */
 const std::vector<std::uint64_t> kSeedCorpus = {
     0x1,    0x2a,        0xdead,     0xbeef,       0xc0ffee,
@@ -47,6 +50,8 @@ const std::vector<std::uint64_t> kSeedCorpus = {
     0x77,   0x777,
     // Squash-at-boundary-biased additions (see squashBiasedProgram).
     0xba5eba11, 0xf1005eed, 0xa55e55ed, 0x0ddb0a7,
+    // Fence/sync-idiom + partial-overlap additions (syncOverlapProgram).
+    0xfaceb00c, 0x0babb1e5, 0xdeadfa11, 0x0b5e55ed,
 };
 
 constexpr std::int64_t kBase = 0x0050'0000;  ///< fuzz data segment
@@ -208,13 +213,119 @@ squashBiasedProgram(std::uint64_t seed, std::uint64_t iterations)
     return b.build();
 }
 
+/**
+ * A fence/sync-idiom and partial-overlap-forwarding variant.
+ *
+ * The ISA has no fence instruction, so the generator emits the idiom a
+ * fence-free machine uses instead: flag-handoff acquire. A publish
+ * sequence stores a payload word then sets a one-byte flag; an acquire
+ * sequence loads the flag and guards the payload load behind a
+ * data-dependent branch on it, making the payload load
+ * control-dependent on the synchronization read. Mispredicted flag
+ * branches hoist wrong-path payload loads that must be squashed and
+ * re-forwarded without the stale value leaking into the retirement
+ * stream.
+ *
+ * The rest of the body is partial-overlap pressure — the `partial`
+ * stall/forward cases of a real LSU's disambiguation: narrow misaligned
+ * loads inside a wide store's footprint (forwardable sub-range), wide
+ * loads only partially covered by a narrow store (merge-or-stall), and
+ * stores straddling an 8-byte slot boundary read back from both sides.
+ */
+Program
+syncOverlapProgram(std::uint64_t seed, std::uint64_t iterations)
+{
+    Rng rng(seed);
+    ProgramBuilder b("fuzzsync_" + std::to_string(seed),
+                     WorkloadClass::Int);
+
+    // Flag bytes live after the payload slots in one aliasing region.
+    constexpr std::int64_t kFlagOff = 8 * kSlots;
+
+    b.movi(1, kBase);
+    for (RegIndex r = 2; r <= 9; ++r)
+        b.movi(r, static_cast<std::int64_t>(rng.next() & 0xffffff));
+    for (unsigned s = 0; s < kSlots; ++s) {
+        b.poke64(static_cast<Addr>(kBase) + 8 * s, rng.next());
+        // Pre-seed flags with both parities so acquire branches split.
+        b.pokeBytes(static_cast<Addr>(kBase + kFlagOff) + s,
+                    rng.next() & 1, 1);
+    }
+
+    b.movi(10, 0);
+    b.movi(11, static_cast<std::int64_t>(iterations));
+    Label top = b.newLabel();
+    b.bind(top);
+
+    const unsigned body_ops = 6 + unsigned(rng.below(10));
+    for (unsigned i = 0; i < body_ops; ++i) {
+        const RegIndex dst = RegIndex(2 + rng.below(8));
+        const RegIndex a = RegIndex(2 + rng.below(8));
+        const unsigned slot = unsigned(rng.below(kSlots));
+        const std::int64_t disp = 8 * std::int64_t(slot);
+        switch (rng.below(8)) {
+          case 0:
+            // Publish: payload word, then the release-side flag byte.
+            b.st8(a, 1, disp);
+            b.st1(a, 1, kFlagOff + std::int64_t(slot));
+            break;
+          case 1: {
+            // Acquire: load the flag, branch on it, and only then load
+            // the payload — the control dependency is the sync point.
+            Label skip = b.newLabel();
+            b.ld1(dst, 1, kFlagOff + std::int64_t(slot));
+            b.andi(dst, dst, 1);
+            b.bne(dst, 0, skip);
+            b.ld8(dst, 1, disp);
+            b.bind(skip);
+            break;
+          }
+          case 2:
+            // Contained partial overlap: a narrow misaligned load
+            // entirely inside the preceding wide store's footprint.
+            b.st8(a, 1, disp);
+            b.ld2(dst, 1, disp + 1 + std::int64_t(rng.below(6)));
+            break;
+          case 3:
+            // Covering partial overlap: a wide load only partially
+            // written by the narrow store (merge from cache or stall,
+            // depending on partial_match_merges).
+            b.st2(a, 1, disp + std::int64_t(rng.below(7)));
+            b.ld8(dst, 1, disp);
+            break;
+          case 4:
+            // Slot-straddling store read back from both sides.
+            b.st4(a, 1, disp + 6);
+            b.ld8(dst, 1, disp);
+            if (slot + 1 < kSlots)
+                b.ld2(dst, 1, disp + 8);
+            break;
+          case 5:
+            b.ld4(dst, 1, disp + std::int64_t(rng.below(5)));
+            break;
+          case 6:
+            b.add(dst, a, RegIndex(2 + rng.below(8)));
+            break;
+          default:
+            b.xor_(dst, a, RegIndex(2 + rng.below(8)));
+            break;
+        }
+    }
+
+    b.addi(10, 10, 1);
+    b.blt(10, 11, top);
+    b.halt();
+    return b.build();
+}
+
 /** Run @p prog under the golden checker; fail the test on divergence. */
 SimResult
 runChecked(MemSubsystem subsys, const Program &prog,
-           std::uint64_t seed)
+           std::uint64_t seed, bool partial_match_merges = true)
 {
     CoreConfig cfg = CoreConfig::baseline();
     cfg.subsys = subsys;
+    cfg.partial_match_merges = partial_match_merges;
     cfg.memdep.mode = subsys == MemSubsystem::MdtSfc
                           ? MemDepMode::EnforceAll
                           : MemDepMode::LsqStoreSet;
@@ -260,12 +371,11 @@ TEST(FuzzDifferential, MdtSfcAndLsqMatchFunctionalSim)
 
 TEST(FuzzDifferential, SquashAtBoundaryBiasedSeeds)
 {
-    // The last four corpus seeds drive the squash-heavy generator:
+    // Corpus entries 12..15 drive the squash-heavy generator:
     // alternating guarded stores make every other iteration squash at
     // the store's own sequence number, so flush `from` endpoints land
     // exactly on allocated-store seqs.
-    const std::size_t n = kSeedCorpus.size();
-    for (std::size_t i = n - 4; i < n; ++i) {
+    for (std::size_t i = 12; i < 16; ++i) {
         const std::uint64_t seed = kSeedCorpus[i];
         const Program prog = squashBiasedProgram(seed, fuzzIterations());
 
@@ -283,6 +393,40 @@ TEST(FuzzDifferential, SquashAtBoundaryBiasedSeeds)
         // happen: every mispredict squashes from the guarded store.
         EXPECT_GT(mdtsfc.mispredicts, 0u) << "seed 0x" << std::hex
                                           << seed;
+    }
+}
+
+TEST(FuzzDifferential, FenceSyncAndPartialOverlapSeeds)
+{
+    // Corpus entries 16..19 drive the fence/sync-idiom +
+    // partial-overlap generator. The SFC's partial-match policy is the
+    // knob under test, so each seed runs the MDT/SFC subsystem both
+    // ways — merge missing bytes from the cache, and decline the
+    // forward — and both must match the functional simulator and the
+    // idealized LSQ exactly.
+    const std::size_t n = kSeedCorpus.size();
+    for (std::size_t i = n - 4; i < n; ++i) {
+        const std::uint64_t seed = kSeedCorpus[i];
+        const Program prog = syncOverlapProgram(seed, fuzzIterations());
+
+        const SimResult lsq =
+            runChecked(MemSubsystem::LsqBaseline, prog, seed);
+        for (bool merges : {true, false}) {
+            const SimResult mdtsfc = runChecked(
+                MemSubsystem::MdtSfc, prog, seed, merges);
+            EXPECT_EQ(mdtsfc.insts, lsq.insts)
+                << "seed 0x" << std::hex << seed << std::dec
+                << " merges=" << merges;
+            EXPECT_EQ(mdtsfc.loads_retired, lsq.loads_retired);
+            EXPECT_EQ(mdtsfc.stores_retired, lsq.stores_retired);
+            EXPECT_EQ(mdtsfc.check_retirements, lsq.check_retirements);
+        }
+        // The acquire idiom only stresses wrong-path loads if the flag
+        // branches actually mispredict.
+        const SimResult probe =
+            runChecked(MemSubsystem::MdtSfc, prog, seed);
+        EXPECT_GT(probe.mispredicts, 0u)
+            << "seed 0x" << std::hex << seed;
     }
 }
 
