@@ -5,9 +5,11 @@
 #     when tracing is off. Builds bench_fig5_baseline twice — the
 #     default build (event hooks compiled in, no sink attached) and a
 #     build with -DSLFWD_OBS_EVENTS=OFF (emission sites removed
-#     entirely) — runs each REPS times on the same deterministic fig5
-#     workload slice, and fails if the min wall-clock of the default
-#     build exceeds the hook-free build by more than TOL.
+#     entirely) — times both on the same deterministic fig5 workload
+#     slice with REPS interleaved A/B pairs (never REPS of one then
+#     REPS of the other, so host drift cannot land on one side), and
+#     fails if the min wall-clock of the default build exceeds the
+#     hook-free build by more than TOL.
 #
 #  2. Simulation throughput: run bench_sim_speed on the default build
 #     and record simulated kilo-insts/sec to results/BENCH_sim_speed.json
@@ -43,23 +45,46 @@ cmake --build "$BUILD_ON" --target bench_fig5_baseline bench_sim_speed \
       -j"$(nproc)" >/dev/null
 cmake --build "$BUILD_OFF" --target bench_fig5_baseline -j"$(nproc)" >/dev/null
 
-# Min-of-N wall-clock of one fig5 slice via $2/bench/$1, in milliseconds.
-time_bin() {
-    local bin="$2/bench/$1" best= ms t0 t1
+# One timed run of one fig5 slice, in milliseconds.
+time_once() {
+    local t0 t1
+    t0=$(date +%s%N)
+    "$1" scale="$SCALE" bench="$BENCH_FILTER" jobs=1 >/dev/null
+    t1=$(date +%s%N)
+    echo $(( (t1 - t0) / 1000000 ))
+}
+
+# Interleaved A/B min-of-N: alternate the two binaries within every
+# rep (A B, A B, ...) instead of timing REPS of A then REPS of B.
+# Sequential blocks let host drift — CPU frequency scaling, thermal
+# throttling, a noisy CI neighbour arriving mid-script — land entirely
+# on one side and masquerade as a real ratio; interleaving makes both
+# binaries sample the same host conditions, so min-of-N pairs stay
+# comparable. Sets MS_A / MS_B.
+time_ab() {
+    local bin_a="$1" bin_b="$2" ms
+    MS_A= MS_B=
     for _ in $(seq "$REPS"); do
-        t0=$(date +%s%N)
-        "$bin" scale="$SCALE" bench="$BENCH_FILTER" jobs=1 >/dev/null
-        t1=$(date +%s%N)
-        ms=$(( (t1 - t0) / 1000000 ))
-        if [ -z "$best" ] || [ "$ms" -lt "$best" ]; then best=$ms; fi
+        ms=$(time_once "$bin_a")
+        if [ -z "$MS_A" ] || [ "$ms" -lt "$MS_A" ]; then MS_A=$ms; fi
+        ms=$(time_once "$bin_b")
+        if [ -z "$MS_B" ] || [ "$ms" -lt "$MS_B" ]; then MS_B=$ms; fi
     done
-    echo "$best"
 }
 
 # --- Gate 1: observability overhead --------------------------------
 
-ms_on=$(time_bin bench_fig5_baseline "$BUILD_ON")
-ms_off=$(time_bin bench_fig5_baseline "$BUILD_OFF")
+# Warm both binaries (page cache, branch predictors on the host) so
+# neither side pays first-touch cost inside a timed rep.
+"$BUILD_ON/bench/bench_fig5_baseline" scale="$SCALE" \
+    bench="$BENCH_FILTER" jobs=1 >/dev/null
+"$BUILD_OFF/bench/bench_fig5_baseline" scale="$SCALE" \
+    bench="$BENCH_FILTER" jobs=1 >/dev/null
+
+time_ab "$BUILD_ON/bench/bench_fig5_baseline" \
+        "$BUILD_OFF/bench/bench_fig5_baseline"
+ms_on=$MS_A
+ms_off=$MS_B
 
 ratio=$(awk -v on="$ms_on" -v off="$ms_off" \
             'BEGIN { printf "%.4f", (off > 0 ? on / off : 99) }')
@@ -84,9 +109,14 @@ echo "perf smoke: sim throughput ${kips} kips" \
 if [ -n "$BASELINE_BUILD" ]; then
     # Same binary, same slice, same host: min-of-N wall-clock ratio is
     # the throughput ratio (the simulated-instruction count is
-    # identical by the determinism contract).
-    ms_new=$(time_bin bench_fig5_baseline "$BUILD_ON")
-    ms_base=$(time_bin bench_fig5_baseline "$BASELINE_BUILD")
+    # identical by the determinism contract). Interleaved for the same
+    # drift-immunity as gate 1.
+    "$BASELINE_BUILD/bench/bench_fig5_baseline" scale="$SCALE" \
+        bench="$BENCH_FILTER" jobs=1 >/dev/null
+    time_ab "$BUILD_ON/bench/bench_fig5_baseline" \
+            "$BASELINE_BUILD/bench/bench_fig5_baseline"
+    ms_new=$MS_A
+    ms_base=$MS_B
     speedup=$(awk -v new="$ms_new" -v base="$ms_base" \
                   'BEGIN { printf "%.4f", (new > 0 ? base / new : 0) }')
     echo "perf smoke: throughput vs baseline ${speedup}x" \

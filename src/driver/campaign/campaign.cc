@@ -145,6 +145,23 @@ Campaign::run(const CampaignOptions &opts) const
                    "dropped, " + std::to_string(ls.mismatched) +
                    " stale records ignored)");
         }
+        // Operator escape hatch: give journaled failures a fresh run
+        // instead of rehydrating the quarantine record. The new
+        // terminal record appends behind the old one and wins on the
+        // next load (last-record-wins), at the documented cost of the
+        // byte-identity guarantee for this resume.
+        if (opts.retry_quarantined) {
+            std::size_t retried = 0;
+            for (auto &slot : cached) {
+                if (slot && !slot->ok()) {
+                    slot.reset();
+                    ++retried;
+                }
+            }
+            if (retried)
+                inform("journal: --retry-quarantined re-running " +
+                       std::to_string(retried) + " quarantined job(s)");
+        }
     }
 
     std::unique_ptr<JobJournal> journal;

@@ -130,6 +130,13 @@ struct CampaignOptions
     std::string journal_path;
     /** Rehydrate journaled results and run only the missing suffix. */
     bool resume = false;
+    /** With resume: re-run journaled quarantined jobs (fatal/timeout)
+     *  instead of rehydrating them. The fresh terminal record appends
+     *  to the journal and supersedes the old one on the next load
+     *  (last-record-wins), so the escape hatch never needs the journal
+     *  deleted — but the resumed run is no longer guaranteed
+     *  byte-identical to an uninterrupted one (see the CLI docs). */
+    bool retry_quarantined = false;
     /** Borrowed test seams for journal fault injection; may be null. */
     const JournalHooks *journal_hooks = nullptr;
 };

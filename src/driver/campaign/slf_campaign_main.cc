@@ -3,15 +3,18 @@
  * slf_campaign: parallel experiment orchestrator CLI.
  *
  * Usage:
- *   slf_campaign --sweep fig5|lsq_size|assoc|fault [--jobs N]
+ *   slf_campaign --sweep fig5|lsq_size|assoc|fault|micro [--jobs N]
  *                [--out results/fig5.json] [--retries N] [--seed S]
- *                [--journal FILE] [--resume] [--job-timeout-ms N]
+ *                [--journal FILE] [--resume] [--retry-quarantined]
+ *                [--job-timeout-ms N] [--expect-report FILE]
  *                [--no-progress] [--trace FILE] [--trace-text FILE]
  *                [--pipeview FILE] [--trace-job N] [key=value ...]
  *
  * key=value arguments:
  *   scale=N bench=<name> wseed=S   workload selection (analog sweeps)
  *   iters=N fault_rate=R           fault-sweep shape
+ *   corpus=DIR                     micro-sweep .s directory
+ *                                  (default tests/micro)
  *   anything else                  forwarded to applyOverrides() on
  *                                  every job's core config
  *
@@ -22,11 +25,28 @@
  * byte-identical to an uninterrupted run. --job-timeout-ms bounds each
  * job's host wall-clock time; an expired job retries with salted seeds
  * and, if every attempt expires, is quarantined as a "timeout" failure.
+ * --retry-quarantined (with --resume) re-runs journaled *failures*
+ * instead of rehydrating them — an operator's escape hatch for jobs
+ * that timed out on a loaded host. Caveat: rehydrate-as-is is what
+ * makes a resumed run byte-identical to an uninterrupted one; a resume
+ * that retries quarantined jobs gives them fresh attempts (attempt
+ * counts restart, so retry-salted seeds can differ) and its --out JSON
+ * is NOT guaranteed byte-identical to either the original run or a
+ * plain --resume.
+ *
+ * The micro sweep runs every directed `.s` test in the corpus under
+ * the lsq48x32/enf/notenf config trio with the GoldenChecker on, then
+ * evaluates each test's `;; expect:` block against the run's counters
+ * (and its reg/mem assertions against the golden functional model).
+ * --expect-report FILE writes a per-test JSON report of every
+ * evaluated expectation.
  *
  * Exit codes: 0 = every job ok; 1 = campaign-level fatal (bad sweep,
  * unwritable output, journal/campaign mismatch); 2 = usage error;
  * 3 = campaign completed but quarantined at least one job (partial
- * aggregates were still written — check the "failures" manifest).
+ * aggregates were still written — check the "failures" manifest);
+ * 4 = all jobs ran but at least one micro-test expectation failed
+ * (3 wins when both apply).
  *
  * --trace FILE re-runs one job (--trace-job, default 0) after the
  * campaign with a TraceSink attached and writes Chrome trace_event
@@ -48,6 +68,9 @@
 #include <string>
 #include <vector>
 
+#include <map>
+#include <sstream>
+
 #include "campaign/result_sink.hh"
 #include "campaign/sweeps.hh"
 #include "obs/analysis/konata.hh"
@@ -55,6 +78,8 @@
 #include "obs/chrome_trace.hh"
 #include "obs/trace_sink.hh"
 #include "sim/logging.hh"
+#include "verify/expectation.hh"
+#include "workloads/micro_corpus.hh"
 
 using namespace slf;
 using namespace slf::campaign;
@@ -68,7 +93,8 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s --sweep <name> [--jobs N] [--out FILE] "
                  "[--retries N] [--seed S] [--journal FILE] [--resume] "
-                 "[--job-timeout-ms N] [--no-progress] "
+                 "[--retry-quarantined] [--job-timeout-ms N] "
+                 "[--expect-report FILE] [--no-progress] "
                  "[--trace FILE] [--trace-text FILE] [--pipeview FILE] "
                  "[--trace-job N] [key=value ...]\n  sweeps:",
                  argv0);
@@ -84,6 +110,7 @@ main(int argc, char **argv)
 {
     std::string sweep;
     std::string out_path;
+    std::string expect_report_path;
     std::string trace_path;
     std::string trace_text_path;
     std::string pipeview_path;
@@ -115,6 +142,10 @@ main(int argc, char **argv)
             copts.journal_path = next("--journal");
         } else if (arg == "--resume") {
             copts.resume = true;
+        } else if (arg == "--retry-quarantined") {
+            copts.retry_quarantined = true;
+        } else if (arg == "--expect-report") {
+            expect_report_path = next("--expect-report");
         } else if (arg == "--job-timeout-ms") {
             copts.job_timeout_ms =
                 std::stoull(next("--job-timeout-ms"));
@@ -149,11 +180,13 @@ main(int argc, char **argv)
     sopts.bench_filter = kv.getString("bench");
     sopts.fault_iters = kv.getUInt("iters", sopts.fault_iters);
     sopts.fault_rate = kv.getDouble("fault_rate", sopts.fault_rate);
+    if (!kv.getString("corpus").empty())
+        sopts.corpus_dir = kv.getString("corpus");
     // Everything else is a core-config override applied to every job
     // (Config has no erase, so rebuild without the sweep-shape keys).
     for (const std::string &key : kv.keys()) {
         if (key == "scale" || key == "wseed" || key == "bench" ||
-            key == "iters" || key == "fault_rate")
+            key == "iters" || key == "fault_rate" || key == "corpus")
             continue;
         sopts.overrides.set(key, kv.getString(key));
     }
@@ -192,6 +225,90 @@ main(int argc, char **argv)
             ResultSink::writeFileAtomic(out_path, json);
             std::printf("wrote %s (%zu bytes)\n", out_path.c_str(),
                         json.size());
+        }
+
+        // Micro sweep: evaluate every test's expectation block against
+        // its finished runs, print a summary, optionally write the
+        // per-test report.
+        std::size_t expect_total = 0, expect_failed = 0;
+        if (sweep == "micro") {
+            std::map<std::string, const MicroTest *> by_name;
+            const auto corpus = loadMicroCorpus(sopts.corpus_dir);
+            for (const MicroTest &t : corpus)
+                by_name.emplace(t.name, &t);
+
+            const auto esc = [](const std::string &s) {
+                std::string out;
+                for (char ch : s) {
+                    if (ch == '"' || ch == '\\')
+                        out += '\\';
+                    out += ch;
+                }
+                return out;
+            };
+            std::ostringstream rep;
+            rep << "{\n  \"schema_version\": 1,\n"
+                << "  \"campaign\": \"micro\",\n"
+                << "  \"corpus\": \"" << esc(sopts.corpus_dir)
+                << "\",\n  \"tests\": [\n";
+            bool first = true;
+            for (const JobResult &jr : results) {
+                const auto it = by_name.find(jr.workload);
+                if (it == by_name.end())
+                    continue;
+                const MicroTest &test = *it->second;
+                std::size_t applicable = 0;
+                for (const AsmExpect &e : test.unit.expects)
+                    if (e.config.empty() || e.config == jr.config_name)
+                        ++applicable;
+                std::vector<ExpectFailure> fails;
+                if (jr.ok()) {
+                    fails = evaluateExpectations(test.unit.expects,
+                                                 jr.config_name,
+                                                 jr.result,
+                                                 test.unit.prog);
+                }
+                expect_total += applicable;
+                expect_failed += fails.size();
+                for (const ExpectFailure &f : fails)
+                    std::fprintf(stderr, "expect FAIL %s/%s: %s\n",
+                                 jr.config_name.c_str(),
+                                 jr.workload.c_str(),
+                                 f.toString().c_str());
+                if (!jr.ok())
+                    std::fprintf(stderr,
+                                 "expect SKIP %s/%s: job %s, "
+                                 "%zu expectation(s) not evaluated\n",
+                                 jr.config_name.c_str(),
+                                 jr.workload.c_str(),
+                                 jobStatusName(jr.status), applicable);
+
+                rep << (first ? "" : ",\n");
+                first = false;
+                rep << "    {\n      \"job\": " << jr.index
+                    << ",\n      \"config\": \"" << esc(jr.config_name)
+                    << "\",\n      \"workload\": \"" << esc(jr.workload)
+                    << "\",\n      \"status\": \""
+                    << jobStatusName(jr.status)
+                    << "\",\n      \"expectations\": " << applicable
+                    << ",\n      \"failed\": " << fails.size()
+                    << ",\n      \"failures\": [";
+                for (std::size_t i = 0; i < fails.size(); ++i)
+                    rep << (i ? ", " : "") << '"'
+                        << esc(fails[i].toString()) << '"';
+                rep << "]\n    }";
+            }
+            rep << "\n  ],\n  \"total_expectations\": " << expect_total
+                << ",\n  \"total_failed\": " << expect_failed << "\n}\n";
+
+            std::printf("micro expectations: %zu checked, %zu failed\n",
+                        expect_total, expect_failed);
+            if (!expect_report_path.empty()) {
+                const std::string r = rep.str();
+                ResultSink::writeFileAtomic(expect_report_path, r);
+                std::printf("wrote %s (%zu bytes)\n",
+                            expect_report_path.c_str(), r.size());
+            }
         }
 
         if (!trace_path.empty() || !trace_text_path.empty() ||
@@ -259,7 +376,10 @@ main(int argc, char **argv)
         }
         // 3 = graceful degradation: the campaign finished and wrote
         // partial aggregates, but at least one job was quarantined.
-        return (fatal_jobs || timeout_jobs) ? 3 : 0;
+        // 4 = every job ran but a micro expectation failed.
+        if (fatal_jobs || timeout_jobs)
+            return 3;
+        return expect_failed ? 4 : 0;
     } catch (const FatalError &e) {
         std::fprintf(stderr, "fatal: %s\n", e.what());
         return 1;

@@ -1,6 +1,7 @@
 #include "sweeps.hh"
 
 #include "sim/logging.hh"
+#include "workloads/micro_corpus.hh"
 #include "workloads/workloads.hh"
 
 namespace slf::campaign
@@ -191,11 +192,53 @@ makeFaultCampaign(const SweepOptions &opts)
     return c;
 }
 
+Campaign
+makeMicroCampaign(const SweepOptions &opts)
+{
+    Campaign c("micro");
+
+    struct MicroConfig
+    {
+        const char *name;
+        CoreConfig cfg;
+    };
+    const MicroConfig kConfigs[] = {
+        {"lsq48x32", baselineLsq(48, 32)},
+        {"enf", baselineMdtSfc(MemDepMode::EnforceAll)},
+        {"notenf", baselineMdtSfc(MemDepMode::EnforceTrueOnly)},
+    };
+
+    for (const MicroTest &test : loadMicroCorpus(opts.corpus_dir)) {
+        if (!opts.bench_filter.empty() && opts.bench_filter != test.name)
+            continue;
+        for (const MicroConfig &mc : kConfigs) {
+            CoreConfig cfg = mc.cfg;
+            cfg.validate = true;    // every micro run is golden-checked
+            // Directed tests want the adversarial machine: no stochastic
+            // frontend fix-ups, so every mispredicted branch really runs
+            // its wrong path (and the run is RNG-independent).
+            cfg.oracle_fix_prob = 0.0;
+            applyOverrides(cfg, opts.overrides);
+            JobSpec spec;
+            spec.config_name = mc.name;
+            spec.workload = test.name;
+            spec.cfg = cfg;
+            const Program prog = test.unit.prog;
+            spec.make_prog = [prog] { return prog; };
+            c.addJob(std::move(spec));
+        }
+    }
+    if (c.jobCount() == 0)
+        fatal("micro sweep: no tests matched in '" + opts.corpus_dir +
+              "'");
+    return c;
+}
+
 const std::vector<std::string> &
 sweepNames()
 {
-    static const std::vector<std::string> names = {"fig5", "lsq_size",
-                                                   "assoc", "fault"};
+    static const std::vector<std::string> names = {
+        "fig5", "lsq_size", "assoc", "fault", "micro"};
     return names;
 }
 
@@ -210,7 +253,10 @@ makeSweep(const std::string &name, const SweepOptions &opts)
         return makeAssocCampaign(opts);
     if (name == "fault")
         return makeFaultCampaign(opts);
-    fatal("unknown sweep '" + name + "' (fig5|lsq_size|assoc|fault)");
+    if (name == "micro")
+        return makeMicroCampaign(opts);
+    fatal("unknown sweep '" + name +
+          "' (fig5|lsq_size|assoc|fault|micro)");
 }
 
 } // namespace slf::campaign

@@ -37,6 +37,8 @@ struct SweepOptions
     std::string bench_filter;      ///< restrict analogs to one name
     std::uint64_t fault_iters = 4000;  ///< fault-sweep micro iterations
     double fault_rate = 1e-3;      ///< fault-sweep injection rate
+    /** Directory of `.s` directed tests for the micro sweep. */
+    std::string corpus_dir = "tests/micro";
     /** Extra key=value core-config overrides applied to every job. */
     Config overrides;
 };
@@ -54,6 +56,15 @@ Campaign makeFig5Campaign(const SweepOptions &opts);
 Campaign makeLsqSizeCampaign(const SweepOptions &opts);
 Campaign makeAssocCampaign(const SweepOptions &opts);
 Campaign makeFaultCampaign(const SweepOptions &opts);
+/**
+ * Directed micro-test corpus sweep: every `.s` test in
+ * opts.corpus_dir under the fig5 config trio (lsq48x32, enf, notenf)
+ * with the GoldenChecker on — the corpus doubles as a cross-backend
+ * differential suite. The bench_filter restricts to one test name.
+ * Expectation blocks are evaluated by the caller (the CLI / the micro
+ * ctest suite), not here: the campaign layer stays assertion-free.
+ */
+Campaign makeMicroCampaign(const SweepOptions &opts);
 
 /** Registered sweep names, in presentation order. */
 const std::vector<std::string> &sweepNames();

@@ -79,6 +79,14 @@ struct StaticInst
     RegIndex src2 = 0;
     std::int64_t imm = 0;
     std::uint32_t branchTarget = 0;
+
+    friend bool
+    operator==(const StaticInst &a, const StaticInst &b)
+    {
+        return a.op == b.op && a.dst == b.dst && a.src1 == b.src1 &&
+               a.src2 == b.src2 && a.imm == b.imm &&
+               a.branchTarget == b.branchTarget;
+    }
 };
 
 /** Classification helpers. */

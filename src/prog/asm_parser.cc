@@ -1,0 +1,720 @@
+#include "prog/asm_parser.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "prog/builder.hh"
+
+namespace slf
+{
+
+namespace
+{
+
+std::string_view
+lstrip(std::string_view s)
+{
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+        s.remove_prefix(1);
+    return s;
+}
+
+std::string_view
+rstrip(std::string_view s)
+{
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+        s.remove_suffix(1);
+    return s;
+}
+
+std::string_view
+strip(std::string_view s)
+{
+    return rstrip(lstrip(s));
+}
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdent(std::string_view s)
+{
+    if (s.empty() || !isIdentStart(s.front()))
+        return false;
+    for (char c : s)
+        if (!isIdentChar(c))
+            return false;
+    return true;
+}
+
+/** Mnemonic -> opcode, built once from the ISA's own opName table so the
+ *  frontend can never drift from the instruction set. */
+const std::map<std::string, Op, std::less<>> &
+mnemonicTable()
+{
+    static const auto table = [] {
+        std::map<std::string, Op, std::less<>> t;
+        for (unsigned i = 0; i < static_cast<unsigned>(Op::kNumOps); ++i)
+            t.emplace(opName(static_cast<Op>(i)), static_cast<Op>(i));
+        return t;
+    }();
+    return table;
+}
+
+/** Split on commas; each piece is stripped. Empty pieces are kept so
+ *  "r1,,r2" diagnoses as a bad operand rather than silently collapsing. */
+std::vector<std::string_view>
+splitOperands(std::string_view s)
+{
+    std::vector<std::string_view> out;
+    s = strip(s);
+    if (s.empty())
+        return out;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= s.size(); ++i) {
+        if (i == s.size() || s[i] == ',') {
+            out.push_back(strip(s.substr(start, i - start)));
+            start = i + 1;
+        }
+    }
+    return out;
+}
+
+std::vector<std::string_view>
+splitWords(std::string_view s)
+{
+    std::vector<std::string_view> out;
+    std::size_t i = 0;
+    while (i < s.size()) {
+        while (i < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[i])))
+            ++i;
+        std::size_t start = i;
+        while (i < s.size() &&
+               !std::isspace(static_cast<unsigned char>(s[i])))
+            ++i;
+        if (i > start)
+            out.push_back(s.substr(start, i - start));
+    }
+    return out;
+}
+
+/** One `@N`-form branch: patch text()[inst].branchTarget = target after
+ *  build() (labels go through ProgramBuilder's own fixup machinery). */
+struct AbsFixup
+{
+    std::uint32_t inst;
+    std::uint64_t target;
+    unsigned line;
+};
+
+struct LabelInfo
+{
+    Label label;
+    bool bound = false;
+    unsigned first_ref_line = 0;  ///< 0 = never referenced
+};
+
+class Parser
+{
+  public:
+    Parser(std::string_view src, const std::string &default_name,
+           const std::string &file)
+        : src_(src), file_(file), builder_(default_name)
+    {}
+
+    AsmUnit run();
+
+  private:
+    [[noreturn]] void err(const std::string &what) const
+    {
+        throw AsmError(file_, line_, what);
+    }
+
+    void parseLine(std::string_view line);
+    void parseDirective(std::string_view line);
+    void parseExpect(std::string_view line);
+    void parseInst(std::string_view mnemonic, std::string_view rest);
+
+    RegIndex parseReg(std::string_view tok) const;
+    std::int64_t parseImm(std::string_view tok) const;
+    std::uint64_t parseU64(std::string_view tok) const;
+    ExpectCmp parseCmp(std::string_view tok) const;
+    /** `disp(rB)` memory operand. */
+    void parseMemOperand(std::string_view tok, std::int64_t &disp,
+                         RegIndex &base) const;
+    LabelInfo &labelFor(std::string_view name);
+
+    std::string_view src_;
+    std::string file_;
+    unsigned line_ = 0;
+
+    ProgramBuilder builder_;
+    std::map<std::string, LabelInfo, std::less<>> labels_;
+    std::vector<AbsFixup> abs_fixups_;
+    std::vector<AsmExpect> expects_;
+
+    std::string name_;  ///< .name override; empty = keep default
+    WorkloadClass class_ = WorkloadClass::Int;
+    Addr data_cursor_ = 0;
+    bool have_cursor_ = false;
+};
+
+RegIndex
+Parser::parseReg(std::string_view tok) const
+{
+    if (tok.size() < 2 || tok[0] != 'r')
+        err("expected register, got '" + std::string(tok) + "'");
+    unsigned long v = 0;
+    for (std::size_t i = 1; i < tok.size(); ++i) {
+        if (!std::isdigit(static_cast<unsigned char>(tok[i])))
+            err("expected register, got '" + std::string(tok) + "'");
+        v = v * 10 + static_cast<unsigned long>(tok[i] - '0');
+        if (v >= kNumArchRegs)
+            err("register out of range (r0..r" +
+                std::to_string(kNumArchRegs - 1) + "): '" +
+                std::string(tok) + "'");
+    }
+    return static_cast<RegIndex>(v);
+}
+
+std::int64_t
+Parser::parseImm(std::string_view tok) const
+{
+    if (tok.empty())
+        err("expected integer");
+    const std::string s(tok);
+    char *end = nullptr;
+    errno = 0;
+    // A leading '-' parses signed; anything else parses unsigned so full
+    // 64-bit hex patterns (0xdead...beef) are writable as immediates.
+    std::int64_t v;
+    if (s[0] == '-') {
+        const long long ll = std::strtoll(s.c_str(), &end, 0);
+        v = static_cast<std::int64_t>(ll);
+    } else {
+        const unsigned long long ull = std::strtoull(s.c_str(), &end, 0);
+        v = static_cast<std::int64_t>(ull);
+    }
+    if (end != s.c_str() + s.size() || end == s.c_str())
+        err("bad integer '" + s + "'");
+    if (errno == ERANGE)
+        err("integer out of range: '" + s + "'");
+    return v;
+}
+
+std::uint64_t
+Parser::parseU64(std::string_view tok) const
+{
+    return static_cast<std::uint64_t>(parseImm(tok));
+}
+
+ExpectCmp
+Parser::parseCmp(std::string_view tok) const
+{
+    if (tok == "==") return ExpectCmp::Eq;
+    if (tok == "!=") return ExpectCmp::Ne;
+    if (tok == "<")  return ExpectCmp::Lt;
+    if (tok == "<=") return ExpectCmp::Le;
+    if (tok == ">")  return ExpectCmp::Gt;
+    if (tok == ">=") return ExpectCmp::Ge;
+    err("expected comparison (== != < <= > >=), got '" + std::string(tok) +
+        "'");
+}
+
+void
+Parser::parseMemOperand(std::string_view tok, std::int64_t &disp,
+                        RegIndex &base) const
+{
+    const std::size_t open = tok.find('(');
+    if (open == std::string_view::npos || tok.back() != ')')
+        err("expected memory operand disp(reg), got '" + std::string(tok) +
+            "'");
+    disp = parseImm(strip(tok.substr(0, open)));
+    base = parseReg(strip(tok.substr(open + 1,
+                                     tok.size() - open - 2)));
+}
+
+LabelInfo &
+Parser::labelFor(std::string_view name)
+{
+    auto it = labels_.find(name);
+    if (it == labels_.end()) {
+        it = labels_.emplace(std::string(name),
+                             LabelInfo{builder_.newLabel(), false, 0})
+                 .first;
+    }
+    return it->second;
+}
+
+void
+Parser::parseInst(std::string_view mnemonic, std::string_view rest)
+{
+    const auto it = mnemonicTable().find(mnemonic);
+    if (it == mnemonicTable().end())
+        err("unknown mnemonic '" + std::string(mnemonic) + "'");
+    const Op op = it->second;
+    const auto ops = splitOperands(rest);
+    const auto want = [&](std::size_t n) {
+        if (ops.size() != n)
+            err(std::string(mnemonic) + " takes " + std::to_string(n) +
+                " operand(s), got " + std::to_string(ops.size()));
+    };
+
+    // Branch/jump target: a label name or an absolute `@N` index.
+    const auto emitBranch = [&](RegIndex a, RegIndex b,
+                                std::string_view target) {
+        if (!target.empty() && target[0] == '@') {
+            const std::uint64_t n = parseU64(target.substr(1));
+            // ProgramBuilder insists on a bound label; bind a throwaway
+            // one at the branch itself, then patch post-build.
+            Label self = builder_.newLabel();
+            builder_.bind(self);
+            abs_fixups_.push_back({builder_.here(), n, line_});
+            switch (op) {
+              case Op::BEQ: builder_.beq(a, b, self); break;
+              case Op::BNE: builder_.bne(a, b, self); break;
+              case Op::BLT: builder_.blt(a, b, self); break;
+              case Op::BGE: builder_.bge(a, b, self); break;
+              case Op::JMP: builder_.jmp(self); break;
+              default: err("internal: not a branch");
+            }
+            return;
+        }
+        if (!isIdent(target))
+            err("expected branch target (label or @index), got '" +
+                std::string(target) + "'");
+        LabelInfo &li = labelFor(target);
+        if (li.first_ref_line == 0)
+            li.first_ref_line = line_;
+        switch (op) {
+          case Op::BEQ: builder_.beq(a, b, li.label); break;
+          case Op::BNE: builder_.bne(a, b, li.label); break;
+          case Op::BLT: builder_.blt(a, b, li.label); break;
+          case Op::BGE: builder_.bge(a, b, li.label); break;
+          case Op::JMP: builder_.jmp(li.label); break;
+          default: err("internal: not a branch");
+        }
+    };
+
+    if (op == Op::NOP) {
+        want(0);
+        builder_.nop();
+    } else if (op == Op::HALT) {
+        want(0);
+        builder_.halt();
+    } else if (op == Op::MOVI) {
+        want(2);
+        builder_.movi(parseReg(ops[0]), parseImm(ops[1]));
+    } else if (isLoad(op)) {
+        want(2);
+        std::int64_t disp;
+        RegIndex base;
+        parseMemOperand(ops[1], disp, base);
+        const RegIndex d = parseReg(ops[0]);
+        switch (op) {
+          case Op::LD1: builder_.ld1(d, base, disp); break;
+          case Op::LD2: builder_.ld2(d, base, disp); break;
+          case Op::LD4: builder_.ld4(d, base, disp); break;
+          default: builder_.ld8(d, base, disp); break;
+        }
+    } else if (isStore(op)) {
+        want(2);
+        std::int64_t disp;
+        RegIndex base;
+        parseMemOperand(ops[1], disp, base);
+        const RegIndex v = parseReg(ops[0]);
+        switch (op) {
+          case Op::ST1: builder_.st1(v, base, disp); break;
+          case Op::ST2: builder_.st2(v, base, disp); break;
+          case Op::ST4: builder_.st4(v, base, disp); break;
+          default: builder_.st8(v, base, disp); break;
+        }
+    } else if (isBranch(op)) {
+        want(3);
+        emitBranch(parseReg(ops[0]), parseReg(ops[1]), ops[2]);
+    } else if (op == Op::JMP) {
+        want(1);
+        emitBranch(0, 0, ops[0]);
+    } else if (readsSrc2(op)) {
+        // Register-register ALU / FP-class.
+        want(3);
+        const RegIndex d = parseReg(ops[0]);
+        const RegIndex a = parseReg(ops[1]);
+        const RegIndex b = parseReg(ops[2]);
+        switch (op) {
+          case Op::ADD: builder_.add(d, a, b); break;
+          case Op::SUB: builder_.sub(d, a, b); break;
+          case Op::AND: builder_.and_(d, a, b); break;
+          case Op::OR: builder_.or_(d, a, b); break;
+          case Op::XOR: builder_.xor_(d, a, b); break;
+          case Op::SLT: builder_.slt(d, a, b); break;
+          case Op::MUL: builder_.mul(d, a, b); break;
+          case Op::SHL: builder_.shl(d, a, b); break;
+          case Op::SHR: builder_.shr(d, a, b); break;
+          case Op::FADD: builder_.fadd(d, a, b); break;
+          case Op::FMUL: builder_.fmul(d, a, b); break;
+          case Op::FDIV: builder_.fdiv(d, a, b); break;
+          default: err("internal: unhandled rrr opcode");
+        }
+    } else {
+        // Register-immediate ALU.
+        want(3);
+        const RegIndex d = parseReg(ops[0]);
+        const RegIndex a = parseReg(ops[1]);
+        const std::int64_t i = parseImm(ops[2]);
+        switch (op) {
+          case Op::ADDI: builder_.addi(d, a, i); break;
+          case Op::ANDI: builder_.andi(d, a, i); break;
+          case Op::ORI: builder_.ori(d, a, i); break;
+          case Op::XORI: builder_.xori(d, a, i); break;
+          case Op::SLTI: builder_.slti(d, a, i); break;
+          case Op::SHLI: builder_.shli(d, a, i); break;
+          case Op::SHRI: builder_.shri(d, a, i); break;
+          default: err("internal: unhandled rri opcode");
+        }
+    }
+}
+
+void
+Parser::parseExpect(std::string_view line)
+{
+    // line starts with ";;" (already stripped). Everything under ";;" is
+    // reserved directive space: a malformed expect must diagnose, not
+    // silently parse as a comment.
+    std::string_view rest = lstrip(line.substr(2));
+    if (rest.substr(0, 6) != "expect")
+        err("';;' lines are reserved for expectations "
+            "(';; expect[@config]: ...'), got '" + std::string(rest) + "'");
+    rest.remove_prefix(6);
+
+    AsmExpect e;
+    e.line = line_;
+    if (!rest.empty() && rest[0] == '@') {
+        rest.remove_prefix(1);
+        const std::size_t colon = rest.find(':');
+        if (colon == std::string_view::npos)
+            err("expected ':' after expect config scope");
+        e.config = std::string(strip(rest.substr(0, colon)));
+        if (e.config.empty())
+            err("empty config scope in 'expect@<config>:'");
+        rest.remove_prefix(colon + 1);
+    } else {
+        rest = lstrip(rest);
+        if (rest.empty() || rest[0] != ':')
+            err("expected ':' after 'expect'");
+        rest.remove_prefix(1);
+    }
+
+    const auto words = splitWords(rest);
+    const auto need = [&](std::size_t n, const char *shape) {
+        if (words.size() != n)
+            err(std::string("truncated or malformed expect; want '") +
+                shape + "'");
+    };
+    if (words.empty())
+        err("truncated or malformed expect; want "
+            "'stat|reg|mem ...'");
+
+    if (words[0] == "stat") {
+        need(4, "stat <name> <cmp> <value>");
+        e.kind = ExpectKind::Stat;
+        if (!isIdent(words[1]))
+            err("bad stat name '" + std::string(words[1]) + "'");
+        e.stat = std::string(words[1]);
+        e.cmp = parseCmp(words[2]);
+        e.value = parseU64(words[3]);
+    } else if (words[0] == "reg") {
+        need(4, "reg r<N> <cmp> <value>");
+        e.kind = ExpectKind::Reg;
+        e.reg = parseReg(words[1]);
+        e.cmp = parseCmp(words[2]);
+        e.value = parseU64(words[3]);
+    } else if (words[0] == "mem") {
+        need(5, "mem <addr> <size> <cmp> <value>");
+        e.kind = ExpectKind::Mem;
+        e.addr = parseU64(words[1]);
+        e.size = static_cast<unsigned>(parseU64(words[2]));
+        if (e.size != 1 && e.size != 2 && e.size != 4 && e.size != 8)
+            err("mem expect size must be 1, 2, 4 or 8");
+        e.cmp = parseCmp(words[3]);
+        e.value = parseU64(words[4]);
+    } else {
+        err("expect kind must be stat, reg or mem; got '" +
+            std::string(words[0]) + "'");
+    }
+    expects_.push_back(std::move(e));
+}
+
+void
+Parser::parseDirective(std::string_view line)
+{
+    const std::size_t sp = line.find_first_of(" \t");
+    const std::string_view head =
+        sp == std::string_view::npos ? line : line.substr(0, sp);
+    const std::string_view rest =
+        sp == std::string_view::npos ? std::string_view{}
+                                     : strip(line.substr(sp));
+
+    if (head == ".name") {
+        if (rest.empty())
+            err(".name needs a value");
+        name_ = std::string(rest);
+    } else if (head == ".class") {
+        if (rest == "int")
+            class_ = WorkloadClass::Int;
+        else if (rest == "fp")
+            class_ = WorkloadClass::Fp;
+        else
+            err(".class must be 'int' or 'fp', got '" + std::string(rest) +
+                "'");
+    } else if (head == ".data") {
+        if (rest.empty())
+            err(".data needs an address");
+        data_cursor_ = parseU64(rest);
+        have_cursor_ = true;
+    } else if (head == ".byte" || head == ".word") {
+        if (!have_cursor_)
+            err(std::string(head) + " before any .data directive");
+        const auto vals = splitOperands(rest);
+        if (vals.empty())
+            err(std::string(head) + " needs at least one value");
+        for (const auto &tok : vals) {
+            const std::uint64_t v = parseU64(tok);
+            if (head == ".byte") {
+                if (v > 0xff)
+                    err("byte value out of range: '" + std::string(tok) +
+                        "'");
+                builder_.pokeBytes(data_cursor_, v, 1);
+                data_cursor_ += 1;
+            } else {
+                builder_.poke64(data_cursor_, v);
+                data_cursor_ += 8;
+            }
+        }
+    } else {
+        err("unknown directive '" + std::string(head) + "'");
+    }
+}
+
+void
+Parser::parseLine(std::string_view raw)
+{
+    std::string_view line = lstrip(raw);
+    if (line.substr(0, 2) == ";;") {
+        parseExpect(rstrip(line));
+        return;
+    }
+    // Strip a trailing `;` comment, then whitespace.
+    const std::size_t semi = line.find(';');
+    if (semi != std::string_view::npos)
+        line = line.substr(0, semi);
+    line = rstrip(line);
+    if (line.empty())
+        return;
+
+    if (line[0] == '.') {
+        parseDirective(line);
+        return;
+    }
+
+    // Leading `label:` prefixes (several may stack on one line).
+    while (true) {
+        const std::size_t colon = line.find(':');
+        if (colon == std::string_view::npos)
+            break;
+        const std::string_view name = strip(line.substr(0, colon));
+        if (!isIdent(name))
+            err("bad label '" + std::string(name) + "'");
+        LabelInfo &li = labelFor(name);
+        if (li.bound)
+            err("label '" + std::string(name) + "' bound twice");
+        builder_.bind(li.label);
+        li.bound = true;
+        line = lstrip(line.substr(colon + 1));
+    }
+    if (line.empty())
+        return;
+
+    const std::size_t sp = line.find_first_of(" \t");
+    const std::string_view mnemonic =
+        sp == std::string_view::npos ? line : line.substr(0, sp);
+    const std::string_view rest =
+        sp == std::string_view::npos ? std::string_view{} : line.substr(sp);
+    parseInst(mnemonic, rest);
+}
+
+AsmUnit
+Parser::run()
+{
+    std::size_t pos = 0;
+    while (pos <= src_.size()) {
+        const std::size_t nl = src_.find('\n', pos);
+        const std::string_view line =
+            nl == std::string_view::npos ? src_.substr(pos)
+                                         : src_.substr(pos, nl - pos);
+        ++line_;
+        parseLine(line);
+        if (nl == std::string_view::npos)
+            break;
+        pos = nl + 1;
+    }
+
+    // Line-numbered unbound-label diagnostics (ProgramBuilder would also
+    // catch these in build(), but without source locations).
+    for (const auto &[name, li] : labels_) {
+        if (!li.bound && li.first_ref_line != 0)
+            throw AsmError(file_, li.first_ref_line,
+                           "unbound label '" + name + "'");
+    }
+
+    AsmUnit unit;
+    unit.prog = builder_.build();
+    if (!name_.empty())
+        unit.prog.setName(name_);
+    unit.prog.setWorkloadClass(class_);
+
+    for (const auto &fx : abs_fixups_) {
+        if (fx.target >= unit.prog.size())
+            throw AsmError(file_, fx.line,
+                           "branch target @" + std::to_string(fx.target) +
+                               " out of range (program has " +
+                               std::to_string(unit.prog.size()) +
+                               " instructions)");
+        unit.prog.text()[fx.inst].branchTarget =
+            static_cast<std::uint32_t>(fx.target);
+    }
+
+    unit.expects = std::move(expects_);
+    return unit;
+}
+
+} // namespace
+
+const char *
+expectCmpName(ExpectCmp cmp)
+{
+    switch (cmp) {
+      case ExpectCmp::Eq: return "==";
+      case ExpectCmp::Ne: return "!=";
+      case ExpectCmp::Lt: return "<";
+      case ExpectCmp::Le: return "<=";
+      case ExpectCmp::Gt: return ">";
+      case ExpectCmp::Ge: return ">=";
+    }
+    return "?";
+}
+
+bool
+expectCompare(ExpectCmp cmp, std::uint64_t actual, std::uint64_t want)
+{
+    switch (cmp) {
+      case ExpectCmp::Eq: return actual == want;
+      case ExpectCmp::Ne: return actual != want;
+      case ExpectCmp::Lt: return actual < want;
+      case ExpectCmp::Le: return actual <= want;
+      case ExpectCmp::Gt: return actual > want;
+      case ExpectCmp::Ge: return actual >= want;
+    }
+    return false;
+}
+
+std::string
+AsmExpect::toString() const
+{
+    std::ostringstream oss;
+    switch (kind) {
+      case ExpectKind::Stat:
+        oss << "stat " << stat;
+        break;
+      case ExpectKind::Reg:
+        oss << "reg r" << unsigned(reg);
+        break;
+      case ExpectKind::Mem:
+        oss << "mem 0x" << std::hex << addr << std::dec << ' ' << size;
+        break;
+    }
+    oss << ' ' << expectCmpName(cmp) << ' ' << value;
+    return oss.str();
+}
+
+bool
+operator==(const AsmExpect &a, const AsmExpect &b)
+{
+    return a.kind == b.kind && a.cmp == b.cmp && a.config == b.config &&
+           a.stat == b.stat && a.reg == b.reg && a.addr == b.addr &&
+           a.size == b.size && a.value == b.value;
+}
+
+std::string
+disassembleAsm(const Program &prog, const std::vector<AsmExpect> &expects)
+{
+    std::ostringstream oss;
+    oss << ".name " << prog.name() << '\n';
+    oss << ".class "
+        << (prog.workloadClass() == WorkloadClass::Fp ? "fp" : "int")
+        << '\n';
+
+    // Data image as contiguous .byte runs (the image is sorted).
+    const auto &bytes = prog.initialData().bytes();
+    std::size_t i = 0;
+    while (i < bytes.size()) {
+        oss << ".data 0x" << std::hex << bytes[i].addr << std::dec << '\n';
+        Addr next = bytes[i].addr;
+        while (i < bytes.size() && bytes[i].addr == next) {
+            // Up to 8 contiguous bytes per .byte line.
+            oss << ".byte";
+            for (unsigned n = 0;
+                 n < 8 && i < bytes.size() && bytes[i].addr == next;
+                 ++n, ++i, ++next) {
+                oss << (n ? ", " : " ") << unsigned(bytes[i].value);
+            }
+            oss << '\n';
+        }
+    }
+
+    // Text, with `L<index>` labels at every branch target.
+    std::set<std::uint32_t> targets;
+    for (const auto &inst : prog.text())
+        if (isControl(inst.op))
+            targets.insert(inst.branchTarget);
+    for (std::uint32_t idx = 0; idx < prog.text().size(); ++idx) {
+        if (targets.count(idx))
+            oss << 'L' << idx << ":\n";
+        std::string text = disassemble(prog.text()[idx]);
+        const std::size_t at = text.rfind('@');
+        if (at != std::string::npos && isControl(prog.text()[idx].op))
+            text.replace(at, 1, "L");
+        oss << "    " << text << '\n';
+    }
+
+    for (const auto &e : expects) {
+        oss << ";; expect";
+        if (!e.config.empty())
+            oss << '@' << e.config;
+        oss << ": " << e.toString() << '\n';
+    }
+    return oss.str();
+}
+
+AsmUnit
+parseAsm(std::string_view src, const std::string &default_name,
+         const std::string &file)
+{
+    return Parser(src, default_name, file).run();
+}
+
+} // namespace slf

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Text-assembly frontend: parse `.s` source into a Program (plus its
+ * expectation block) and disassemble a Program back to `.s`, closing a
+ * round-trip: parseAsm(disassembleAsm(p)) == p.
+ *
+ * Grammar (one statement per line; `;` starts a comment, except that a
+ * line whose first token is `;;` is a directive comment reserved for
+ * the expectation block):
+ *
+ *   .name <text>              program name (default: caller-supplied)
+ *   .class int|fp             workload class (default int)
+ *   .data <addr>              set the data-image cursor
+ *   .byte v [, v ...]         poke bytes at the cursor (cursor advances)
+ *   .word v [, v ...]         poke 64-bit little-endian words
+ *   label:                    bind a label (may share a line with code)
+ *   <mnemonic> <operands>     one instruction, disassemble() syntax:
+ *                               add r3, r1, r2     addi r3, r1, -5
+ *                               movi r2, 0x1000    ld4 r5, 8(r2)
+ *                               st8 r1, 0(r2)      beq r1, r2, target
+ *                               jmp target         nop / halt
+ *                             branch targets are labels or `@N`
+ *                             absolute instruction indices
+ *
+ * Expectation block — assertions checked after simulation:
+ *
+ *   ;; expect: stat <name> <cmp> <value>     SimResult counter
+ *   ;; expect: reg r<N> <cmp> <value>        final architectural reg
+ *   ;; expect: mem <addr> <size> <cmp> <value>  final memory bytes
+ *   ;; expect@<config>: ...                  only under that campaign
+ *                                            config ("enf", "lsq48x32")
+ *
+ * with <cmp> one of == != < <= > >= (unsigned 64-bit comparison).
+ *
+ * The parser emits through ProgramBuilder, so build()-time validation
+ * (label binding, branch-target range, trailing HALT) is reused; every
+ * frontend diagnostic is an AsmError carrying "<file>:<line>: <what>".
+ */
+
+#ifndef SLFWD_PROG_ASM_PARSER_HH_
+#define SLFWD_PROG_ASM_PARSER_HH_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "prog/program.hh"
+#include "sim/logging.hh"
+
+namespace slf
+{
+
+/** A parse diagnostic: "<file>:<line>: <what>". */
+class AsmError : public FatalError
+{
+  public:
+    AsmError(const std::string &file, unsigned line,
+             const std::string &what_arg)
+        : FatalError(file + ":" + std::to_string(line) + ": " + what_arg),
+          line_(line)
+    {}
+
+    /** 1-based source line the diagnostic points at. */
+    unsigned line() const { return line_; }
+
+  private:
+    unsigned line_;
+};
+
+/** What an `;; expect:` line asserts on. */
+enum class ExpectKind : std::uint8_t { Stat, Reg, Mem };
+
+/** Comparison operator of an expectation (unsigned 64-bit). */
+enum class ExpectCmp : std::uint8_t { Eq, Ne, Lt, Le, Gt, Ge };
+
+/** Spelling of a comparison operator ("==", ...). */
+const char *expectCmpName(ExpectCmp cmp);
+
+/** Apply @p cmp to (actual, want) as unsigned 64-bit values. */
+bool expectCompare(ExpectCmp cmp, std::uint64_t actual,
+                   std::uint64_t want);
+
+/** One parsed `;; expect:` assertion. */
+struct AsmExpect
+{
+    ExpectKind kind = ExpectKind::Stat;
+    ExpectCmp cmp = ExpectCmp::Eq;
+    /** Campaign config the assertion is scoped to; empty = all. */
+    std::string config;
+    std::string stat;       ///< Stat: SimResult counter name
+    RegIndex reg = 0;       ///< Reg: architectural register
+    Addr addr = 0;          ///< Mem: first byte address
+    unsigned size = 0;      ///< Mem: bytes compared (1/2/4/8)
+    std::uint64_t value = 0;
+    unsigned line = 0;      ///< 1-based source line (diagnostics)
+
+    /** Canonical one-line rendering ("stat sfc_forwards >= 1"). */
+    std::string toString() const;
+
+    friend bool operator==(const AsmExpect &, const AsmExpect &);
+};
+
+/** A parsed `.s` unit: the program plus its expectation block. */
+struct AsmUnit
+{
+    Program prog;
+    std::vector<AsmExpect> expects;
+};
+
+/**
+ * Parse assembly text.
+ *
+ * @param src          the `.s` source.
+ * @param default_name program name when no `.name` directive appears.
+ * @param file         label used in diagnostics.
+ * @throws AsmError on any syntax/semantic error, with the 1-based line.
+ */
+AsmUnit parseAsm(std::string_view src, const std::string &default_name,
+                 const std::string &file = "<asm>");
+
+/**
+ * Render @p prog (and optionally its expectation block) as `.s` text
+ * that parseAsm() accepts and that reconstructs the program exactly:
+ * same text, same branch targets, same data image, same name/class.
+ */
+std::string disassembleAsm(const Program &prog,
+                           const std::vector<AsmExpect> &expects = {});
+
+} // namespace slf
+
+#endif // SLFWD_PROG_ASM_PARSER_HH_

@@ -150,6 +150,14 @@ class Program
     /** Render the whole text segment as disassembly. */
     std::string disassembleText() const;
 
+    /** Structural equality: name, class, text and data image. */
+    friend bool
+    operator==(const Program &a, const Program &b)
+    {
+        return a.name_ == b.name_ && a.class_ == b.class_ &&
+               a.text_ == b.text_ && a.init_data_ == b.init_data_;
+    }
+
   private:
     std::string name_ = "anonymous";
     WorkloadClass class_ = WorkloadClass::Int;

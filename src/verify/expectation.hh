@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Expectation harness: evaluate the `;; expect:` assertions of a parsed
+ * micro-test against a finished simulation.
+ *
+ * Three assertion namespaces:
+ *  - `stat <name>`: a SimResult counter by its canonical ResultSink JSON
+ *    name ("sfc_forwards", "flushes_true", ...; "checker_clean" and
+ *    "checker_enabled" read as 0/1);
+ *  - `reg r<N>`: the final architectural register value, computed by
+ *    running the golden FuncSim to HALT;
+ *  - `mem <addr> <size>`: the final little-endian memory bytes, same
+ *    golden-model run.
+ *
+ * Register/memory expectations are deliberately evaluated against the
+ * *functional* model, not the timing core: the GoldenChecker already
+ * proves the timing core retires the same architectural state, so the
+ * expectation layer stays backend-independent — one assertion holds
+ * under LSQ, MDT/SFC and every future backend alike.
+ */
+
+#ifndef SLFWD_VERIFY_EXPECTATION_HH_
+#define SLFWD_VERIFY_EXPECTATION_HH_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "prog/asm_parser.hh"
+#include "verify/sim_result.hh"
+
+namespace slf
+{
+
+/** One failed (or unevaluable) expectation. */
+struct ExpectFailure
+{
+    AsmExpect expect;
+    std::uint64_t actual = 0;
+    /** True when the stat name names no SimResult counter; `actual` is
+     *  meaningless then. An unknown name is a failure, not a skip — a
+     *  typo in a test must not silently pass. */
+    bool unknown_stat = false;
+
+    /** Human-readable one-liner for reports and test logs. */
+    std::string toString() const;
+};
+
+/**
+ * Look up a SimResult counter by its canonical JSON name.
+ * @return empty if @p name is not a known counter.
+ */
+std::optional<std::uint64_t> lookupStat(const SimResult &res,
+                                        std::string_view name);
+
+/** Names accepted by lookupStat, sorted (for diagnostics and docs). */
+const std::vector<std::string> &statNames();
+
+/**
+ * Evaluate every expectation that applies to @p config_name (an
+ * expectation with an empty config scope applies to all configs).
+ *
+ * @param expects     assertions from parseAsm().
+ * @param config_name campaign config the run used ("enf", "lsq48x32").
+ * @param res         the finished run's counters.
+ * @param prog        the program, re-executed functionally for reg/mem
+ *                    assertions (capped at @p max_insts).
+ * @return the failures, in source order; empty means all passed.
+ */
+std::vector<ExpectFailure>
+evaluateExpectations(const std::vector<AsmExpect> &expects,
+                     std::string_view config_name, const SimResult &res,
+                     const Program &prog,
+                     std::uint64_t max_insts = 1'000'000);
+
+} // namespace slf
+
+#endif // SLFWD_VERIFY_EXPECTATION_HH_

@@ -1,0 +1,54 @@
+#include "workloads/micro_corpus.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace slf
+{
+
+namespace fs = std::filesystem;
+
+MicroTest
+loadMicroTest(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("micro corpus: cannot open '" + path + "'");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+
+    MicroTest test;
+    test.name = fs::path(path).stem().string();
+    test.path = path;
+    test.unit = parseAsm(buf.str(), test.name, path);
+    return test;
+}
+
+std::vector<MicroTest>
+loadMicroCorpus(const std::string &dir)
+{
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec))
+        fatal("micro corpus: '" + dir + "' is not a directory");
+
+    std::vector<std::string> paths;
+    for (const auto &entry : fs::directory_iterator(dir)) {
+        if (entry.is_regular_file() && entry.path().extension() == ".s")
+            paths.push_back(entry.path().string());
+    }
+    std::sort(paths.begin(), paths.end());
+    if (paths.empty())
+        fatal("micro corpus: no .s files in '" + dir + "'");
+
+    std::vector<MicroTest> tests;
+    tests.reserve(paths.size());
+    for (const auto &p : paths)
+        tests.push_back(loadMicroTest(p));
+    return tests;
+}
+
+} // namespace slf

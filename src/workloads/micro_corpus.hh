@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Directed micro-test corpus loader: every `*.s` file in a directory
+ * becomes a named workload (program + expectation block).
+ *
+ * Files load in sorted filename order so campaign job lists — and
+ * therefore per-job derived seeds and the canonical result JSON — are
+ * independent of directory-iteration order. The test name is the file
+ * stem ("store_forward_near" from "store_forward_near.s"); a `.name`
+ * directive inside the file overrides the program's workload label but
+ * not the test name.
+ */
+
+#ifndef SLFWD_WORKLOADS_MICRO_CORPUS_HH_
+#define SLFWD_WORKLOADS_MICRO_CORPUS_HH_
+
+#include <string>
+#include <vector>
+
+#include "prog/asm_parser.hh"
+
+namespace slf
+{
+
+/** One loaded `.s` micro-test. */
+struct MicroTest
+{
+    std::string name;  ///< file stem, the campaign workload label
+    std::string path;  ///< source path (diagnostics)
+    AsmUnit unit;
+};
+
+/**
+ * Load every `*.s` file under @p dir (non-recursive), sorted by
+ * filename. fatal() if the directory does not exist or holds no `.s`
+ * files; AsmError (with file:line) propagates from a malformed test.
+ */
+std::vector<MicroTest> loadMicroCorpus(const std::string &dir);
+
+/** Parse one `.s` file. fatal() on I/O error; AsmError on bad syntax. */
+MicroTest loadMicroTest(const std::string &path);
+
+} // namespace slf
+
+#endif // SLFWD_WORKLOADS_MICRO_CORPUS_HH_

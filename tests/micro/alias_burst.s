@@ -1,0 +1,37 @@
+.name alias_burst
+; Aliasing burst: interleaved stores and loads to four addresses that
+; all map to one SFC set (1024-byte stride, 2 ways). Constant
+; eviction pressure while forwarding is still live — every load must
+; stay correct whether its producer is resident or already evicted.
+    movi r1, 0x500000
+    movi r2, 1
+    st8 r2, 0(r1)
+    movi r3, 2
+    st8 r3, 1024(r1)
+    ld8 r4, 0(r1)
+    movi r5, 3
+    st8 r5, 2048(r1)
+    ld8 r6, 1024(r1)
+    movi r7, 4
+    st8 r7, 3072(r1)
+    ld8 r8, 2048(r1)
+    ld8 r9, 3072(r1)
+    add r10, r4, r6
+    add r10, r10, r8
+    add r10, r10, r9
+    halt
+;; expect: reg r4 == 1
+;; expect: reg r6 == 2
+;; expect: reg r8 == 3
+;; expect: reg r9 == 4
+;; expect: reg r10 == 10
+;; expect: stat checker_clean == 1
+;; expect: stat loads_retired == 4
+;; expect: stat stores_retired == 4
+;; expect@enf: stat sfc_forwards == 3
+;; expect@enf: stat store_replays_sfc_conflict == 2
+;; expect@enf: stat viol_true == 1
+;; expect@notenf: stat sfc_forwards == 3
+;; expect@notenf: stat store_replays_sfc_conflict == 2
+;; expect@lsq48x32: stat lsq_forwards == 4
+;; expect@lsq48x32: stat viol_true == 0

@@ -1,0 +1,23 @@
+.name branch_dep
+; Branch fed by a forwarded load: store -> load -> branch condition.
+; A wrong forwarded value would steer the branch to the wrong arm,
+; which the register expectation (and the checker) would catch.
+    movi r1, 0x500000
+    movi r2, 7
+    st8 r2, 0(r1)
+    ld8 r3, 0(r1)
+    beq r3, r0, zero_arm
+    movi r4, 1
+    jmp done
+zero_arm:
+    movi r4, 2
+done:
+    halt
+;; expect: reg r3 == 7
+;; expect: reg r4 == 1
+;; expect: stat checker_clean == 1
+;; expect: stat branches_retired == 2
+;; expect@enf: stat sfc_forwards == 1
+;; expect@notenf: stat sfc_forwards == 1
+;; expect@lsq48x32: stat lsq_forwards == 1
+

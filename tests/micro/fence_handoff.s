@@ -1,0 +1,27 @@
+.name fence_handoff
+; Flag-handoff acquire idiom (the ISA has no fence instruction; this
+; is what a fence-free machine runs instead): publish a payload, then
+; a one-byte flag; the consumer spins on the flag and only then loads
+; the payload. The payload load is control-dependent on the flag
+; value, so forwarding the stale pre-store payload would be caught by
+; the checker.
+    movi r1, 0x500000
+    movi r2, 0x1234
+    st8 r2, 8(r1)
+    movi r3, 1
+    st1 r3, 0(r1)
+spin:
+    ld1 r4, 0(r1)
+    beq r4, r0, spin
+    ld8 r5, 8(r1)
+    halt
+;; expect: reg r4 == 1
+;; expect: reg r5 == 0x1234
+;; expect: mem 0x500000 1 == 1
+;; expect: mem 0x500008 8 == 0x1234
+;; expect: stat checker_clean == 1
+;; expect: stat stores_retired == 2
+;; expect: stat loads_retired == 2
+;; expect@enf: stat sfc_forwards == 2
+;; expect@notenf: stat sfc_forwards == 2
+;; expect@lsq48x32: stat lsq_forwards == 2

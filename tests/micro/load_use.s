@@ -1,0 +1,24 @@
+.name load_use
+; Load-use chain from the initial data image: two loads feed a
+; dependent ALU chain. No stores at all — forwarding machinery must
+; stay out of the way and the loads must read the image exactly.
+.data 0x500000
+.word 5
+.word 7
+    movi r1, 0x500000
+    ld8 r2, 0(r1)
+    ld8 r3, 8(r1)
+    add r4, r2, r3
+    shli r5, r4, 4
+    addi r6, r5, -2
+    halt
+;; expect: reg r2 == 5
+;; expect: reg r3 == 7
+;; expect: reg r4 == 12
+;; expect: reg r5 == 192
+;; expect: reg r6 == 190
+;; expect: stat checker_clean == 1
+;; expect: stat loads_retired == 2
+;; expect: stat stores_retired == 0
+;; expect: stat sfc_forwards == 0
+;; expect: stat lsq_forwards == 0

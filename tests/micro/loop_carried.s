@@ -1,0 +1,29 @@
+.name loop_carried
+; Loop-carried store-to-load dependence through one memory word: each
+; iteration loads the accumulator, bumps it, stores it back. The
+; load of iteration i+1 must see iteration i's store (forwarded or
+; not) ten times in a row.
+    movi r1, 0x500000
+    movi r2, 0
+    movi r3, 10
+    st8 r2, 0(r1)
+top:
+    ld8 r4, 0(r1)
+    addi r4, r4, 3
+    st8 r4, 0(r1)
+    addi r3, r3, -1
+    bne r3, r0, top
+    ld8 r5, 0(r1)
+    halt
+;; expect: reg r5 == 30
+;; expect: mem 0x500000 8 == 30
+;; expect: stat checker_clean == 1
+;; expect: stat loads_retired == 11
+;; expect: stat stores_retired == 11
+;; expect: stat branches_retired == 10
+;; expect: stat mispredicts == 9
+;; expect: stat viol_true == 1
+;; expect@enf: stat sfc_forwards == 3
+;; expect@enf: stat head_bypasses == 8
+;; expect@notenf: stat sfc_forwards == 3
+;; expect@lsq48x32: stat lsq_forwards == 2

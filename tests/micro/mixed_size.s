@@ -1,0 +1,24 @@
+.name mixed_size
+; Byte-precision forwarding: one 8-byte store read back through every
+; access size at assorted offsets. Exercises the SFC valid-mask /
+; LSQ sub-word extraction across the whole size matrix.
+    movi r1, 0x500000
+    movi r2, 0x1122334455667788
+    st8 r2, 0(r1)
+    ld1 r3, 0(r1)
+    ld1 r4, 7(r1)
+    ld2 r5, 2(r1)
+    ld4 r6, 4(r1)
+    ld8 r7, 0(r1)
+    halt
+;; expect: reg r3 == 0x88
+;; expect: reg r4 == 0x11
+;; expect: reg r5 == 0x5566
+;; expect: reg r6 == 0x11223344
+;; expect: reg r7 == 0x1122334455667788
+;; expect: stat checker_clean == 1
+;; expect: stat loads_retired == 5
+;; expect: stat stores_retired == 1
+;; expect@enf: stat sfc_forwards == 5
+;; expect@notenf: stat sfc_forwards == 5
+;; expect@lsq48x32: stat lsq_forwards == 5

@@ -1,0 +1,20 @@
+.name partial_contained
+; Partial overlap, contained: sub-word loads entirely inside a live
+; 8-byte store. The SFC's byte-valid mask (and the LSQ's forwarding
+; path) must extract the right interior bytes.
+    movi r1, 0x500000
+    movi r2, 0x1122334455667788
+    st8 r2, 0(r1)
+    ld2 r3, 3(r1)
+    ld4 r4, 2(r1)
+    ld1 r5, 6(r1)
+    halt
+;; expect: reg r3 == 0x4455
+;; expect: reg r4 == 0x33445566
+;; expect: reg r5 == 0x22
+;; expect: mem 0x500000 8 == 0x1122334455667788
+;; expect: stat checker_clean == 1
+;; expect: stat loads_retired == 3
+;; expect@enf: stat sfc_forwards == 3
+;; expect@notenf: stat sfc_forwards == 3
+;; expect@lsq48x32: stat lsq_forwards == 3

@@ -1,0 +1,22 @@
+.name partial_covering
+; Partial overlap, covering: an 8-byte load covers a live 2-byte
+; store. The store supplies only bytes 2-3; the rest must come from
+; the pre-initialized image — a forwarding path that blindly returned
+; the store datum would corrupt the load.
+.data 0x500000
+.byte 1, 2, 3, 4, 5, 6, 7, 8
+    movi r1, 0x500000
+    movi r2, 0xbeef
+    st2 r2, 2(r1)
+    ld8 r3, 0(r1)
+    halt
+;; expect: reg r3 == 0x08070605beef0201
+;; expect: mem 0x500000 8 == 0x08070605beef0201
+;; expect: stat checker_clean == 1
+;; expect: stat loads_retired == 1
+;; expect: stat stores_retired == 1
+; A covering load is a *partial* SFC/LSQ hit, merged byte-wise with
+; the cache — it must never count as a full forward.
+;; expect: stat sfc_forwards == 0
+;; expect: stat lsq_forwards == 0
+;; expect: stat load_replays_sfc_partial == 0

@@ -1,0 +1,25 @@
+.name partial_straddle
+; Partial overlap, straddling: a 4-byte store crosses an 8-byte
+; alignment boundary (bytes 6..9). One load overlaps its low half,
+; another its high half — both sides of the straddle must merge store
+; bytes with image bytes.
+.data 0x500000
+.byte 0x10, 0x11, 0x12, 0x13, 0x14, 0x15, 0x16, 0x17
+.byte 0x18, 0x19, 0x1a, 0x1b, 0x1c, 0x1d, 0x1e, 0x1f
+    movi r1, 0x500000
+    movi r2, 0xcafebabe
+    st4 r2, 6(r1)
+    ld8 r3, 0(r1)
+    ld2 r4, 8(r1)
+    halt
+;; expect: reg r3 == 0xbabe151413121110
+;; expect: reg r4 == 0xcafe
+;; expect: mem 0x500006 4 == 0xcafebabe
+;; expect: stat checker_clean == 1
+;; expect: stat loads_retired == 2
+;; expect: stat stores_retired == 1
+; Only the high-half load (fully inside the store) is a full forward;
+; the straddling ld8 merges partially.
+;; expect@enf: stat sfc_forwards == 1
+;; expect@notenf: stat sfc_forwards == 1
+;; expect@lsq48x32: stat lsq_forwards == 1

@@ -1,0 +1,37 @@
+.name sfc_capacity
+; SFC capacity eviction: the SFC is 128 sets x 2 ways over aligned
+; 8-byte words, so addresses 1024 bytes apart index the same set.
+; Three stores to one set overflow its two ways and evict the oldest
+; entry; the loads must still all read correct values (the evicted
+; one from memory).
+    movi r1, 0x500000
+    movi r2, 0x11
+    movi r3, 0x22
+    movi r4, 0x33
+    st8 r2, 0(r1)
+    st8 r3, 1024(r1)
+    st8 r4, 2048(r1)
+    ld8 r5, 0(r1)
+    ld8 r6, 1024(r1)
+    ld8 r7, 2048(r1)
+    halt
+;; expect: reg r5 == 0x11
+;; expect: reg r6 == 0x22
+;; expect: reg r7 == 0x33
+;; expect: mem 0x500000 8 == 0x11
+;; expect: mem 0x500400 8 == 0x22
+;; expect: mem 0x500800 8 == 0x33
+;; expect: stat checker_clean == 1
+;; expect: stat loads_retired == 3
+;; expect: stat stores_retired == 3
+; Two of the three loads forward; the evicted entry's load recovers
+; through replay/head-bypass and a detected true violation.
+;; expect@enf: stat sfc_forwards == 2
+;; expect@enf: stat store_replays_sfc_conflict == 1
+;; expect@enf: stat head_bypasses == 1
+;; expect@enf: stat viol_true == 1
+;; expect@notenf: stat sfc_forwards == 2
+;; expect@notenf: stat viol_true == 1
+; The idealized LSQ has no capacity pressure at this footprint.
+;; expect@lsq48x32: stat lsq_forwards == 3
+;; expect@lsq48x32: stat viol_true == 0

@@ -1,0 +1,53 @@
+.name store_forward_far
+; Forwarding distance limit: a 32-instruction dependent ALU chain
+; separates the store from its consumer load, so the store retires
+; long before the load issues. The SFC holds only in-flight store
+; data (entries are freed when their youngest writer retires) and the
+; store has left the LSQ too — both backends must miss cleanly and
+; read the committed hierarchy instead of forwarding stale state.
+    movi r1, 0x500000
+    movi r2, 0x5a5a
+    st8 r2, 0(r1)
+    movi r3, 0
+    addi r3, r3, 1
+    addi r3, r3, 1
+    addi r3, r3, 1
+    addi r3, r3, 1
+    addi r3, r3, 1
+    addi r3, r3, 1
+    addi r3, r3, 1
+    addi r3, r3, 1
+    addi r3, r3, 1
+    addi r3, r3, 1
+    addi r3, r3, 1
+    addi r3, r3, 1
+    addi r3, r3, 1
+    addi r3, r3, 1
+    addi r3, r3, 1
+    addi r3, r3, 1
+    addi r3, r3, 1
+    addi r3, r3, 1
+    addi r3, r3, 1
+    addi r3, r3, 1
+    addi r3, r3, 1
+    addi r3, r3, 1
+    addi r3, r3, 1
+    addi r3, r3, 1
+    addi r3, r3, 1
+    addi r3, r3, 1
+    addi r3, r3, 1
+    addi r3, r3, 1
+    addi r3, r3, 1
+    addi r3, r3, 1
+    addi r3, r3, 1
+    addi r3, r3, 1
+    ld8 r4, 0(r1)
+    halt
+;; expect: reg r3 == 32
+;; expect: reg r4 == 0x5a5a
+;; expect: mem 0x500000 8 == 0x5a5a
+;; expect: stat checker_clean == 1
+;; expect: stat loads_retired == 1
+;; expect: stat stores_retired == 1
+;; expect: stat sfc_forwards == 0
+;; expect: stat lsq_forwards == 0

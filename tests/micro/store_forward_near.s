@@ -1,0 +1,23 @@
+.name store_forward_near
+; Youngest-store forwarding at minimum distance: an 8-byte store is
+; consumed by an 8-byte load of the same address on the next line.
+; The SFC (address-indexed) and the LSQ (associative search) must both
+; forward; the load never touches memory.
+    movi r1, 0x500000
+    movi r2, 0xabcd
+    st8 r2, 0(r1)
+    ld8 r3, 0(r1)
+    addi r4, r3, 1
+    halt
+;; expect: reg r3 == 0xabcd
+;; expect: reg r4 == 0xabce
+;; expect: mem 0x500000 8 == 0xabcd
+;; expect: stat checker_enabled == 1
+;; expect: stat checker_clean == 1
+;; expect: stat loads_retired == 1
+;; expect: stat stores_retired == 1
+;; expect@enf: stat sfc_forwards == 1
+;; expect@enf: stat lsq_forwards == 0
+;; expect@notenf: stat sfc_forwards == 1
+;; expect@lsq48x32: stat lsq_forwards == 1
+;; expect@lsq48x32: stat sfc_forwards == 0

@@ -1,0 +1,26 @@
+.name true_violation
+; Provoked true (RAW) memory-order violation: the store's address
+; arrives late through an FDIV chain while the load's address is
+; ready immediately, inviting the load to issue first. Recovery (or
+; ENF-mode stalling) must deliver the store's value to the load
+; either way.
+    movi r1, 0x500000
+    movi r2, 64
+    movi r3, 8
+    fdiv r4, r2, r3
+    fdiv r4, r4, r3
+    mul r4, r4, r0
+    add r5, r1, r4
+    movi r6, 0x99
+    st8 r6, 0(r5)
+    ld8 r7, 0(r1)
+    halt
+;; expect: reg r7 == 0x99
+;; expect: mem 0x500000 8 == 0x99
+;; expect: stat checker_clean == 1
+;; expect: stat loads_retired == 1
+;; expect: stat stores_retired == 1
+;; expect: stat viol_true == 1
+;; expect: stat flushes_true == 1
+;; expect@enf: stat head_bypasses == 1
+;; expect@notenf: stat head_bypasses == 1

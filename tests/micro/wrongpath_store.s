@@ -1,0 +1,29 @@
+.name wrongpath_store
+; Wrong-path store: the store sits on the fall-through of a loop
+; branch, so every mispredicted iteration executes it speculatively
+; and squashes it. Committed state must show exactly one store (the
+; real loop exit), and the load after it must see that value — a
+; wrong-path store leaking into the SFC without cleanup would corrupt
+; either.
+    movi r1, 4
+    movi r2, 0x500000
+    movi r5, 0x77
+top:
+    addi r1, r1, -1
+    bne r1, r0, top
+    st8 r5, 0(r2)
+    ld8 r6, 0(r2)
+    halt
+;; expect: reg r6 == 0x77
+;; expect: mem 0x500000 8 == 0x77
+;; expect: stat checker_clean == 1
+;; expect: stat stores_retired == 1
+;; expect: stat loads_retired == 1
+;; expect: stat branches_retired == 4
+; Mispredicted loop-exit predictions execute the store/load pair on
+; the wrong path (forward events exceed the 1 retired load) and are
+; squashed without corrupting committed state.
+;; expect: stat mispredicts == 3
+;; expect@enf: stat sfc_forwards == 4
+;; expect@notenf: stat sfc_forwards == 4
+;; expect@lsq48x32: stat lsq_forwards == 4

@@ -163,6 +163,8 @@ TEST(CpiIdentity, HoldsExactlyForEverySweepConfig)
         campaign::SweepOptions sopts;
         sopts.scale = 1;
         sopts.fault_iters = 500;
+        // The micro sweep reads its corpus from the source tree.
+        sopts.corpus_dir = SLF_TEST_MICRO_DIR;
         // One analog keeps the analog sweeps fast; the assoc and fault
         // sweeps have their own fixed workload lists.
         if (sweep == "fig5" || sweep == "lsq_size")

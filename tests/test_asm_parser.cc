@@ -1,0 +1,420 @@
+/**
+ * @file
+ * Assembly frontend tests: grammar coverage, the
+ * parse(disassemble(p)) == p round-trip property over the
+ * differential-fuzz seed corpus plus 200 random builder programs, and
+ * line-numbered diagnostics on every parser error path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "prog/asm_parser.hh"
+#include "prog/builder.hh"
+#include "sim/rng.hh"
+
+using namespace slf;
+
+namespace
+{
+
+/** Parse and return the unit; ADD_FAILURE on diagnostics. */
+AsmUnit
+parseOk(const std::string &src)
+{
+    return parseAsm(src, "t", "test.s");
+}
+
+/** The 1-based line of the AsmError @p src must raise (0 = none). */
+unsigned
+errLine(const std::string &src)
+{
+    try {
+        parseAsm(src, "t", "test.s");
+    } catch (const AsmError &e) {
+        return e.line();
+    }
+    ADD_FAILURE() << "no AsmError thrown for:\n" << src;
+    return 0;
+}
+
+TEST(AsmParser, FullOpSetRoundTripsThroughText)
+{
+    // One instruction per opcode (through the builder), disassembled
+    // and re-parsed: the mnemonic table covers the whole Op set.
+    ProgramBuilder b("allops", WorkloadClass::Fp);
+    b.movi(1, 0x500000);
+    b.movi(2, -7);
+    b.add(3, 1, 2);
+    b.sub(4, 3, 2);
+    b.and_(5, 4, 3);
+    b.or_(6, 5, 4);
+    b.xor_(7, 6, 5);
+    b.slt(8, 7, 6);
+    b.mul(9, 8, 7);
+    b.shl(10, 9, 8);
+    b.shr(11, 10, 9);
+    b.addi(12, 11, 100);
+    b.andi(13, 12, 0xff);
+    b.ori(14, 13, 0x10);
+    b.xori(15, 14, 0x3);
+    b.slti(16, 15, -1);
+    b.shli(17, 16, 2);
+    b.shri(18, 17, 1);
+    b.fadd(19, 18, 17);
+    b.fmul(20, 19, 18);
+    b.fdiv(21, 20, 19);
+    b.ld1(22, 1, 0);
+    b.ld2(23, 1, 2);
+    b.ld4(24, 1, 4);
+    b.ld8(25, 1, 8);
+    b.st1(22, 1, 16);
+    b.st2(23, 1, 18);
+    b.st4(24, 1, 20);
+    b.st8(25, 1, 24);
+    Label skip = b.newLabel();
+    b.beq(1, 2, skip);
+    b.bne(2, 3, skip);
+    b.blt(3, 4, skip);
+    b.bge(4, 5, skip);
+    b.nop();
+    b.bind(skip);
+    Label end = b.newLabel();
+    b.jmp(end);
+    b.bind(end);
+    b.halt();
+    b.poke64(0x500000, 0x1122334455667788ull);
+
+    const Program p = b.build();
+    const Program q = parseOk(disassembleAsm(p)).prog;
+    EXPECT_TRUE(p == q);
+}
+
+TEST(AsmParser, LabelsForwardBackwardAndAbsolute)
+{
+    const AsmUnit u = parseOk(R"(
+top:
+    addi r1, r1, 1
+    blt r1, r2, top     ; backward label
+    beq r1, r2, done    ; forward label
+    jmp @4              ; absolute index (the halt)
+done:
+    halt
+)");
+    ASSERT_EQ(u.prog.size(), 5u);
+    EXPECT_EQ(u.prog.text()[1].branchTarget, 0u);
+    EXPECT_EQ(u.prog.text()[2].branchTarget, 4u);
+    EXPECT_EQ(u.prog.text()[3].branchTarget, 4u);
+}
+
+TEST(AsmParser, AbsoluteTargetInRange)
+{
+    const AsmUnit u = parseOk(
+        "    movi r1, 1\n"
+        "    beq r1, r0, @2\n"
+        "    halt\n");
+    ASSERT_EQ(u.prog.size(), 3u);
+    EXPECT_EQ(u.prog.text()[1].branchTarget, 2u);
+}
+
+TEST(AsmParser, DataDirectivesBuildImage)
+{
+    const AsmUnit u = parseOk(
+        ".data 0x1000\n"
+        ".byte 1, 2, 0xff\n"
+        ".word 0x1122334455667788\n"
+        ".data 0x2000\n"
+        ".byte 9\n"
+        "    halt\n");
+    const auto &img = u.prog.initialData();
+    EXPECT_EQ(img.size(), 12u);
+    EXPECT_EQ(img.at(0x1000), 1u);
+    EXPECT_EQ(img.at(0x1001), 2u);
+    EXPECT_EQ(img.at(0x1002), 0xffu);
+    EXPECT_EQ(img.at(0x1003), 0x88u);  // LE low byte of the .word
+    EXPECT_EQ(img.at(0x100a), 0x11u);
+    EXPECT_EQ(img.at(0x2000), 9u);
+}
+
+TEST(AsmParser, NameAndClassDirectives)
+{
+    const AsmUnit u =
+        parseOk(".name my_test\n.class fp\n    halt\n");
+    EXPECT_EQ(u.prog.name(), "my_test");
+    EXPECT_EQ(u.prog.workloadClass(), WorkloadClass::Fp);
+
+    const AsmUnit v = parseOk("    halt\n");
+    EXPECT_EQ(v.prog.name(), "t");  // caller-supplied default
+    EXPECT_EQ(v.prog.workloadClass(), WorkloadClass::Int);
+}
+
+TEST(AsmParser, TrailingHaltAppendedByBuild)
+{
+    const AsmUnit u = parseOk("    movi r1, 1\n");
+    ASSERT_EQ(u.prog.size(), 2u);
+    EXPECT_EQ(u.prog.text()[1].op, Op::HALT);
+}
+
+TEST(AsmParser, ExpectBlockAllKindsAndScopes)
+{
+    const AsmUnit u = parseOk(R"(
+    halt
+;; expect: stat sfc_forwards >= 1
+;; expect: reg r7 == 0x99
+;; expect: mem 0x500000 8 != 0
+;; expect@enf: stat viol_true < 2
+;; expect@lsq48x32: stat lsq_forwards <= 3
+;; expect: stat cycles > 0
+)");
+    ASSERT_EQ(u.expects.size(), 6u);
+    EXPECT_EQ(u.expects[0].kind, ExpectKind::Stat);
+    EXPECT_EQ(u.expects[0].stat, "sfc_forwards");
+    EXPECT_EQ(u.expects[0].cmp, ExpectCmp::Ge);
+    EXPECT_EQ(u.expects[0].value, 1u);
+    EXPECT_TRUE(u.expects[0].config.empty());
+    EXPECT_EQ(u.expects[0].line, 3u);
+
+    EXPECT_EQ(u.expects[1].kind, ExpectKind::Reg);
+    EXPECT_EQ(u.expects[1].reg, 7u);
+    EXPECT_EQ(u.expects[1].value, 0x99u);
+
+    EXPECT_EQ(u.expects[2].kind, ExpectKind::Mem);
+    EXPECT_EQ(u.expects[2].addr, 0x500000u);
+    EXPECT_EQ(u.expects[2].size, 8u);
+    EXPECT_EQ(u.expects[2].cmp, ExpectCmp::Ne);
+
+    EXPECT_EQ(u.expects[3].config, "enf");
+    EXPECT_EQ(u.expects[4].config, "lsq48x32");
+    EXPECT_EQ(u.expects[5].cmp, ExpectCmp::Gt);
+}
+
+TEST(AsmParser, ExpectsRoundTripThroughDisassembly)
+{
+    const AsmUnit u = parseOk(
+        "    movi r1, 1\n    halt\n"
+        ";; expect: stat cycles > 0\n"
+        ";; expect@enf: reg r1 == 1\n"
+        ";; expect: mem 0x10 2 >= 3\n");
+    const AsmUnit v = parseOk(disassembleAsm(u.prog, u.expects));
+    EXPECT_TRUE(u.prog == v.prog);
+    EXPECT_EQ(u.expects, v.expects);
+}
+
+TEST(AsmParser, ExpectCompareSemantics)
+{
+    EXPECT_TRUE(expectCompare(ExpectCmp::Eq, 5, 5));
+    EXPECT_FALSE(expectCompare(ExpectCmp::Eq, 5, 6));
+    EXPECT_TRUE(expectCompare(ExpectCmp::Ne, 5, 6));
+    EXPECT_TRUE(expectCompare(ExpectCmp::Lt, 5, 6));
+    EXPECT_FALSE(expectCompare(ExpectCmp::Lt, 6, 6));
+    EXPECT_TRUE(expectCompare(ExpectCmp::Le, 6, 6));
+    EXPECT_TRUE(expectCompare(ExpectCmp::Gt, 7, 6));
+    EXPECT_TRUE(expectCompare(ExpectCmp::Ge, 6, 6));
+    // Unsigned: -1 as u64 is huge, not small.
+    EXPECT_TRUE(expectCompare(ExpectCmp::Gt,
+                              static_cast<std::uint64_t>(-1), 0));
+}
+
+TEST(AsmParser, CommentsAndBlankLines)
+{
+    const AsmUnit u = parseOk(
+        "; whole-line comment\n"
+        "\n"
+        "    movi r1, 3   ; trailing comment\n"
+        "    halt;tight comment\n");
+    ASSERT_EQ(u.prog.size(), 2u);
+    EXPECT_EQ(u.prog.text()[0].imm, 3);
+}
+
+// ---------------------------------------------------------------------
+// Error paths: every diagnostic carries the right 1-based line.
+// ---------------------------------------------------------------------
+
+TEST(AsmParserErrors, UnboundLabelReportsFirstReferenceLine)
+{
+    EXPECT_EQ(errLine("    movi r1, 1\n"
+                      "    beq r1, r0, nowhere\n"
+                      "    halt\n"),
+              2u);
+}
+
+TEST(AsmParserErrors, BadMnemonic)
+{
+    EXPECT_EQ(errLine("    movi r1, 1\n    frobnicate r1, r2, r3\n"),
+              2u);
+}
+
+TEST(AsmParserErrors, OutOfRangeImmediate)
+{
+    EXPECT_EQ(errLine("    movi r1, 99999999999999999999999\n"), 1u);
+    EXPECT_EQ(errLine("    addi r1, r1, -99999999999999999999999\n"),
+              1u);
+}
+
+TEST(AsmParserErrors, TruncatedExpectBlock)
+{
+    EXPECT_EQ(errLine("    halt\n;; expect: stat sfc_forwards >=\n"),
+              2u);
+    EXPECT_EQ(errLine("    halt\n;; expect: stat\n"), 2u);
+    EXPECT_EQ(errLine("    halt\n;; expect: mem 0x10 8 ==\n"), 2u);
+    EXPECT_EQ(errLine("    halt\n;; expect:\n"), 2u);
+    EXPECT_EQ(errLine("    halt\n;; expect reg r1 == 1\n"), 2u);
+}
+
+TEST(AsmParserErrors, BadExpectShapes)
+{
+    EXPECT_EQ(errLine("    halt\n;; expect: stat cycles ~= 1\n"), 2u);
+    EXPECT_EQ(errLine("    halt\n;; expect: blah x == 1\n"), 2u);
+    EXPECT_EQ(errLine("    halt\n;; expect: mem 0x10 3 == 1\n"), 2u);
+    EXPECT_EQ(errLine("    halt\n;; expect@: stat cycles == 1\n"), 2u);
+    EXPECT_EQ(errLine("    halt\n;; not-an-expect\n"), 2u);
+}
+
+TEST(AsmParserErrors, RegisterOutOfRange)
+{
+    EXPECT_EQ(errLine("    movi r32, 1\n"), 1u);
+    EXPECT_EQ(errLine("    add r1, rx, r2\n"), 1u);
+}
+
+TEST(AsmParserErrors, OperandCountAndShape)
+{
+    EXPECT_EQ(errLine("    add r1, r2\n"), 1u);
+    EXPECT_EQ(errLine("    ld8 r1, r2\n"), 1u);      // not disp(reg)
+    EXPECT_EQ(errLine("    movi r1\n"), 1u);
+    EXPECT_EQ(errLine("    halt r1\n"), 1u);
+}
+
+TEST(AsmParserErrors, DataDirectiveMisuse)
+{
+    EXPECT_EQ(errLine(".byte 1\n"), 1u);             // before .data
+    EXPECT_EQ(errLine(".data 0x10\n.byte 256\n"), 2u);
+    EXPECT_EQ(errLine(".data\n"), 1u);
+    EXPECT_EQ(errLine(".sectionn foo\n"), 1u);
+    EXPECT_EQ(errLine(".class float\n"), 1u);
+}
+
+TEST(AsmParserErrors, DuplicateLabel)
+{
+    EXPECT_EQ(errLine("a:\n    nop\na:\n    halt\n"), 3u);
+}
+
+TEST(AsmParserErrors, AbsoluteTargetOutOfRange)
+{
+    EXPECT_EQ(errLine("    beq r1, r0, @7\n    halt\n"), 1u);
+}
+
+TEST(AsmParserErrors, MessageCarriesFileAndLine)
+{
+    try {
+        parseAsm("    bogus\n", "t", "dir/thing.s");
+        FAIL() << "expected AsmError";
+    } catch (const AsmError &e) {
+        EXPECT_NE(std::string(e.what()).find("dir/thing.s:1:"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Round-trip property: parse(disassemble(p)) == p.
+// ---------------------------------------------------------------------
+
+/** Mirror of the differential-fuzz fixed seed corpus. */
+const std::vector<std::uint64_t> kFuzzSeeds = {
+    0x1,    0x2a,        0xdead,     0xbeef,       0xc0ffee,
+    0x1234, 0x9e3779b9,  0xfeedface, 0x5ca1ab1e,   0x7,
+    0x77,   0x777,
+    0xba5eba11, 0xf1005eed, 0xa55e55ed, 0x0ddb0a7,
+    0xfaceb00c, 0x0babb1e5, 0xdeadfa11, 0x0b5e55ed,
+};
+
+/**
+ * Deterministic random program in the fuzz generator's image: a
+ * counted loop of aliasing mixed-size stores/loads, ALU dataflow,
+ * guarded stores behind short forward branches, and a random initial
+ * image — everything the frontend must re-express exactly.
+ */
+Program
+randomProgram(std::uint64_t seed)
+{
+    Rng rng(seed);
+    ProgramBuilder b("rt_" + std::to_string(seed),
+                     rng.below(2) ? WorkloadClass::Fp
+                                  : WorkloadClass::Int);
+    constexpr std::int64_t kBase = 0x0050'0000;
+
+    b.movi(1, kBase);
+    const unsigned slots = 4 + unsigned(rng.below(8));
+    for (unsigned s = 0; s < slots; ++s)
+        b.poke64(static_cast<Addr>(kBase) + 8 * s, rng.next());
+    for (RegIndex r = 2; r <= 9; ++r)
+        b.movi(r, static_cast<std::int64_t>(rng.next() & 0xffffff));
+
+    b.movi(10, 0);
+    b.movi(11, 3 + std::int64_t(rng.below(5)));
+    Label top = b.newLabel();
+    b.bind(top);
+
+    const unsigned body = 6 + unsigned(rng.below(12));
+    for (unsigned i = 0; i < body; ++i) {
+        const RegIndex d = RegIndex(2 + rng.below(8));
+        const RegIndex a = RegIndex(2 + rng.below(8));
+        const RegIndex c = RegIndex(2 + rng.below(8));
+        const std::int64_t disp = 8 * std::int64_t(rng.below(8));
+        switch (rng.below(12)) {
+          case 0: b.st8(a, 1, disp); break;
+          case 1: b.st4(a, 1, disp); break;
+          case 2: b.st2(a, 1, disp + 2); break;
+          case 3: b.st1(a, 1, disp + 5); break;
+          case 4: b.ld8(d, 1, disp); break;
+          case 5: b.ld4(d, 1, disp + 4); break;
+          case 6: b.ld2(d, 1, disp + 1); break;
+          case 7: {
+            // Guarded store: a short forward branch over it.
+            Label skip = b.newLabel();
+            b.beq(a, c, skip);
+            b.st8(d, 1, disp);
+            b.bind(skip);
+            break;
+          }
+          case 8: b.add(d, a, c); break;
+          case 9: b.xori(d, a, std::int64_t(rng.next() & 0xffff)); break;
+          case 10: b.fmul(d, a, c); break;
+          default: b.slt(d, a, c); break;
+        }
+    }
+
+    b.addi(10, 10, 1);
+    b.blt(10, 11, top);
+    b.halt();
+    return b.build();
+}
+
+TEST(AsmRoundTrip, FuzzSeedCorpus)
+{
+    for (const std::uint64_t seed : kFuzzSeeds) {
+        const Program p = randomProgram(seed);
+        const std::string text = disassembleAsm(p);
+        const Program q = parseAsm(text, p.name()).prog;
+        EXPECT_TRUE(p == q) << "seed 0x" << std::hex << seed;
+    }
+}
+
+TEST(AsmRoundTrip, TwoHundredRandomBuilderPrograms)
+{
+    Rng seeder(0x5eedf00d);
+    for (unsigned i = 0; i < 200; ++i) {
+        const std::uint64_t seed = seeder.next();
+        const Program p = randomProgram(seed);
+        const std::string text = disassembleAsm(p);
+        const Program q = parseAsm(text, p.name()).prog;
+        ASSERT_TRUE(p == q) << "iteration " << i << " seed 0x"
+                            << std::hex << seed;
+        // Disassembly is a fixed point: disassemble(parse(s)) == s.
+        EXPECT_EQ(text, disassembleAsm(q)) << "iteration " << i;
+    }
+}
+
+} // namespace

@@ -306,6 +306,76 @@ TEST(Campaign, ExhaustedRetriesRecordFatalWithoutAbortingCampaign)
     EXPECT_EQ(results[1].result.insts, 1u);
 }
 
+TEST(Campaign, RetryQuarantinedReRunsJournaledFailures)
+{
+    // A journaled quarantine sticks on a plain --resume but re-runs
+    // under retry_quarantined — and the fresh terminal record
+    // supersedes the old one on the *next* load (last-record-wins).
+    const std::string journal =
+        ::testing::TempDir() + "slfwd_retry_quarantined.jsonl";
+    std::remove(journal.c_str());
+
+    std::atomic<bool> heal{false};
+    std::atomic<unsigned> runs{0};
+    Campaign c("quarantine_retry");
+    JobSpec spec;
+    spec.config_name = "flaky";
+    spec.workload = "wl";
+    spec.runner = [&](const JobSpec &, const CoreConfig &, unsigned) {
+        ++runs;
+        if (!heal.load())
+            fatal("transient host failure");
+        SimResult r;
+        r.insts = 9;
+        return r;
+    };
+    c.addJob(std::move(spec));
+
+    CampaignOptions opts;
+    opts.jobs = 1;
+    opts.max_retries = 0;
+    opts.progress = false;
+    opts.journal_path = journal;
+
+    // Pass 1: the job quarantines and lands in the journal as fatal.
+    auto r = c.run(opts);
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_EQ(r[0].status, JobStatus::Fatal);
+    EXPECT_EQ(runs.load(), 1u);
+
+    // Pass 2: plain resume rehydrates the failure; the runner (now
+    // healed) must not be consulted at all.
+    heal.store(true);
+    opts.resume = true;
+    r = c.run(opts);
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_EQ(r[0].status, JobStatus::Fatal);
+    EXPECT_TRUE(r[0].rehydrated);
+    EXPECT_EQ(runs.load(), 1u);
+
+    // Pass 3: retry_quarantined discards the cached failure and
+    // re-runs it against the healed environment.
+    opts.retry_quarantined = true;
+    r = c.run(opts);
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_EQ(r[0].status, JobStatus::Ok);
+    EXPECT_EQ(r[0].result.insts, 9u);
+    EXPECT_FALSE(r[0].rehydrated);
+    EXPECT_EQ(runs.load(), 2u);
+
+    // Pass 4: the appended success superseded the quarantine record, so
+    // a plain resume now rehydrates the Ok result.
+    opts.retry_quarantined = false;
+    r = c.run(opts);
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_EQ(r[0].status, JobStatus::Ok);
+    EXPECT_EQ(r[0].result.insts, 9u);
+    EXPECT_TRUE(r[0].rehydrated);
+    EXPECT_EQ(runs.load(), 2u);
+
+    std::remove(journal.c_str());
+}
+
 TEST(Campaign, TimeoutStatusRendersDistinctFromFatal)
 {
     JobResult to;
@@ -490,7 +560,16 @@ TEST(Sweeps, ExpandExpectedJobCounts)
     EXPECT_EQ(makeAssocCampaign(so).jobCount(), 2u);
     EXPECT_EQ(makeFaultCampaign(so).jobCount(), 20u);
     EXPECT_THROW(makeSweep("nope", so), FatalError);
-    EXPECT_EQ(sweepNames().size(), 4u);
+    EXPECT_EQ(sweepNames().size(), 5u);
+
+    // One micro test under the config trio.
+    SweepOptions mo;
+    mo.corpus_dir = SLF_TEST_MICRO_DIR;
+    mo.bench_filter = "load_use";
+    EXPECT_EQ(makeMicroCampaign(mo).jobCount(), 3u);
+    // A filter matching nothing is a usage error, not an empty sweep.
+    mo.bench_filter = "no_such_test";
+    EXPECT_THROW(makeMicroCampaign(mo), FatalError);
 }
 
 TEST(Sweeps, FaultSweepRunsDeterministicallyAcrossThreadCounts)

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The directed micro-test corpus as a unit-test suite: every `.s`
+ * file under tests/micro runs under the campaign's config trio
+ * (lsq48x32, enf, notenf) with the GoldenChecker on, and every
+ * `;; expect:` assertion must hold. This is the in-process mirror of
+ * `slf_campaign --sweep micro`, so a corpus regression fails plain
+ * `ctest` without needing the CLI pipeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "campaign/sweeps.hh"
+#include "prog/asm_parser.hh"
+#include "driver/runner.hh"
+#include "verify/expectation.hh"
+#include "workloads/micro_corpus.hh"
+
+#ifndef SLF_TEST_MICRO_DIR
+#error "SLF_TEST_MICRO_DIR must point at tests/micro"
+#endif
+
+using namespace slf;
+
+namespace
+{
+
+const std::vector<MicroTest> &
+corpus()
+{
+    static const std::vector<MicroTest> tests =
+        loadMicroCorpus(SLF_TEST_MICRO_DIR);
+    return tests;
+}
+
+/** The micro sweep's config trio, identically prepared. */
+struct NamedConfig
+{
+    const char *name;
+    CoreConfig cfg;
+};
+
+std::vector<NamedConfig>
+microConfigs()
+{
+    std::vector<NamedConfig> out = {
+        {"lsq48x32", campaign::baselineLsq(48, 32)},
+        {"enf", campaign::baselineMdtSfc(MemDepMode::EnforceAll)},
+        {"notenf", campaign::baselineMdtSfc(MemDepMode::EnforceTrueOnly)},
+    };
+    for (auto &nc : out) {
+        nc.cfg.validate = true;
+        nc.cfg.oracle_fix_prob = 0.0;
+    }
+    return out;
+}
+
+TEST(MicroCorpus, LoadsAtLeastTwelveTests)
+{
+    EXPECT_GE(corpus().size(), 12u);
+    for (const MicroTest &t : corpus()) {
+        EXPECT_FALSE(t.unit.prog.text().empty()) << t.name;
+        EXPECT_FALSE(t.unit.expects.empty())
+            << t.name << ": a directed test must assert something";
+    }
+}
+
+TEST(MicroCorpus, EveryTestNamesItself)
+{
+    // Each file carries a .name matching its stem, so campaign JSON
+    // workload labels and per-program labels agree.
+    for (const MicroTest &t : corpus())
+        EXPECT_EQ(t.unit.prog.name(), t.name) << t.path;
+}
+
+TEST(MicroCorpus, SourcesRoundTripThroughDisassembler)
+{
+    for (const MicroTest &t : corpus()) {
+        const std::string text =
+            disassembleAsm(t.unit.prog, t.unit.expects);
+        const AsmUnit reparsed = parseAsm(text, t.name, t.path);
+        EXPECT_TRUE(t.unit.prog == reparsed.prog) << t.name;
+        EXPECT_EQ(t.unit.expects, reparsed.expects) << t.name;
+    }
+}
+
+TEST(MicroCorpus, StatExpectationsNameRealCounters)
+{
+    // Catch stat-name typos at load time, independent of config scoping
+    // (a scoped typo would otherwise only fail under that config).
+    for (const MicroTest &t : corpus()) {
+        for (const AsmExpect &e : t.unit.expects) {
+            if (e.kind != ExpectKind::Stat)
+                continue;
+            SimResult dummy;
+            EXPECT_TRUE(lookupStat(dummy, e.stat).has_value())
+                << t.name << " line " << e.line << ": unknown stat '"
+                << e.stat << "'";
+        }
+    }
+}
+
+TEST(MicroCorpus, AllExpectationsHoldUnderAllConfigs)
+{
+    for (const NamedConfig &nc : microConfigs()) {
+        for (const MicroTest &t : corpus()) {
+            const SimResult res = runWorkload(nc.cfg, t.unit.prog);
+            EXPECT_TRUE(res.checker_enabled) << t.name;
+            EXPECT_TRUE(res.checker_clean)
+                << t.name << " under " << nc.name
+                << ": golden checker diverged";
+            const auto failures = evaluateExpectations(
+                t.unit.expects, nc.name, res, t.unit.prog);
+            for (const ExpectFailure &f : failures)
+                ADD_FAILURE() << t.name << " under " << nc.name << ": "
+                              << f.toString();
+        }
+    }
+}
+
+} // namespace
