@@ -27,9 +27,9 @@ main(int argc, char **argv)
     double total_cam = 0, total_indexed = 0;
     for (const auto &info : selectedWorkloads(opts)) {
         const Program prog = info.make(wp);
-        const SimResult lsq = runWorkload(baselineLsq(48, 32), prog);
+        const SimResult lsq = runWorkload(presetByName("lsq48x32"), prog);
         const SimResult sfc =
-            runWorkload(baselineMdtSfc(MemDepMode::EnforceAll), prog);
+            runWorkload(presetByName("enf"), prog);
 
         const double lops = double(lsq.memOps() ? lsq.memOps() : 1);
         const double sops = double(sfc.memOps() ? sfc.memOps() : 1);

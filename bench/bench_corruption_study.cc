@@ -26,8 +26,8 @@ main(int argc, char **argv)
     for (const auto &info : selectedWorkloads(opts)) {
         const Program prog = info.make(wp);
         const SimResult sfc = runWorkload(
-            aggressiveMdtSfc(MemDepMode::EnforceAllTotalOrder), prog);
-        const SimResult lsq = runWorkload(aggressiveLsq(120, 80), prog);
+            presetByName("agg_total"), prog);
+        const SimResult lsq = runWorkload(presetByName("agg_lsq120x80"), prog);
 
         const double corr_rate = sfc.loads_retired
             ? 100.0 * double(sfc.load_replays_sfc_corrupt) /

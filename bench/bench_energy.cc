@@ -55,10 +55,10 @@ std::vector<CoreVariant>
 variants()
 {
     return {
-        {"baseline_lsq", "baseline_mdtsfc", baselineLsq(48, 32),
-         baselineMdtSfc(MemDepMode::EnforceAll), "baseline core"},
-        {"aggressive_lsq", "aggressive_mdtsfc", aggressiveLsq(120, 80),
-         aggressiveMdtSfc(MemDepMode::EnforceAllTotalOrder),
+        {"baseline_lsq", "baseline_mdtsfc", presetByName("lsq48x32"),
+         presetByName("enf"), "baseline core"},
+        {"aggressive_lsq", "aggressive_mdtsfc", presetByName("agg_lsq120x80"),
+         presetByName("agg_total"),
          "aggressive core"},
     };
 }

@@ -27,11 +27,11 @@ main(int argc, char **argv)
     for (const auto &info : selectedWorkloads(opts)) {
         const Program prog = info.make(wp);
         const SimResult t = runWorkload(
-            aggressiveMdtSfc(MemDepMode::EnforceTrueOnly), prog);
+            presetByName("agg_notenf"), prog);
         const SimResult p =
-            runWorkload(aggressiveMdtSfc(MemDepMode::EnforceAll), prog);
+            runWorkload(presetByName("agg_enf"), prog);
         const SimResult o = runWorkload(
-            aggressiveMdtSfc(MemDepMode::EnforceAllTotalOrder), prog);
+            presetByName("agg_total"), prog);
         printRow(info.name, {t.ipc, p.ipc, o.ipc});
         t_all.push_back(t.ipc);
         p_all.push_back(p.ipc);

@@ -33,11 +33,11 @@ main(int argc, char **argv)
     for (const auto &info : selectedWorkloads(opts)) {
         const Program prog = info.make(wp);
 
-        const SimResult ref = runWorkload(aggressiveLsq(120, 80), prog);
-        const SimResult big = runWorkload(aggressiveLsq(256, 256), prog);
-        const SimResult small = runWorkload(aggressiveLsq(48, 32), prog);
+        const SimResult ref = runWorkload(presetByName("agg_lsq120x80"), prog);
+        const SimResult big = runWorkload(presetByName("agg_lsq256x256"), prog);
+        const SimResult small = runWorkload(presetByName("agg_lsq48x32"), prog);
         const SimResult enf = runWorkload(
-            aggressiveMdtSfc(MemDepMode::EnforceAllTotalOrder), prog);
+            presetByName("agg_total"), prog);
 
         const double d = ref.ipc > 0 ? ref.ipc : 1;
         printRow(info.name,

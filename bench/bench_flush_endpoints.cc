@@ -24,7 +24,7 @@ namespace
 CoreConfig
 endpoints(unsigned ranges)
 {
-    CoreConfig c = aggressiveMdtSfc(MemDepMode::EnforceAllTotalOrder);
+    CoreConfig c = presetByName("agg_total");
     c.sfc.use_flush_endpoints = true;
     c.sfc.max_flush_ranges = ranges;
     return c;
@@ -56,7 +56,7 @@ main(int argc, char **argv)
     const WorkloadParams wp = workloadParams(opts);
 
     const CoreConfig masks =
-        aggressiveMdtSfc(MemDepMode::EnforceAllTotalOrder);
+        presetByName("agg_total");
 
     campaign::Campaign c("flush_endpoints");
     for (const auto &info : focusWorkloads(opts)) {

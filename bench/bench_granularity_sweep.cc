@@ -32,7 +32,7 @@ main(int argc, char **argv)
         for (const char *name : names) {
             const WorkloadInfo *info = findWorkload(name);
             const Program prog = info->make(wp);
-            CoreConfig cfg = baselineMdtSfc(MemDepMode::EnforceAll);
+            CoreConfig cfg = presetByName("enf");
             cfg.mdt.granularity = gran;
             const SimResult r = runWorkload(cfg, prog);
             ipcs.push_back(r.ipc);

@@ -80,7 +80,7 @@ main(int argc, char **argv)
         static_cast<unsigned>(opts.getUInt("reps", 5));
     const std::vector<Program> mix = workloadMix(scale);
 
-    const CoreConfig base = baselineMdtSfc(MemDepMode::EnforceAll);
+    const CoreConfig base = presetByName("enf");
 
     CoreConfig cfg_occ = base;
     cfg_occ.obs.sample_occupancy = true;

@@ -51,7 +51,7 @@ main(int argc, char **argv)
                 "(aggressive core, average IPC)\n\n");
 
     const CoreConfig base =
-        aggressiveMdtSfc(MemDepMode::EnforceAllTotalOrder);
+        presetByName("agg_total");
     std::printf("%-44s %8.3f\n", "conservative recovery (paper default)",
                 avgIpc(opts, base));
 

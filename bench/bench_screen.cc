@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Screening-backend throughput: how much cheaper a func_batch pass over
+ * the fig5 point set is than the timing backend it screens for. This is
+ * the number that justifies the mixed-fidelity screen sweep — phase 1
+ * must be an order of magnitude cheaper than the exact re-runs it
+ * prunes, or screening buys nothing.
+ *
+ * Runs the identical (config, workload) point list on both backends,
+ * min-of-N wall-clock each, and reports the speedup plus the screening
+ * model's aggregate error profile (architectural counters must agree
+ * exactly; cycles are expected to differ — that is the fidelity trade).
+ *
+ * Args: bench=<analog>  workload filter          (default: all analogs)
+ *       scale=N         iteration multiplier     (default 1)
+ *       reps=N          repetitions, min taken   (default 3)
+ *       jobs=N          worker threads           (default 1)
+ *       out=FILE        JSON summary (speedup, timings, census)
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "campaign/result_sink.hh"
+#include "campaign/sweeps.hh"
+#include "sim/logging.hh"
+
+using namespace slf;
+using namespace slf::bench;
+
+namespace
+{
+
+double
+timedRun(const campaign::Campaign &c,
+         const campaign::CampaignOptions &copts, std::uint64_t reps,
+         std::vector<campaign::JobResult> &results)
+{
+    using clock = std::chrono::steady_clock;
+    double best_ms = 0.0;
+    for (std::uint64_t r = 0; r < reps; ++r) {
+        const auto t0 = clock::now();
+        results = c.run(copts);
+        const auto t1 = clock::now();
+        const double ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        if (r == 0 || ms < best_ms)
+            best_ms = ms;
+    }
+    return best_ms;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Config opts = parseArgs(argc, argv);
+    const std::uint64_t reps = opts.getUInt("reps", 3);
+    const campaign::SweepOptions so = sweepOptions(opts);
+    const campaign::CampaignOptions copts = campaignOptions(opts);
+
+    // The same point list on both engines: makeScreenCampaign is the
+    // fig5 set on func_batch, makeFig5Campaign the fig5 set on timing.
+    const campaign::Campaign screen = campaign::makeScreenCampaign(so);
+    const campaign::Campaign timing = campaign::makeFig5Campaign(so);
+    if (screen.jobCount() != timing.jobCount())
+        fatal("screen/timing point lists diverged");
+
+    std::vector<campaign::JobResult> screen_res, timing_res;
+    const double screen_ms = timedRun(screen, copts, reps, screen_res);
+    const double timing_ms = timedRun(timing, copts, reps, timing_res);
+    const double speedup = screen_ms > 0 ? timing_ms / screen_ms : 0.0;
+
+    // Architectural agreement: the screening backend must retire the
+    // same instruction/load/store/branch census as the timing core.
+    std::uint64_t insts = 0, arch_mismatches = 0;
+    for (std::size_t i = 0; i < screen_res.size(); ++i) {
+        const SimResult &s = screen_res[i].result;
+        const SimResult &t = timing_res[i].result;
+        insts += s.insts;
+        if (s.insts != t.insts || s.loads_retired != t.loads_retired ||
+            s.stores_retired != t.stores_retired)
+            ++arch_mismatches;
+    }
+
+    printHeader("Screening backend vs timing (fig5 points, min of " +
+                    std::to_string(reps) + " reps)",
+                {"points", "timing ms", "screen ms", "speedup"});
+    printRow("fig5", {double(screen.jobCount()), timing_ms, screen_ms,
+                      speedup});
+    if (arch_mismatches)
+        fatal("screening backend diverged architecturally on " +
+              std::to_string(arch_mismatches) + " points");
+    if (speedup < 10.0)
+        std::fprintf(stderr,
+                     "warning: screening speedup %.1fx below the 10x "
+                     "target\n",
+                     speedup);
+
+    const std::string out = opts.getString("out");
+    if (!out.empty()) {
+        char buf[512];
+        std::snprintf(
+            buf, sizeof buf,
+            "{\n"
+            "  \"name\": \"bench_screen\",\n"
+            "  \"points\": %llu,\n"
+            "  \"scale\": %llu,\n"
+            "  \"reps\": %llu,\n"
+            "  \"sim_insts\": %llu,\n"
+            "  \"timing_ms\": %.3f,\n"
+            "  \"func_batch_ms\": %.3f,\n"
+            "  \"speedup\": %.2f,\n"
+            "  \"arch_mismatches\": %llu\n"
+            "}\n",
+            static_cast<unsigned long long>(screen.jobCount()),
+            static_cast<unsigned long long>(opts.getUInt("scale", 1)),
+            static_cast<unsigned long long>(reps),
+            static_cast<unsigned long long>(insts), timing_ms, screen_ms,
+            speedup, static_cast<unsigned long long>(arch_mismatches));
+        campaign::ResultSink::writeFileAtomic(out, buf);
+        std::printf("wrote %s\n", out.c_str());
+    }
+    return 0;
+}

@@ -37,9 +37,13 @@ sweepOptions(const Config &opts)
     so.fault_iters = opts.getUInt("iters", so.fault_iters);
     so.fault_rate = opts.getDouble("fault_rate", so.fault_rate);
     for (const std::string &key : opts.keys()) {
+        // Bench-harness keys (out=FILE, corpus=DIR, jobs/retries) must
+        // not leak into the per-job core-config overrides:
+        // applyOverrides() rejects unknown keys loudly.
         if (key == "scale" || key == "wseed" || key == "bench" ||
             key == "iters" || key == "fault_rate" || key == "jobs" ||
-            key == "retries")
+            key == "retries" || key == "out" || key == "corpus" ||
+            key == "reps")
             continue;
         so.overrides.set(key, opts.getString(key));
     }
@@ -105,34 +109,6 @@ selectedWorkloads(const Config &opts)
         if (filter.empty() || filter == info.name)
             out.push_back(info);
     return out;
-}
-
-// The core-config factories moved to the campaign sweep library so the
-// benches, the slf_campaign CLI and the tests share one definition;
-// these wrappers keep the historical bench-local names working.
-
-CoreConfig
-baselineLsq(std::size_t lq, std::size_t sq)
-{
-    return campaign::baselineLsq(lq, sq);
-}
-
-CoreConfig
-baselineMdtSfc(MemDepMode mode)
-{
-    return campaign::baselineMdtSfc(mode);
-}
-
-CoreConfig
-aggressiveLsq(std::size_t lq, std::size_t sq)
-{
-    return campaign::aggressiveLsq(lq, sq);
-}
-
-CoreConfig
-aggressiveMdtSfc(MemDepMode mode)
-{
-    return campaign::aggressiveMdtSfc(mode);
 }
 
 double

@@ -16,6 +16,7 @@
 
 #include "campaign/campaign.hh"
 #include "campaign/sweeps.hh"
+#include "cpu/config_preset.hh"
 #include "cpu/core_config.hh"
 #include "driver/runner.hh"
 #include "sim/config.hh"
@@ -67,17 +68,11 @@ findResult(const std::vector<campaign::JobResult> &results,
 /** The benchmark list, honouring an optional bench=<name> filter. */
 std::vector<WorkloadInfo> selectedWorkloads(const Config &opts);
 
-/** Baseline core with the idealized LSQ (store-set predictor). */
-CoreConfig baselineLsq(std::size_t lq, std::size_t sq);
-
-/** Baseline core with the paper's MDT/SFC in a given predictor mode. */
-CoreConfig baselineMdtSfc(MemDepMode mode);
-
-/** Aggressive core with the idealized LSQ. */
-CoreConfig aggressiveLsq(std::size_t lq, std::size_t sq);
-
-/** Aggressive core with the MDT/SFC. */
-CoreConfig aggressiveMdtSfc(MemDepMode mode);
+// Named cores come from the ConfigPreset registry: use
+// presetByName("lsq48x32") &c. (cpu/config_preset.hh, re-included
+// here) so every bench builds the exact CoreConfig the sweeps and
+// tests use. The old baselineLsq/baselineMdtSfc/aggressiveLsq/
+// aggressiveMdtSfc factory quartet is gone.
 
 /** Arithmetic mean (the paper's per-class average of normalized IPC). */
 double mean(const std::vector<double> &values);

@@ -37,11 +37,11 @@ std::vector<CoreVariant>
 variants()
 {
     std::vector<CoreVariant> out;
-    out.push_back({"baseline_", baselineLsq(48, 32),
-                   baselineMdtSfc(MemDepMode::EnforceAll),
+    out.push_back({"baseline_", presetByName("lsq48x32"),
+                   presetByName("enf"),
                    "baseline core (128-entry window)"});
-    out.push_back({"aggressive_", aggressiveLsq(120, 80),
-                   aggressiveMdtSfc(MemDepMode::EnforceAllTotalOrder),
+    out.push_back({"aggressive_", presetByName("agg_lsq120x80"),
+                   presetByName("agg_total"),
                    "aggressive core (1024-entry window)"});
     return out;
 }

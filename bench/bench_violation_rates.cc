@@ -29,9 +29,9 @@ main(int argc, char **argv)
     for (const auto &info : selectedWorkloads(opts)) {
         const Program prog = info.make(wp);
         const SimResult enf =
-            runWorkload(baselineMdtSfc(MemDepMode::EnforceAll), prog);
+            runWorkload(presetByName("enf"), prog);
         const SimResult notenf =
-            runWorkload(baselineMdtSfc(MemDepMode::EnforceTrueOnly), prog);
+            runWorkload(presetByName("notenf"), prog);
 
         const double enf_rate = enf.memOps()
             ? 1000.0 * double(enf.viol_anti + enf.viol_output) /
@@ -59,9 +59,9 @@ main(int argc, char **argv)
     for (const auto &info : selectedWorkloads(opts)) {
         const Program prog = info.make(wp);
         const SimResult enf = runWorkload(
-            aggressiveMdtSfc(MemDepMode::EnforceAllTotalOrder), prog);
+            presetByName("agg_total"), prog);
         const SimResult notenf = runWorkload(
-            aggressiveMdtSfc(MemDepMode::EnforceTrueOnly), prog);
+            presetByName("agg_notenf"), prog);
 
         const double gain = notenf.ipc > 0 ? enf.ipc / notenf.ipc : 0;
         printRow(info.name,

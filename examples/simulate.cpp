@@ -4,11 +4,14 @@
  * workload) under any configuration and print the full statistics.
  *
  * Usage:
- *   simulate <workload> [preset=baseline|aggressive] [key=value ...]
+ *   simulate <workload> [preset=NAME] [key=value ...]
+ *
+ * preset= accepts "baseline", "aggressive", or any name from the
+ * ConfigPreset registry (lsq48x32, enf, notenf, agg_total, ...).
  *
  * Examples:
  *   simulate mcf preset=aggressive
- *   simulate bzip2 subsys=lsq lsq.lq=48 lsq.sq=32
+ *   simulate bzip2 preset=lsq48x32
  *   simulate gzip memdep.mode=true scale=4 stats=1
  */
 
@@ -16,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "cpu/config_preset.hh"
 #include "cpu/ooo_core.hh"
 #include "driver/runner.hh"
 #include "sim/config.hh"
@@ -62,11 +66,13 @@ main(int argc, char **argv)
     wp.seed = overrides.getUInt("wseed", 42);
     const Program prog = info->make(wp);
 
-    CoreConfig cfg = overrides.getString("preset", "baseline") ==
-                             "aggressive"
-                         ? CoreConfig::aggressive()
-                         : CoreConfig::baseline();
-    applyOverrides(cfg, overrides);
+    const std::string preset = overrides.getString("preset", "baseline");
+    CoreConfig cfg = preset == "baseline"    ? CoreConfig::baseline()
+                     : preset == "aggressive" ? CoreConfig::aggressive()
+                                              : presetByName(preset);
+    applyOverrides(cfg,
+                   stripKeys(overrides, {"preset", "scale", "wseed",
+                                         "stats"}));
 
     std::printf("workload %s (%s): %s\n", info->name,
                 info->cls == WorkloadClass::Int ? "int" : "fp",

@@ -20,13 +20,14 @@ using namespace slf;
 int
 main(int argc, char **argv)
 {
-    Config overrides;
-    overrides.parseAssignments(
+    Config args;
+    args.parseAssignments(
         std::vector<std::string>(argv + 1, argv + argc));
 
     WorkloadParams wp;
-    wp.scale = overrides.getUInt("scale", 1);
-    wp.seed = overrides.getUInt("wseed", 42);
+    wp.scale = args.getUInt("scale", 1);
+    wp.seed = args.getUInt("wseed", 42);
+    const Config overrides = stripKeys(args, {"scale", "wseed"});
 
     std::printf("%-10s %5s | %7s %7s %7s | %6s %6s %6s | %7s\n",
                 "bench", "cls", "lsqIPC", "sfcIPC", "rel",

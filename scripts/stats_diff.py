@@ -8,6 +8,7 @@ threshold. Used as the CI gate against checked-in golden results:
     stats_diff.py golden.json current.json
     stats_diff.py --rel-tol 0.02 golden.json current.json
     stats_diff.py --per-stat ipc=0.05 --per-stat cycles=0.01 a.json b.json
+    stats_diff.py --profile screening exact.json screened.json
 
 Thresholds:
   * default is EXACT comparison (the simulator's campaign JSON is
@@ -16,6 +17,18 @@ Thresholds:
   * --abs-tol A allows |a-b| <= A;
   * --per-stat NAME=R overrides the relative tolerance for one stat
     name (the innermost JSON key, e.g. "ipc" or "refetch_cycles").
+
+Profiles:
+  * --profile screening compares a screening-fidelity (func_batch) run
+    against an exact (timing) run of the same points: the architectural
+    census (insts, loads_retired, stores_retired, branches_retired) and
+    the job identity (config, workload, status) must match EXACTLY;
+    every timing-model stat (cycles, ipc, cpi_stack, flush blame,
+    microarchitectural counters) is ignored — approximating those is
+    the entire point of the screening backend. Jobs are compared;
+    aggregates, schema version and fidelity labels are not (they
+    legitimately differ between a v5 mixed-fidelity file and a v4
+    exact one).
 
 A value passes if it is within EITHER the absolute or the relative
 tolerance. Structural differences (missing jobs, missing stats, type
@@ -65,9 +78,23 @@ def within(a, b, rel_tol, abs_tol):
     return False
 
 
+# The screening contract: a func_batch point must retire the identical
+# architectural census; everything else about its numbers is a model.
+SCREENING_EXACT = ("insts", "loads_retired", "stores_retired",
+                   "branches_retired", "config", "workload", "status")
+
+
 def diff_records(label, golden, current, opts, failures):
     paths_g = dict(walk("", golden))
     paths_c = dict(walk("", current))
+    if opts.profile == "screening":
+        for leaf in SCREENING_EXACT:
+            gv, cv = paths_g.get(leaf), paths_c.get(leaf)
+            if gv != cv:
+                failures.append(
+                    f"{label}: architectural stat '{leaf}' diverged "
+                    f"between fidelities: exact={gv} screening={cv}")
+        return
     for path, gv in paths_g.items():
         if path in ("index", "attempts"):
             continue  # layout bookkeeping, not simulator output
@@ -87,14 +114,20 @@ def diff_records(label, golden, current, opts, failures):
 
 def diff_files(golden, current, opts):
     failures = []
-    for top in ("schema_version", "campaign", "root_seed"):
-        if golden.get(top) != current.get(top):
-            failures.append(
-                f"header: {top} golden={golden.get(top)} "
-                f"current={current.get(top)}")
+    screening = opts.profile == "screening"
+    if not screening:
+        for top in ("schema_version", "campaign", "root_seed"):
+            if golden.get(top) != current.get(top):
+                failures.append(
+                    f"header: {top} golden={golden.get(top)} "
+                    f"current={current.get(top)}")
 
-    for section, key_fn in (("jobs", job_key),
-                            ("aggregates", lambda a: a.get("config", "?"))):
+    # In the screening profile only jobs are compared: aggregates are
+    # derived from them, and a v5 file keys aggregates per backend.
+    sections = ((("jobs", job_key),) if screening else
+                (("jobs", job_key),
+                 ("aggregates", lambda a: a.get("config", "?"))))
+    for section, key_fn in sections:
         gmap = {key_fn(j): j for j in golden.get(section, [])}
         cmap = {key_fn(j): j for j in current.get(section, [])}
         for key in gmap:
@@ -114,6 +147,7 @@ def self_test():
         rel_tol = 0.0
         abs_tol = 0.0
         per_stat = {}
+        profile = None
 
     base = {
         "schema_version": 3, "campaign": "t", "root_seed": 1,
@@ -153,6 +187,29 @@ def self_test():
     renum["jobs"][0]["index"] = 7
     assert diff_files(base, renum, Opts()) == [], "index should not gate"
 
+    # Screening profile: timing drift is fine, architectural drift and
+    # schema-version skew are not and are respectively fatal/ignored.
+    screen = Opts()
+    screen.profile = "screening"
+    exact = {
+        "schema_version": 4, "campaign": "t", "root_seed": 1,
+        "jobs": [{"config": "a", "workload": "w", "status": "ok",
+                  "insts": 1000, "loads_retired": 100, "cycles": 400,
+                  "ipc": 2.5}],
+        "aggregates": [{"config": "a", "cycles": 400}],
+    }
+    approx = json.loads(json.dumps(exact))
+    approx["schema_version"] = 5
+    approx["jobs"][0]["cycles"] = 300   # timing model: ignored
+    approx["jobs"][0]["ipc"] = 3.3
+    del approx["aggregates"]            # aggregates: not compared
+    assert diff_files(exact, approx, screen) == [], \
+        "screening profile gated a timing-only drift"
+    approx["jobs"][0]["insts"] = 999    # architectural: fatal
+    fails = diff_files(exact, approx, screen)
+    assert any("architectural stat 'insts' diverged" in f
+               for f in fails), fails
+
     print("stats_diff self-test: ok")
     return 0
 
@@ -177,6 +234,8 @@ def main(argv):
                     help="absolute tolerance (default: exact)")
     ap.add_argument("--per-stat", action="append", metavar="NAME=REL",
                     help="relative tolerance for one stat name")
+    ap.add_argument("--profile", choices=["screening"],
+                    help="named comparison profile (see module doc)")
     ap.add_argument("--self-test", action="store_true",
                     help="run built-in unit checks and exit")
     opts = ap.parse_args(argv)

@@ -17,13 +17,21 @@ RetireRecord
 FuncSim::step()
 {
     RetireRecord rec;
+    stepInto(rec);
+    return rec;
+}
+
+void
+FuncSim::stepInto(RetireRecord &rec)
+{
+    rec = RetireRecord{};  // caller storage may hold a stale record
 
     if (halted_) {
         rec.op = Op::HALT;
         rec.pc = pc_;
         rec.next_pc = pc_;
         rec.is_halt = true;
-        return rec;
+        return;
     }
 
     if (!prog_.validPc(pc_))
@@ -76,7 +84,6 @@ FuncSim::step()
 
     pc_ = rec.next_pc;
     ++insts_retired_;
-    return rec;
 }
 
 std::string
@@ -90,6 +97,15 @@ FuncSim::stateString(unsigned max_regs) const
     for (unsigned r = 1; r < n; ++r)
         oss << " r" << r << "=0x" << std::hex << regs_[r] << std::dec;
     return oss.str();
+}
+
+std::size_t
+FuncSim::stepBlock(RetireRecord *out, std::size_t max)
+{
+    std::size_t n = 0;
+    while (n < max && !halted_)
+        stepInto(out[n++]);
+    return n;
 }
 
 std::vector<RetireRecord>

@@ -1,0 +1,127 @@
+#include "config_preset.hh"
+
+#include "sim/logging.hh"
+
+namespace slf
+{
+
+namespace
+{
+
+CoreConfig
+lsqCore(CoreConfig cfg, std::size_t lq, std::size_t sq)
+{
+    cfg.subsys = MemSubsystem::LsqBaseline;
+    cfg.memdep.mode = MemDepMode::LsqStoreSet;
+    cfg.lsq.lq_entries = lq;
+    cfg.lsq.sq_entries = sq;
+    return cfg;
+}
+
+CoreConfig
+mdtSfcCore(CoreConfig cfg, MemDepMode mode)
+{
+    cfg.subsys = MemSubsystem::MdtSfc;
+    cfg.memdep.mode = mode;
+    return cfg;
+}
+
+std::vector<ConfigPreset>
+buildPresets()
+{
+    const CoreConfig base = CoreConfig::baseline();
+    const CoreConfig agg = CoreConfig::aggressive();
+
+    std::vector<ConfigPreset> out;
+    // Baseline idealized-LSQ size ladder (Section 3.1 sweep points).
+    struct LsqSize
+    {
+        std::size_t lq, sq;
+    };
+    static constexpr LsqSize kSizes[] = {{16, 12}, {32, 24}, {48, 32},
+                                         {64, 48}, {120, 80}, {256, 256}};
+    for (const LsqSize &s : kSizes) {
+        const std::string name = "lsq" + std::to_string(s.lq) + "x" +
+                                 std::to_string(s.sq);
+        out.push_back({name,
+                       "baseline 4-wide core, idealized " +
+                           std::to_string(s.lq) + "/" +
+                           std::to_string(s.sq) + "-entry LSQ",
+                       lsqCore(base, s.lq, s.sq)});
+    }
+    out.push_back({"enf",
+                   "baseline 4-wide core, MDT/SFC, enforce all "
+                   "dependences (ENF)",
+                   mdtSfcCore(base, MemDepMode::EnforceAll)});
+    out.push_back({"notenf",
+                   "baseline 4-wide core, MDT/SFC, enforce true "
+                   "dependences only (NOT-ENF)",
+                   mdtSfcCore(base, MemDepMode::EnforceTrueOnly)});
+
+    // Aggressive 8-wide variants (Figure 6 / Section 3.2 points).
+    static constexpr LsqSize kAggSizes[] = {{48, 32}, {120, 80},
+                                            {256, 256}};
+    for (const LsqSize &s : kAggSizes) {
+        const std::string name = "agg_lsq" + std::to_string(s.lq) + "x" +
+                                 std::to_string(s.sq);
+        out.push_back({name,
+                       "aggressive 8-wide core, idealized " +
+                           std::to_string(s.lq) + "/" +
+                           std::to_string(s.sq) + "-entry LSQ",
+                       lsqCore(agg, s.lq, s.sq)});
+    }
+    out.push_back({"agg_enf",
+                   "aggressive 8-wide core, MDT/SFC, enforce all "
+                   "dependences",
+                   mdtSfcCore(agg, MemDepMode::EnforceAll)});
+    out.push_back({"agg_notenf",
+                   "aggressive 8-wide core, MDT/SFC, enforce true "
+                   "dependences only",
+                   mdtSfcCore(agg, MemDepMode::EnforceTrueOnly)});
+    out.push_back({"agg_total",
+                   "aggressive 8-wide core, MDT/SFC, enforce all "
+                   "dependences in total order (Section 3.2)",
+                   mdtSfcCore(agg, MemDepMode::EnforceAllTotalOrder)});
+    return out;
+}
+
+} // namespace
+
+const std::vector<ConfigPreset> &
+configPresets()
+{
+    static const std::vector<ConfigPreset> presets = buildPresets();
+    return presets;
+}
+
+const ConfigPreset *
+findPreset(std::string_view name)
+{
+    for (const ConfigPreset &p : configPresets())
+        if (p.name == name)
+            return &p;
+    return nullptr;
+}
+
+CoreConfig
+presetByName(std::string_view name)
+{
+    if (const ConfigPreset *p = findPreset(name))
+        return p->cfg;
+    std::string valid;
+    for (const ConfigPreset &p : configPresets())
+        valid += (valid.empty() ? "" : ", ") + p.name;
+    fatal("unknown config preset '" + std::string(name) +
+          "' (valid: " + valid + ")");
+}
+
+std::vector<std::string>
+presetNames()
+{
+    std::vector<std::string> out;
+    for (const ConfigPreset &p : configPresets())
+        out.push_back(p.name);
+    return out;
+}
+
+} // namespace slf

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * ConfigPreset: the one registry of named core configurations.
+ *
+ * Every consumer that needs a named core — the campaign sweeps, the
+ * slf_campaign CLI, the figure benches, the micro-test suites — builds
+ * it through presetByName(), so a name like "lsq48x32" means the same
+ * CoreConfig everywhere: in a sweep's job list, in a bench table row,
+ * in the journal's identity digest and in a test's expectations. This
+ * replaced the old free-function factory quartet
+ * (baselineLsq/baselineMdtSfc/aggressiveLsq/aggressiveMdtSfc), whose
+ * call-site arguments let two "48x32 baselines" silently diverge.
+ *
+ * Naming scheme:
+ *  - "lsq<LQ>x<SQ>"       baseline 4-wide core, idealized LSQ
+ *  - "enf" / "notenf"     baseline core, MDT/SFC, EnforceAll /
+ *                         EnforceTrueOnly predictor mode
+ *  - "agg_*"              the same shapes on the aggressive 8-wide
+ *                         core; "agg_total" is the aggressive MDT/SFC
+ *                         in EnforceAllTotalOrder mode (the paper's
+ *                         Section 3.2 configuration)
+ */
+
+#ifndef SLFWD_CPU_CONFIG_PRESET_HH_
+#define SLFWD_CPU_CONFIG_PRESET_HH_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cpu/core_config.hh"
+
+namespace slf
+{
+
+/** One named, registered core configuration. */
+struct ConfigPreset
+{
+    std::string name;
+    std::string description;
+    CoreConfig cfg;
+};
+
+/** Every registered preset, in presentation order. */
+const std::vector<ConfigPreset> &configPresets();
+
+/** @return the preset named @p name, or nullptr. */
+const ConfigPreset *findPreset(std::string_view name);
+
+/**
+ * The CoreConfig of the preset named @p name; fatal() with the list of
+ * valid names when @p name is not registered (a typo in a sweep or
+ * bench must fail loudly, not fall back to a default core).
+ */
+CoreConfig presetByName(std::string_view name);
+
+/** All registered preset names, in presentation order. */
+std::vector<std::string> presetNames();
+
+} // namespace slf
+
+#endif // SLFWD_CPU_CONFIG_PRESET_HH_

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Backend: the named execution engines a campaign job can run on.
+ *
+ * A JobSpec selects its engine with a first-class BackendKind instead
+ * of the old untyped `runner` std::function seam, so the journal can
+ * digest it, the result sink can label it, and every dispatch goes
+ * through one registry:
+ *
+ *  - timing:     the OooCore cycle-accurate path (runWorkload) — the
+ *                default, exact fidelity.
+ *  - func_batch: the batched FuncSim screening engine — retires
+ *                straight-line regions in blocks and reports
+ *                approximate cycles from an issue-width + cache-miss +
+ *                mispredict model (see func_batch.hh). Screening
+ *                fidelity: architectural state is exact (validated
+ *                against a second, single-step FuncSim), timing is an
+ *                estimate.
+ *  - synthetic:  a test-installed stand-in (ScopedSyntheticBackend);
+ *                dispatching to it without one installed is fatal().
+ *
+ * The registry itself lives in runner.cc — one translation unit
+ * registers every engine and campaign.cc dispatches through
+ * backendFor(), so adding a backend is a one-file change.
+ */
+
+#ifndef SLFWD_DRIVER_BACKEND_HH_
+#define SLFWD_DRIVER_BACKEND_HH_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string_view>
+
+#include "verify/sim_result.hh"
+
+namespace slf
+{
+struct CoreConfig;
+}
+
+namespace slf::campaign
+{
+
+struct JobSpec;
+
+/** Which execution engine a job runs on. */
+enum class BackendKind : std::uint8_t
+{
+    Timing = 0,     ///< OooCore cycle-accurate path
+    FuncBatch = 1,  ///< batched FuncSim screening path
+    Synthetic = 2,  ///< test-installed stand-in
+};
+
+/** How trustworthy a backend's timing numbers are. */
+enum class Fidelity : std::uint8_t
+{
+    Exact = 0,      ///< cycle-accurate
+    Screening = 1,  ///< architectural state exact, cycles approximate
+};
+
+/** Canonical JSON/journal name ("timing", "func_batch", "synthetic"). */
+const char *backendKindName(BackendKind k);
+
+/** Parse a canonical backend name; empty on an unknown one. */
+std::optional<BackendKind> backendKindFromName(std::string_view name);
+
+/** Canonical JSON name ("exact", "screening"). */
+const char *fidelityName(Fidelity f);
+
+/** One registered execution engine. */
+class Backend
+{
+  public:
+    virtual ~Backend() = default;
+
+    virtual const char *name() const = 0;
+    virtual Fidelity fidelity() const = 0;
+
+    /**
+     * Run one job attempt. @p cfg is the fully seeded config (seeds
+     * derived, observability pointers nulled, deadline armed); @p spec
+     * supplies the program factory and labels. May throw FatalError /
+     * JobTimeout — the campaign retry loop handles both.
+     */
+    virtual SimResult run(const JobSpec &spec, const CoreConfig &cfg,
+                          unsigned attempt) const = 0;
+};
+
+/**
+ * The registered engine for @p kind. fatal() when nothing is
+ * registered (only possible for Synthetic outside a
+ * ScopedSyntheticBackend scope).
+ */
+const Backend &backendFor(BackendKind kind);
+
+/**
+ * Test seam: installs a function as the Synthetic backend for the
+ * lifetime of the object (replacing any previous one; restores it on
+ * destruction). Campaign tests set JobSpec::backend to Synthetic and
+ * dispatch on the job labels inside the function — the per-job lambda
+ * seam this replaced let two jobs of one campaign silently run
+ * different engines.
+ */
+class ScopedSyntheticBackend
+{
+  public:
+    using Fn = std::function<SimResult(const JobSpec &,
+                                       const CoreConfig &, unsigned)>;
+
+    explicit ScopedSyntheticBackend(Fn fn);
+    ~ScopedSyntheticBackend();
+
+    ScopedSyntheticBackend(const ScopedSyntheticBackend &) = delete;
+    ScopedSyntheticBackend &
+    operator=(const ScopedSyntheticBackend &) = delete;
+
+  private:
+    Fn prev_;  ///< restored on destruction (scopes nest)
+};
+
+} // namespace slf::campaign
+
+#endif // SLFWD_DRIVER_BACKEND_HH_

@@ -51,16 +51,6 @@ Campaign::addJob(JobSpec spec)
 namespace
 {
 
-SimResult
-defaultRunner(const JobSpec &spec, const CoreConfig &cfg, unsigned)
-{
-    if (!spec.make_prog)
-        fatal("campaign job '" + spec.config_name + "/" + spec.workload +
-              "' has no program factory");
-    const Program prog = spec.make_prog();
-    return runWorkload(cfg, prog);
-}
-
 /** Run one job to completion, retrying fatal() deaths and deadline
  *  expiries with backoff; exhausted jobs come back quarantined
  *  (status Fatal/Timeout) with the last error and the seeds of the
@@ -72,6 +62,11 @@ runJob(const JobSpec &spec, std::size_t index, const CampaignOptions &opts)
     jr.index = index;
     jr.config_name = spec.config_name;
     jr.workload = spec.workload;
+    jr.backend = spec.backend;
+
+    // Resolve the engine once, outside the retry loop: an unregistered
+    // backend is a campaign bug, not a per-attempt failure to retry.
+    const Backend &backend = backendFor(spec.backend);
 
     for (unsigned attempt = 0;; ++attempt) {
         jr.attempts = attempt + 1;
@@ -98,8 +93,7 @@ runJob(const JobSpec &spec, std::size_t index, const CampaignOptions &opts)
         jr.fault_seed = cfg.fault.seed;
 
         try {
-            jr.result = spec.runner ? spec.runner(spec, cfg, attempt)
-                                    : defaultRunner(spec, cfg, attempt);
+            jr.result = backend.run(spec, cfg, attempt);
             jr.status = JobStatus::Ok;
             jr.error.clear();
             return jr;
@@ -144,6 +138,19 @@ Campaign::run(const CampaignOptions &opts) const
                    std::to_string(ls.dropped) + " torn/invalid lines "
                    "dropped, " + std::to_string(ls.mismatched) +
                    " stale records ignored)");
+        }
+        // Compaction: a many-times-resumed campaign (specs edited
+        // between resumes, --retry-quarantined supersessions) accretes
+        // stale records forever. Once they outnumber the live ones
+        // (stale fraction > 50%), atomically rewrite the journal as
+        // header + the currently valid records.
+        if (ls.header_valid && ls.mismatched > ls.records) {
+            JobJournal::compact(opts.journal_path, name_,
+                                opts.root_seed, jobs_, cached);
+            inform("journal: compacted (" +
+                   std::to_string(ls.mismatched) +
+                   " stale records dropped, " +
+                   std::to_string(ls.records) + " kept)");
         }
         // Operator escape hatch: give journaled failures a fresh run
         // instead of rehydrating the quarantine record. The new

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "cpu/core_config.hh"
+#include "driver/backend.hh"
 #include "driver/runner.hh"
 #include "prog/program.hh"
 
@@ -66,13 +67,11 @@ struct JobSpec
     bool derive_seeds = false;
 
     /**
-     * Test seam: replaces the default runner (build program, run
-     * core, harvest SimResult). Receives the fully seeded config and
-     * the 0-based attempt number.
+     * Which execution engine runs this job (see backend.hh). Part of
+     * the job's identity: the journal digests it, so a journaled
+     * screening record can never rehydrate into a timing job.
      */
-    std::function<SimResult(const JobSpec &, const CoreConfig &,
-                            unsigned attempt)>
-        runner;
+    BackendKind backend = BackendKind::Timing;
 };
 
 enum class JobStatus : std::uint8_t
@@ -94,6 +93,10 @@ struct JobResult
     JobStatus status = JobStatus::Ok;
     unsigned attempts = 0;      ///< total attempts made (>= 1)
     std::string error;          ///< last fatal()/timeout message, if any
+
+    /** Engine the job ran on (copied from the spec; the sink labels
+     *  each record's fidelity from it in mixed-fidelity campaigns). */
+    BackendKind backend = BackendKind::Timing;
 
     /** Seeds the last attempt actually ran with (offline repro of a
      *  quarantined job; equal to the spec's own seeds when the job

@@ -585,7 +585,7 @@ headerLine(const std::string &campaign_name, std::uint64_t root_seed,
            std::size_t job_count)
 {
     std::ostringstream os;
-    os << "{\"journal\":\"slf-campaign\",\"version\":1,\"campaign\":\""
+    os << "{\"journal\":\"slf-campaign\",\"version\":2,\"campaign\":\""
        << jsonEscape(campaign_name) << "\",\"root_seed\":" << root_seed
        << ",\"jobs\":" << job_count;
     return sealLine(os.str());
@@ -650,6 +650,10 @@ JobJournal::specDigest(const JobSpec &spec, std::size_t job_index,
     f.u64(job_index);
     f.u64(root_seed);
     f.u64(spec.derive_seeds ? 1 : 0);
+    // Backend identity: a screening (func_batch) record must never
+    // rehydrate into a timing job or vice versa — same labels, very
+    // different numbers.
+    f.u64(static_cast<std::uint64_t>(spec.backend));
 
     // Salient core-config identity: the fields sweeps actually vary.
     const CoreConfig &c = spec.cfg;
@@ -691,6 +695,7 @@ JobJournal::recordLine(const JobResult &jr, std::uint64_t digest)
     std::snprintf(dig, sizeof(dig), "%016llx",
                   static_cast<unsigned long long>(digest));
     os << "{\"job\":" << jr.index << ",\"digest\":\"" << dig << "\""
+       << ",\"backend\":\"" << backendKindName(jr.backend) << "\""
        << ",\"status\":\"" << jobStatusName(jr.status) << "\""
        << ",\"attempts\":" << jr.attempts
        << ",\"core_seed\":" << jr.core_seed
@@ -806,6 +811,9 @@ JobJournal::load(const std::string &path,
         jr.index = idx;
         jr.config_name = jobs[idx].config_name;
         jr.workload = jobs[idx].workload;
+        // The digest covers the backend, so a match implies the
+        // record's engine is the spec's engine.
+        jr.backend = jobs[idx].backend;
         jr.attempts = unsigned(attempts->asU64());
         jr.error = error->str;
         if (const Jv *f = rec.find("core_seed"))
@@ -993,6 +1001,44 @@ JobJournal::append(const JobResult &jr, std::uint64_t digest)
     ++appended_;
     if (hooks_ && hooks_->after_append)
         hooks_->after_append(n);
+}
+
+void
+JobJournal::compact(const std::string &path,
+                    const std::string &campaign_name,
+                    std::uint64_t root_seed,
+                    const std::vector<JobSpec> &jobs,
+                    const std::vector<std::optional<JobResult>> &keep)
+{
+    std::string content =
+        headerLine(campaign_name, root_seed, jobs.size()) + "\n";
+    for (std::size_t i = 0; i < keep.size() && i < jobs.size(); ++i) {
+        if (!keep[i])
+            continue;
+        content +=
+            recordLine(*keep[i], specDigest(jobs[i], i, root_seed));
+        content += "\n";
+    }
+
+    // tmp + fsync + rename: a death at any point leaves either the old
+    // journal or the fully-written new one, never a mix.
+    const std::string tmp =
+        path + ".compact." + std::to_string(::getpid());
+    const int fd =
+        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        fatal("journal '" + tmp +
+              "': cannot open for compaction: " + std::strerror(errno));
+    writeFully(fd, content.data(), content.size(), tmp);
+    if (::fsync(fd) != 0) {
+        ::close(fd);
+        fatal("journal '" + tmp + "': fsync failed");
+    }
+    ::close(fd);
+    if (::rename(tmp.c_str(), path.c_str()) != 0)
+        fatal("journal '" + path + "': compaction rename failed: " +
+              std::strerror(errno));
+    fsyncParentDir(path);
 }
 
 } // namespace slf::campaign

@@ -150,6 +150,20 @@ class JobJournal
     static std::string recordLine(const JobResult &jr,
                                   std::uint64_t digest);
 
+    /**
+     * Atomically rewrite @p path as a fresh journal holding the header
+     * plus exactly the rehydrated records in @p keep (engaged slots,
+     * in job-index order), dropping every stale/mismatched line. Used
+     * by the campaign layer when a many-times-resumed journal's stale
+     * fraction passes 50%. Crash-safe: tmp + fsync + rename, so a
+     * death mid-compaction leaves the old journal intact.
+     */
+    static void compact(const std::string &path,
+                        const std::string &campaign_name,
+                        std::uint64_t root_seed,
+                        const std::vector<JobSpec> &jobs,
+                        const std::vector<std::optional<JobResult>> &keep);
+
   private:
     void writeLine(const std::string &line, bool torn);
 

@@ -165,27 +165,51 @@ emitCounters(std::ostringstream &os, const std::string &indent,
 std::string
 ResultSink::toJson(const std::string &campaign_name,
                    std::uint64_t root_seed,
-                   const std::vector<JobResult> &results)
+                   const std::vector<JobResult> &results,
+                   const ScreenInfo *screen)
 {
     bool any_obs = false;
     bool any_cpi = false;
     bool any_failed = false;
+    bool any_screening = screen != nullptr;
     for (const JobResult &jr : results) {
         any_obs = any_obs || jr.result.occ.enabled();
         any_cpi = any_cpi || jr.result.cpi.total() > 0;
         any_failed = any_failed || !jr.ok();
+        any_screening =
+            any_screening ||
+            backendFor(jr.backend).fidelity() == Fidelity::Screening;
     }
 
     std::ostringstream os;
     os << "{\n";
     os << "  \"schema_version\": "
-       << (any_failed ? kSchemaVersionFailures
-           : any_cpi  ? kSchemaVersionCpi
-           : any_obs  ? kSchemaVersionObs
-                      : kSchemaVersion)
+       << (any_screening ? kSchemaVersionMixed
+           : any_failed  ? kSchemaVersionFailures
+           : any_cpi     ? kSchemaVersionCpi
+           : any_obs     ? kSchemaVersionObs
+                         : kSchemaVersion)
        << ",\n";
     os << "  \"campaign\": \"" << jsonEscape(campaign_name) << "\",\n";
     os << "  \"root_seed\": " << root_seed << ",\n";
+
+    // Schema v5: selection-rule provenance, rendered before the jobs so
+    // a reader knows how to interpret the fidelity labels below.
+    if (screen) {
+        os << "  \"screen\": {\n";
+        os << "    \"stat\": \"" << jsonEscape(screen->stat) << "\",\n";
+        if (screen->top_k)
+            os << "    \"rule\": \"top_k\",\n"
+               << "    \"top_k\": " << screen->top_k << ",\n";
+        else
+            os << "    \"rule\": \"threshold\",\n"
+               << "    \"threshold\": " << jsonDouble(screen->threshold)
+               << ",\n";
+        os << "    \"screened\": " << screen->screened << ",\n";
+        os << "    \"reran\": " << screen->reran << "\n";
+        os << "  },\n";
+    }
+
     os << "  \"jobs\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
         const JobResult &jr = results[i];
@@ -195,6 +219,12 @@ ResultSink::toJson(const std::string &campaign_name,
            << "\",\n";
         os << "      \"workload\": \"" << jsonEscape(jr.workload)
            << "\",\n";
+        if (any_screening) {
+            const Backend &b = backendFor(jr.backend);
+            os << "      \"backend\": \"" << b.name() << "\",\n";
+            os << "      \"fidelity\": \"" << fidelityName(b.fidelity())
+               << "\",\n";
+        }
         os << "      \"status\": \"" << jobStatusName(jr.status)
            << "\",\n";
         os << "      \"attempts\": " << jr.attempts << ",\n";
@@ -205,12 +235,20 @@ ResultSink::toJson(const std::string &campaign_name,
     os << "  ],\n";
 
     // Per-config aggregates: every successful job's counters merged.
-    // std::map keys keep the section sorted and deterministic.
-    std::map<std::string, std::pair<SimResult, std::size_t>> agg;
+    // std::map keys keep the section sorted and deterministic. In v5
+    // the key gains the backend so screening estimates never average
+    // into exact numbers; in v1-v4 every job has the same (timing)
+    // fidelity and the key degenerates to the config name, keeping the
+    // section byte-identical to the pre-backend layout.
+    std::map<std::pair<std::string, std::string>,
+             std::pair<SimResult, std::size_t>>
+        agg;
     for (const JobResult &jr : results) {
         if (!jr.ok())
             continue;
-        auto &slot = agg[jr.config_name];
+        const std::string bname =
+            any_screening ? backendFor(jr.backend).name() : "";
+        auto &slot = agg[{jr.config_name, bname}];
         slot.first.mergeFrom(jr.result);
         ++slot.second;
     }
@@ -218,7 +256,19 @@ ResultSink::toJson(const std::string &campaign_name,
     std::size_t n = 0;
     for (const auto &kv : agg) {
         os << "    {\n";
-        os << "      \"config\": \"" << jsonEscape(kv.first) << "\",\n";
+        os << "      \"config\": \"" << jsonEscape(kv.first.first)
+           << "\",\n";
+        if (any_screening) {
+            const std::string &bname = kv.first.second;
+            const auto kind = backendKindFromName(bname);
+            os << "      \"backend\": \"" << jsonEscape(bname)
+               << "\",\n";
+            os << "      \"fidelity\": \""
+               << fidelityName(backendFor(kind ? *kind
+                                               : BackendKind::Timing)
+                                   .fidelity())
+               << "\",\n";
+        }
         os << "      \"jobs\": " << kv.second.second << ",\n";
         emitCounters(os, "      ", kv.second.first);
         os << "    }" << (++n < agg.size() ? "," : "") << "\n";

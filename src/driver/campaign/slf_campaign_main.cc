@@ -3,7 +3,8 @@
  * slf_campaign: parallel experiment orchestrator CLI.
  *
  * Usage:
- *   slf_campaign --sweep fig5|lsq_size|assoc|fault|micro [--jobs N]
+ *   slf_campaign --sweep fig5|lsq_size|assoc|fault|micro|screen
+ *                [--jobs N]
  *                [--out results/fig5.json] [--retries N] [--seed S]
  *                [--journal FILE] [--resume] [--retry-quarantined]
  *                [--job-timeout-ms N] [--expect-report FILE]
@@ -15,8 +16,24 @@
  *   iters=N fault_rate=R           fault-sweep shape
  *   corpus=DIR                     micro-sweep .s directory
  *                                  (default tests/micro)
+ *   screen.threshold=R             screen sweep: re-run points whose
+ *                                  selection stat exceeds R (0.25)
+ *   screen.stat=NAME               selection stat: stall_frac or any
+ *                                  canonical SimResult counter name
+ *   screen.top=K                   re-run the K highest-stat points
+ *                                  instead of the threshold rule
  *   anything else                  forwarded to applyOverrides() on
  *                                  every job's core config
+ *
+ * The screen sweep is the mixed-fidelity flow: phase 1 runs the whole
+ * fig5 point set on the fast func_batch screening backend; phase 2
+ * re-runs exactly the points picked by the selection rule on the exact
+ * timing backend (phase-2 journal: `<journal>.exact`). The --out file
+ * is a single schema-v5 JSON mixing both fidelities — every record is
+ * labeled with its backend and fidelity, aggregates are keyed
+ * (config, backend), and the "screen" section records the selection
+ * rule and the re-run count. Both phases are deterministic, so the
+ * merged file keeps the byte-identical --jobs/--resume contract.
  *
  * Crash safety: --journal FILE appends one fsync'd record per finished
  * job to a write-ahead JSONL journal; after a crash (SIGKILL, OOM,
@@ -175,29 +192,72 @@ main(int argc, char **argv)
         return 2;
     }
 
-    sopts.scale = kv.getUInt("scale", sopts.scale);
-    sopts.wseed = kv.getUInt("wseed", sopts.wseed);
-    sopts.bench_filter = kv.getString("bench");
-    sopts.fault_iters = kv.getUInt("iters", sopts.fault_iters);
-    sopts.fault_rate = kv.getDouble("fault_rate", sopts.fault_rate);
-    if (!kv.getString("corpus").empty())
-        sopts.corpus_dir = kv.getString("corpus");
-    // Everything else is a core-config override applied to every job
-    // (Config has no erase, so rebuild without the sweep-shape keys).
-    for (const std::string &key : kv.keys()) {
-        if (key == "scale" || key == "wseed" || key == "bench" ||
-            key == "iters" || key == "fault_rate" || key == "corpus")
-            continue;
-        sopts.overrides.set(key, kv.getString(key));
-    }
-
     try {
+        sopts.scale = kv.getUInt("scale", sopts.scale);
+        sopts.wseed = kv.getUInt("wseed", sopts.wseed);
+        sopts.bench_filter = kv.getString("bench");
+        sopts.fault_iters = kv.getUInt("iters", sopts.fault_iters);
+        sopts.fault_rate = kv.getDouble("fault_rate", sopts.fault_rate);
+        if (!kv.getString("corpus").empty())
+            sopts.corpus_dir = kv.getString("corpus");
+        sopts.withScreenThreshold(
+            kv.getDouble("screen.threshold", sopts.screen_threshold));
+        if (kv.has("screen.stat"))
+            sopts.withScreenStat(kv.getString("screen.stat"));
+        sopts.withScreenTop(kv.getUInt("screen.top", sopts.screen_top));
+        // Everything else is a core-config override applied to every
+        // job (Config has no erase, so rebuild without the sweep-shape
+        // keys). applyOverrides() rejects unknown keys with the full
+        // list of valid ones.
+        for (const std::string &key : kv.keys()) {
+            if (key == "scale" || key == "wseed" || key == "bench" ||
+                key == "iters" || key == "fault_rate" ||
+                key == "corpus" || key == "screen.threshold" ||
+                key == "screen.stat" || key == "screen.top")
+                continue;
+            sopts.overrides.set(key, kv.getString(key));
+        }
+
         const Campaign c = makeSweep(sweep, sopts);
         std::fprintf(stderr, "campaign '%s': %zu jobs, %u workers\n",
                      c.name().c_str(), c.jobCount(), copts.jobs);
 
         const auto t0 = std::chrono::steady_clock::now();
-        const std::vector<JobResult> results = c.run(copts);
+        std::vector<JobResult> results = c.run(copts);
+
+        // Screen sweep, phase 2: pick the screened points that deserve
+        // an exact run and re-run them on the timing backend. The
+        // merged result list keeps phase-1 indices and appends the
+        // exact runs after them, so the --out file shows both numbers
+        // for every re-run point.
+        ScreenInfo screen_info;
+        const bool is_screen = sweep == "screen";
+        if (is_screen) {
+            const std::vector<std::size_t> sel =
+                selectForExactRerun(results, sopts);
+            const Campaign exact_c =
+                makeScreenExactCampaign(sopts, sel);
+            std::fprintf(stderr,
+                         "campaign 'screen_exact': %zu of %zu screened "
+                         "points selected for exact re-run\n",
+                         exact_c.jobCount(), results.size());
+            CampaignOptions exact_opts = copts;
+            if (!copts.journal_path.empty())
+                exact_opts.journal_path = copts.journal_path + ".exact";
+            std::vector<JobResult> exact = exact_c.run(exact_opts);
+
+            screen_info.stat = sopts.screen_stat;
+            screen_info.threshold = sopts.screen_threshold;
+            screen_info.top_k = sopts.screen_top;
+            screen_info.screened = results.size();
+            screen_info.reran = exact.size();
+            const std::size_t offset = results.size();
+            for (JobResult &jr : exact) {
+                jr.index += offset;
+                results.push_back(std::move(jr));
+            }
+        }
+
         const auto t1 = std::chrono::steady_clock::now();
         const double secs =
             std::chrono::duration<double>(t1 - t0).count();
@@ -219,8 +279,9 @@ main(int argc, char **argv)
                     c.name().c_str(), ok, fatal_jobs, timeout_jobs,
                     retried, secs);
 
-        const std::string json =
-            ResultSink::toJson(c.name(), copts.root_seed, results);
+        const std::string json = ResultSink::toJson(
+            c.name(), copts.root_seed, results,
+            is_screen ? &screen_info : nullptr);
         if (!out_path.empty()) {
             ResultSink::writeFileAtomic(out_path, json);
             std::printf("wrote %s (%zu bytes)\n", out_path.c_str(),

@@ -1,6 +1,11 @@
 #include "sweeps.hh"
 
+#include <algorithm>
+
+#include "cpu/config_preset.hh"
+#include "func_batch.hh"
 #include "sim/logging.hh"
+#include "verify/expectation.hh"
 #include "workloads/micro_corpus.hh"
 #include "workloads/workloads.hh"
 
@@ -35,60 +40,62 @@ analogJob(const std::string &config_name, const WorkloadInfo &info,
     return spec;
 }
 
+/** The fig5 point list (config trio x analogs), in job-index order.
+ *  Shared by the fig5 sweep and both screen phases, so a screen job's
+ *  index always names the same (config, workload) point. */
+std::vector<JobSpec>
+fig5Points(const SweepOptions &opts)
+{
+    std::vector<JobSpec> points;
+    for (const auto &info : selectedAnalogs(opts)) {
+        points.push_back(
+            analogJob("lsq48x32", info, presetByName("lsq48x32"), opts));
+        points.push_back(
+            analogJob("enf", info, presetByName("enf"), opts));
+        points.push_back(
+            analogJob("notenf", info, presetByName("notenf"), opts));
+    }
+    return points;
+}
+
 } // namespace
 
-CoreConfig
-baselineLsq(std::size_t lq, std::size_t sq)
+SweepOptions &
+SweepOptions::withScreenStat(std::string v)
 {
-    CoreConfig cfg = CoreConfig::baseline();
-    cfg.subsys = MemSubsystem::LsqBaseline;
-    cfg.memdep.mode = MemDepMode::LsqStoreSet;
-    cfg.lsq.lq_entries = lq;
-    cfg.lsq.sq_entries = sq;
-    return cfg;
+    if (v != "stall_frac" &&
+        !std::binary_search(statNames().begin(), statNames().end(), v)) {
+        std::string valid = "stall_frac";
+        for (const std::string &s : statNames())
+            valid += ", " + s;
+        fatal("unknown screen stat '" + v + "' (valid: " + valid + ")");
+    }
+    screen_stat = std::move(v);
+    return *this;
 }
 
-CoreConfig
-baselineMdtSfc(MemDepMode mode)
+SweepOptions &
+SweepOptions::withOverride(const std::string &key,
+                           const std::string &value)
 {
-    CoreConfig cfg = CoreConfig::baseline();
-    cfg.subsys = MemSubsystem::MdtSfc;
-    cfg.memdep.mode = mode;
-    return cfg;
-}
-
-CoreConfig
-aggressiveLsq(std::size_t lq, std::size_t sq)
-{
-    CoreConfig cfg = CoreConfig::aggressive();
-    cfg.subsys = MemSubsystem::LsqBaseline;
-    cfg.memdep.mode = MemDepMode::LsqStoreSet;
-    cfg.lsq.lq_entries = lq;
-    cfg.lsq.sq_entries = sq;
-    return cfg;
-}
-
-CoreConfig
-aggressiveMdtSfc(MemDepMode mode)
-{
-    CoreConfig cfg = CoreConfig::aggressive();
-    cfg.subsys = MemSubsystem::MdtSfc;
-    cfg.memdep.mode = mode;
-    return cfg;
+    const std::vector<std::string> &known = knownOverrideKeys();
+    if (!std::binary_search(known.begin(), known.end(), key)) {
+        std::string valid;
+        for (const std::string &k : known)
+            valid += (valid.empty() ? "" : ", ") + k;
+        fatal("unknown core-config override '" + key +
+              "' (valid keys: " + valid + ")");
+    }
+    overrides.set(key, value);
+    return *this;
 }
 
 Campaign
 makeFig5Campaign(const SweepOptions &opts)
 {
     Campaign c("fig5");
-    for (const auto &info : selectedAnalogs(opts)) {
-        c.addJob(analogJob("lsq48x32", info, baselineLsq(48, 32), opts));
-        c.addJob(analogJob("enf", info,
-                           baselineMdtSfc(MemDepMode::EnforceAll), opts));
-        c.addJob(analogJob(
-            "notenf", info, baselineMdtSfc(MemDepMode::EnforceTrueOnly),
-            opts));
-    }
+    for (JobSpec &spec : fig5Points(opts))
+        c.addJob(std::move(spec));
     return c;
 }
 
@@ -105,7 +112,7 @@ makeLsqSizeCampaign(const SweepOptions &opts)
         const std::string name = "lsq" + std::to_string(s.lq) + "x" +
                                  std::to_string(s.sq);
         for (const auto &info : selectedAnalogs(opts))
-            c.addJob(analogJob(name, info, baselineLsq(s.lq, s.sq), opts));
+            c.addJob(analogJob(name, info, presetByName(name), opts));
     }
     return c;
 }
@@ -122,8 +129,7 @@ makeAssocCampaign(const SweepOptions &opts)
             std::string(info.name) != "mcf") {
             continue;
         }
-        CoreConfig two =
-            aggressiveMdtSfc(MemDepMode::EnforceAllTotalOrder);
+        CoreConfig two = presetByName("agg_total");
         CoreConfig sixteen = two;
         sixteen.sfc.assoc = 16;
         sixteen.mdt.assoc = 16;
@@ -151,7 +157,7 @@ makeFaultCampaign(const SweepOptions &opts)
         {"true_violations", workloads::microTrueViolations},
     };
 
-    CoreConfig base = baselineMdtSfc(MemDepMode::EnforceAll);
+    CoreConfig base = presetByName("enf");
     base.validate = true;
     base.check_abort = false;   // record divergences, count them
     applyOverrides(base, opts.overrides);
@@ -197,22 +203,14 @@ makeMicroCampaign(const SweepOptions &opts)
 {
     Campaign c("micro");
 
-    struct MicroConfig
-    {
-        const char *name;
-        CoreConfig cfg;
-    };
-    const MicroConfig kConfigs[] = {
-        {"lsq48x32", baselineLsq(48, 32)},
-        {"enf", baselineMdtSfc(MemDepMode::EnforceAll)},
-        {"notenf", baselineMdtSfc(MemDepMode::EnforceTrueOnly)},
-    };
+    static constexpr const char *kConfigs[] = {"lsq48x32", "enf",
+                                               "notenf"};
 
     for (const MicroTest &test : loadMicroCorpus(opts.corpus_dir)) {
         if (!opts.bench_filter.empty() && opts.bench_filter != test.name)
             continue;
-        for (const MicroConfig &mc : kConfigs) {
-            CoreConfig cfg = mc.cfg;
+        for (const char *name : kConfigs) {
+            CoreConfig cfg = presetByName(name);
             cfg.validate = true;    // every micro run is golden-checked
             // Directed tests want the adversarial machine: no stochastic
             // frontend fix-ups, so every mispredicted branch really runs
@@ -220,7 +218,7 @@ makeMicroCampaign(const SweepOptions &opts)
             cfg.oracle_fix_prob = 0.0;
             applyOverrides(cfg, opts.overrides);
             JobSpec spec;
-            spec.config_name = mc.name;
+            spec.config_name = name;
             spec.workload = test.name;
             spec.cfg = cfg;
             const Program prog = test.unit.prog;
@@ -234,11 +232,93 @@ makeMicroCampaign(const SweepOptions &opts)
     return c;
 }
 
+Campaign
+makeScreenCampaign(const SweepOptions &opts)
+{
+    Campaign c("screen");
+    for (JobSpec &spec : fig5Points(opts)) {
+        spec.backend = BackendKind::FuncBatch;
+        c.addJob(std::move(spec));
+    }
+    return c;
+}
+
+std::vector<std::size_t>
+selectForExactRerun(const std::vector<JobResult> &screened,
+                    const SweepOptions &opts)
+{
+    auto statOf = [&](const JobResult &jr) -> double {
+        if (opts.screen_stat == "stall_frac")
+            return screeningStallFrac(jr.result);
+        const auto v = lookupStat(jr.result, opts.screen_stat);
+        if (!v) {
+            std::string valid = "stall_frac";
+            for (const std::string &s : statNames())
+                valid += ", " + s;
+            fatal("screen: unknown selection stat '" + opts.screen_stat +
+                  "' (valid: " + valid + ")");
+        }
+        return double(*v);
+    };
+
+    std::vector<std::size_t> sel;
+    if (opts.screen_top) {
+        // Top-K rule: K highest stats among jobs with a usable
+        // estimate; ties break toward the lower job index (the sort is
+        // total, so the selection is independent of input order).
+        std::vector<std::pair<double, std::size_t>> ranked;
+        for (const JobResult &jr : screened)
+            if (jr.ok())
+                ranked.emplace_back(statOf(jr), jr.index);
+        std::sort(ranked.begin(), ranked.end(),
+                  [](const auto &a, const auto &b) {
+                      if (a.first != b.first)
+                          return a.first > b.first;
+                      return a.second < b.second;
+                  });
+        const std::size_t k =
+            std::min<std::size_t>(opts.screen_top, ranked.size());
+        for (std::size_t i = 0; i < k; ++i)
+            sel.push_back(ranked[i].second);
+    } else {
+        for (const JobResult &jr : screened)
+            if (jr.ok() && statOf(jr) > opts.screen_threshold)
+                sel.push_back(jr.index);
+    }
+    // A quarantined screening job produced no usable estimate: the only
+    // honest number for that point is an exact re-run.
+    for (const JobResult &jr : screened)
+        if (!jr.ok())
+            sel.push_back(jr.index);
+
+    std::sort(sel.begin(), sel.end());
+    sel.erase(std::unique(sel.begin(), sel.end()), sel.end());
+    return sel;
+}
+
+Campaign
+makeScreenExactCampaign(const SweepOptions &opts,
+                        const std::vector<std::size_t> &selected)
+{
+    Campaign c("screen_exact");
+    std::vector<JobSpec> points = fig5Points(opts);
+    for (std::size_t idx : selected) {
+        if (idx >= points.size())
+            fatal("screen: selected job index " + std::to_string(idx) +
+                  " out of range (" + std::to_string(points.size()) +
+                  " screened points)");
+        JobSpec spec = points[idx];
+        spec.backend = BackendKind::Timing;
+        c.addJob(std::move(spec));
+    }
+    return c;
+}
+
 const std::vector<std::string> &
 sweepNames()
 {
     static const std::vector<std::string> names = {
-        "fig5", "lsq_size", "assoc", "fault", "micro"};
+        "fig5", "lsq_size", "assoc", "fault", "micro", "screen"};
     return names;
 }
 
@@ -255,8 +335,10 @@ makeSweep(const std::string &name, const SweepOptions &opts)
         return makeFaultCampaign(opts);
     if (name == "micro")
         return makeMicroCampaign(opts);
+    if (name == "screen")
+        return makeScreenCampaign(opts);
     fatal("unknown sweep '" + name +
-          "' (fig5|lsq_size|assoc|fault|micro)");
+          "' (fig5|lsq_size|assoc|fault|micro|screen)");
 }
 
 } // namespace slf::campaign

@@ -12,9 +12,14 @@
  *  - fault:    the PR-1 fault-injection campaign phases (baseline,
  *              sfc, fifo, mdt) x the memory-intensive micros, with
  *              per-job derived fault streams.
+ *  - micro:    the directed `.s` corpus under the fig5 config trio.
+ *  - screen:   mixed-fidelity fig5 — phase 1 screens every point on
+ *              the func_batch backend; phase 2 re-runs the selected
+ *              subset on the timing backend (see makeScreenCampaign).
  *
- * The core-config factories (baselineLsq &c.) live here too; bench/
- * bench_util re-exports them so every bench builds identical cores.
+ * Every named configuration comes from the ConfigPreset registry
+ * (cpu/config_preset.hh), so a sweep's "lsq48x32" is byte-identical to
+ * the bench table's and the micro suite's.
  */
 
 #ifndef SLFWD_DRIVER_CAMPAIGN_SWEEPS_HH_
@@ -30,6 +35,14 @@
 namespace slf::campaign
 {
 
+/**
+ * Shared sweep-shape knobs. Plain aggregate initialization still works;
+ * the fluent with*() setters exist so call sites can build options in
+ * one expression, and withOverride() validates the key against
+ * runner.hh's knownOverrideKeys() at build time — a typo fails with a
+ * diagnostic listing every valid key instead of silently running the
+ * default configuration.
+ */
 struct SweepOptions
 {
     std::uint64_t scale = 1;       ///< analog iteration multiplier
@@ -41,16 +54,61 @@ struct SweepOptions
     std::string corpus_dir = "tests/micro";
     /** Extra key=value core-config overrides applied to every job. */
     Config overrides;
-};
 
-/** Baseline core with the idealized LSQ (store-set predictor). */
-CoreConfig baselineLsq(std::size_t lq, std::size_t sq);
-/** Baseline core with the paper's MDT/SFC in a given predictor mode. */
-CoreConfig baselineMdtSfc(MemDepMode mode);
-/** Aggressive core with the idealized LSQ. */
-CoreConfig aggressiveLsq(std::size_t lq, std::size_t sq);
-/** Aggressive core with the MDT/SFC. */
-CoreConfig aggressiveMdtSfc(MemDepMode mode);
+    // Screen-sweep selection rule (see selectForExactRerun).
+    /** Re-run exactly the screened points whose selection stat exceeds
+     *  this (threshold rule; ignored when screen_top is set). */
+    double screen_threshold = 0.25;
+    /** Selection statistic: "stall_frac" (1 - insts/(width*cycles)) or
+     *  any canonical SimResult counter name (verify/expectation.hh). */
+    std::string screen_stat = "stall_frac";
+    /** When non-zero: re-run the K highest-stat points instead of the
+     *  threshold rule (ties break toward the lower job index). */
+    std::uint64_t screen_top = 0;
+
+    SweepOptions &withScale(std::uint64_t v) { scale = v; return *this; }
+    SweepOptions &withWorkloadSeed(std::uint64_t v)
+    {
+        wseed = v;
+        return *this;
+    }
+    SweepOptions &withBenchFilter(std::string v)
+    {
+        bench_filter = std::move(v);
+        return *this;
+    }
+    SweepOptions &withFaultIters(std::uint64_t v)
+    {
+        fault_iters = v;
+        return *this;
+    }
+    SweepOptions &withFaultRate(double v)
+    {
+        fault_rate = v;
+        return *this;
+    }
+    SweepOptions &withCorpusDir(std::string v)
+    {
+        corpus_dir = std::move(v);
+        return *this;
+    }
+    SweepOptions &withScreenThreshold(double v)
+    {
+        screen_threshold = v;
+        return *this;
+    }
+    /** fatal() unless @p v is "stall_frac" or a known stat name. */
+    SweepOptions &withScreenStat(std::string v);
+    SweepOptions &withScreenTop(std::uint64_t v)
+    {
+        screen_top = v;
+        return *this;
+    }
+    /** Set one core-config override; fatal() with the full list of
+     *  valid keys when @p key is not a known override. */
+    SweepOptions &withOverride(const std::string &key,
+                               const std::string &value);
+};
 
 Campaign makeFig5Campaign(const SweepOptions &opts);
 Campaign makeLsqSizeCampaign(const SweepOptions &opts);
@@ -66,10 +124,41 @@ Campaign makeFaultCampaign(const SweepOptions &opts);
  */
 Campaign makeMicroCampaign(const SweepOptions &opts);
 
+/**
+ * Phase 1 of the mixed-fidelity screen sweep: the fig5 point set, every
+ * job on the func_batch screening backend. The campaign is named
+ * "screen"; the CLI (or a test harness) runs it, feeds the results to
+ * selectForExactRerun(), re-runs the selected points with
+ * makeScreenExactCampaign(), and renders one merged schema-v5 file.
+ */
+Campaign makeScreenCampaign(const SweepOptions &opts);
+
+/**
+ * Deterministic selection rule between the two screen phases. With
+ * opts.screen_top == 0 (default): every point whose opts.screen_stat
+ * exceeds opts.screen_threshold. With screen_top == K: the K
+ * highest-stat points, ties broken toward the lower job index. A
+ * quarantined screening job (no usable estimate) is always selected.
+ * @return selected job indices, ascending.
+ */
+std::vector<std::size_t>
+selectForExactRerun(const std::vector<JobResult> &screened,
+                    const SweepOptions &opts);
+
+/**
+ * Phase 2: the subset of makeScreenCampaign()'s points named by
+ * @p selected, each on the exact timing backend. Named "screen_exact"
+ * so its journal (conventionally `<journal>.exact`) can never be
+ * confused with phase 1's.
+ */
+Campaign makeScreenExactCampaign(const SweepOptions &opts,
+                                 const std::vector<std::size_t> &selected);
+
 /** Registered sweep names, in presentation order. */
 const std::vector<std::string> &sweepNames();
 
-/** Build a sweep by name; fatal() on an unknown name. */
+/** Build a sweep by name; fatal() on an unknown name. For "screen"
+ *  this is phase 1 only — see makeScreenCampaign. */
 Campaign makeSweep(const std::string &name, const SweepOptions &opts);
 
 } // namespace slf::campaign

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * runFuncBatch: the func_batch screening engine.
+ *
+ * Executes the program on the batched FuncSim (FuncSim::stepBlock
+ * retires fixed-size instruction batches in place per call) and reports
+ * *approximate* cycles from a three-term model:
+ *
+ *   cycles = ceil(insts / width)                      issue bandwidth
+ *          + sum over loads of L1D/L2 tag-array misses    memory time
+ *          + surviving mispredicts x mispredict_penalty   redirects
+ *
+ * where "surviving mispredicts" are the bimodal predictor's misses
+ * scaled down by oracle_fix_prob, deterministically (no RNG), matching
+ * the timing core's oracle fix-up knob in expectation. The CPI stack
+ * is synthesized from the same three terms so its components still sum
+ * exactly to width x cycles (base == retired insts), and flush blame
+ * carries the branch-redirect share — the screen sweep's selection
+ * rule reads both.
+ *
+ * Architectural state is exact, and with cfg.validate the batch path
+ * is cross-checked record-by-record against an independent single-step
+ * FuncSim (pc, results, addresses, store values, control flow); the
+ * checker fields of the SimResult report that comparison. What the
+ * model deliberately ignores: memory-ordering violations, forwarding,
+ * replays, structure capacity — that is exactly why screening points
+ * whose stalls dominate get re-run on the timing backend.
+ */
+
+#ifndef SLFWD_DRIVER_FUNC_BATCH_HH_
+#define SLFWD_DRIVER_FUNC_BATCH_HH_
+
+#include "cpu/core_config.hh"
+#include "prog/program.hh"
+#include "verify/sim_result.hh"
+
+namespace slf
+{
+
+/** Run @p prog on the batched functional screening engine. */
+SimResult runFuncBatch(const CoreConfig &cfg, const Program &prog);
+
+/**
+ * The screen sweep's default selection signal: the fraction of retire
+ * slots a screening result charges to stalls (everything except base),
+ * i.e. 1 - insts / (width x cycles). High values mean the screening
+ * model leaned hardest on the parts it only approximates.
+ */
+double screeningStallFrac(const SimResult &r);
+
+} // namespace slf
+
+#endif // SLFWD_DRIVER_FUNC_BATCH_HH_

@@ -1,6 +1,11 @@
 #include "runner.hh"
 
+#include <algorithm>
+
+#include "backend.hh"
+#include "campaign/campaign.hh"
 #include "cpu/ooo_core.hh"
+#include "func_batch.hh"
 #include "sim/logging.hh"
 
 namespace slf
@@ -54,9 +59,83 @@ runWorkload(const CoreConfig &cfg, const Program &prog)
     return r;
 }
 
+const std::vector<std::string> &
+knownOverrideKeys()
+{
+    static const std::vector<std::string> keys = [] {
+        std::vector<std::string> k = {
+            "check.abort",
+            "deadline_ms",
+            "fault.fifo_payload",
+            "fault.mdt_evict",
+            "fault.seed",
+            "fault.sfc_data",
+            "fault.sfc_mask",
+            "fus",
+            "head_bypass",
+            "lsq.lq",
+            "lsq.sq",
+            "max_cycles",
+            "max_insts",
+            "mdt.assoc",
+            "mdt.granularity",
+            "mdt.sets",
+            "mdt.tagged",
+            "memdep.mode",
+            "obs.occupancy",
+            "optimized_true_recovery",
+            "oracle_fix_prob",
+            "output_dep_marks_corrupt",
+            "partial_match_merges",
+            "rob",
+            "sched",
+            "seed",
+            "sfc.assoc",
+            "sfc.flush_endpoints",
+            "sfc.max_flush_ranges",
+            "sfc.sets",
+            "stall_bits",
+            "subsys",
+            "validate",
+            "value_replay_filtered",
+            "watchdog.max_cycles",
+            "watchdog.retire_cycles",
+            "width",
+        };
+        std::sort(k.begin(), k.end());
+        return k;
+    }();
+    return keys;
+}
+
+Config
+stripKeys(const Config &ov, const std::vector<std::string> &harness_keys)
+{
+    Config out;
+    for (const std::string &key : ov.keys()) {
+        if (std::find(harness_keys.begin(), harness_keys.end(), key) ==
+            harness_keys.end())
+            out.set(key, ov.getString(key));
+    }
+    return out;
+}
+
 void
 applyOverrides(CoreConfig &cfg, const Config &ov)
 {
+    // Reject unknown keys before touching the config: a typo must not
+    // silently run the defaults.
+    const std::vector<std::string> &known = knownOverrideKeys();
+    for (const std::string &key : ov.keys()) {
+        if (!std::binary_search(known.begin(), known.end(), key)) {
+            std::string valid;
+            for (const std::string &k : known)
+                valid += (valid.empty() ? "" : ", ") + k;
+            fatal("unknown core-config override '" + key +
+                  "' (valid keys: " + valid + ")");
+        }
+    }
+
     cfg.width = static_cast<unsigned>(ov.getUInt("width", cfg.width));
     cfg.rob_entries =
         static_cast<unsigned>(ov.getUInt("rob", cfg.rob_entries));
@@ -146,3 +225,141 @@ applyOverrides(CoreConfig &cfg, const Config &ov)
 }
 
 } // namespace slf
+
+// ---------------------------------------------------------------------
+// Backend registry: every engine a JobSpec can name is registered here
+// (and only here); campaign.cc dispatches through backendFor().
+// ---------------------------------------------------------------------
+
+namespace slf::campaign
+{
+
+const char *
+backendKindName(BackendKind k)
+{
+    switch (k) {
+      case BackendKind::Timing:
+        return "timing";
+      case BackendKind::FuncBatch:
+        return "func_batch";
+      case BackendKind::Synthetic:
+        return "synthetic";
+    }
+    return "timing";
+}
+
+std::optional<BackendKind>
+backendKindFromName(std::string_view name)
+{
+    if (name == "timing")
+        return BackendKind::Timing;
+    if (name == "func_batch")
+        return BackendKind::FuncBatch;
+    if (name == "synthetic")
+        return BackendKind::Synthetic;
+    return std::nullopt;
+}
+
+const char *
+fidelityName(Fidelity f)
+{
+    return f == Fidelity::Screening ? "screening" : "exact";
+}
+
+namespace
+{
+
+Program
+buildProgram(const JobSpec &spec)
+{
+    if (!spec.make_prog)
+        fatal("campaign job '" + spec.config_name + "/" +
+              spec.workload + "' has no program factory");
+    return spec.make_prog();
+}
+
+class TimingBackend final : public Backend
+{
+  public:
+    const char *name() const override { return "timing"; }
+    Fidelity fidelity() const override { return Fidelity::Exact; }
+
+    SimResult
+    run(const JobSpec &spec, const CoreConfig &cfg,
+        unsigned) const override
+    {
+        return runWorkload(cfg, buildProgram(spec));
+    }
+};
+
+class FuncBatchBackend final : public Backend
+{
+  public:
+    const char *name() const override { return "func_batch"; }
+    Fidelity fidelity() const override { return Fidelity::Screening; }
+
+    SimResult
+    run(const JobSpec &spec, const CoreConfig &cfg,
+        unsigned) const override
+    {
+        return runFuncBatch(cfg, buildProgram(spec));
+    }
+};
+
+class SyntheticBackend final : public Backend
+{
+  public:
+    const char *name() const override { return "synthetic"; }
+    Fidelity fidelity() const override { return Fidelity::Exact; }
+
+    SimResult
+    run(const JobSpec &spec, const CoreConfig &cfg,
+        unsigned attempt) const override
+    {
+        if (!fn)
+            fatal("job '" + spec.config_name + "/" + spec.workload +
+                  "' selects the synthetic backend but no "
+                  "ScopedSyntheticBackend is installed");
+        return fn(spec, cfg, attempt);
+    }
+
+    ScopedSyntheticBackend::Fn fn;
+};
+
+SyntheticBackend &
+syntheticSlot()
+{
+    static SyntheticBackend backend;
+    return backend;
+}
+
+} // namespace
+
+const Backend &
+backendFor(BackendKind kind)
+{
+    static const TimingBackend timing;
+    static const FuncBatchBackend func_batch;
+    switch (kind) {
+      case BackendKind::Timing:
+        return timing;
+      case BackendKind::FuncBatch:
+        return func_batch;
+      case BackendKind::Synthetic:
+        return syntheticSlot();
+    }
+    return timing;
+}
+
+ScopedSyntheticBackend::ScopedSyntheticBackend(Fn fn)
+    : prev_(std::move(syntheticSlot().fn))
+{
+    syntheticSlot().fn = std::move(fn);
+}
+
+ScopedSyntheticBackend::~ScopedSyntheticBackend()
+{
+    syntheticSlot().fn = std::move(prev_);
+}
+
+} // namespace slf::campaign

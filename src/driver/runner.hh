@@ -34,8 +34,25 @@ SimResult runWorkload(const CoreConfig &cfg, const Program &prog);
  * output_dep_marks_corrupt, optimized_true_recovery, check.abort,
  * watchdog.retire_cycles, watchdog.max_cycles, fault.sfc_mask,
  * fault.sfc_data, fault.mdt_evict, fault.fifo_payload, fault.seed.
+ *
+ * Every key in @p overrides must name a known override: an unknown
+ * key is fatal() with a diagnostic listing the valid names (a typo'd
+ * override silently running the default config poisoned more than one
+ * sweep before this check existed).
  */
 void applyOverrides(CoreConfig &cfg, const Config &overrides);
+
+/** The override keys applyOverrides accepts, sorted (diagnostics). */
+const std::vector<std::string> &knownOverrideKeys();
+
+/**
+ * Copy @p overrides minus the named harness keys (e.g. "preset",
+ * "scale"), so a driver that parses its own keys from the same
+ * command line can forward the remainder to the strict
+ * applyOverrides() without tripping the unknown-key check.
+ */
+Config stripKeys(const Config &overrides,
+                 const std::vector<std::string> &harness_keys);
 
 } // namespace slf
 

@@ -128,29 +128,50 @@ TEST(ThreadPool, StealsWorkFromBusyQueues)
 namespace
 {
 
+/** A synthetic-backend job: dispatched to whatever Fn the enclosing
+ *  test installed with ScopedSyntheticBackend. */
+JobSpec
+syntheticJob(std::string config_name, std::string workload,
+             bool derive_seeds = false)
+{
+    JobSpec spec;
+    spec.config_name = std::move(config_name);
+    spec.workload = std::move(workload);
+    spec.derive_seeds = derive_seeds;
+    spec.backend = BackendKind::Synthetic;
+    return spec;
+}
+
 /** A tiny campaign of pure-compute jobs with derived seeds. */
 Campaign
 syntheticCampaign(unsigned jobs)
 {
     Campaign c("synthetic");
-    for (unsigned i = 0; i < jobs; ++i) {
-        JobSpec spec;
-        spec.config_name = "cfg" + std::to_string(i % 3);
-        spec.workload = "wl" + std::to_string(i);
-        spec.derive_seeds = true;
-        spec.runner = [](const JobSpec &, const CoreConfig &cfg,
-                         unsigned) {
-            SimResult r;
-            // Echo the derived seeds through counters so the JSON
-            // captures exactly what the job observed.
-            r.cycles = cfg.rng_seed % 100000;
-            r.insts = cfg.fault.seed % 100000;
-            r.ipc = r.cycles ? double(r.insts) / double(r.cycles) : 0.0;
-            return r;
-        };
-        c.addJob(std::move(spec));
-    }
+    for (unsigned i = 0; i < jobs; ++i)
+        c.addJob(syntheticJob("cfg" + std::to_string(i % 3),
+                              "wl" + std::to_string(i), true));
     return c;
+}
+
+/** The runner for syntheticCampaign(): echo the derived seeds through
+ *  counters so the JSON captures exactly what the job observed. */
+ScopedSyntheticBackend::Fn
+seedEchoRunner()
+{
+    return [](const JobSpec &, const CoreConfig &cfg, unsigned) {
+        SimResult r;
+        r.cycles = cfg.rng_seed % 100000;
+        r.insts = cfg.fault.seed % 100000;
+        r.ipc = r.cycles ? double(r.insts) / double(r.cycles) : 0.0;
+        return r;
+    };
+}
+
+/** The numeric suffix of a "wl<N>" workload label. */
+unsigned
+wlIndex(const JobSpec &spec)
+{
+    return unsigned(std::stoul(spec.workload.substr(2)));
 }
 
 } // namespace
@@ -176,6 +197,7 @@ TEST(Campaign, JobSeedIsDeterministicAndCollisionFree)
 TEST(Campaign, ResultsAreByteIdenticalAcrossThreadCounts)
 {
     const Campaign c = syntheticCampaign(40);
+    ScopedSyntheticBackend synthetic(seedEchoRunner());
 
     CampaignOptions one;
     one.jobs = 1;
@@ -197,21 +219,19 @@ TEST(Campaign, ResultsAreByteIdenticalAcrossThreadCounts)
 TEST(Campaign, ResultsOrderedByJobIndexRegardlessOfCompletionOrder)
 {
     Campaign c("ordering");
-    for (unsigned i = 0; i < 16; ++i) {
-        JobSpec spec;
-        spec.config_name = "cfg";
-        spec.workload = "wl" + std::to_string(i);
-        spec.runner = [i](const JobSpec &, const CoreConfig &, unsigned) {
+    for (unsigned i = 0; i < 16; ++i)
+        c.addJob(syntheticJob("cfg", "wl" + std::to_string(i)));
+    ScopedSyntheticBackend synthetic(
+        [](const JobSpec &spec, const CoreConfig &, unsigned) {
             // Earlier jobs sleep longer, so completion order is
             // roughly reversed from submission order.
+            const unsigned i = wlIndex(spec);
             std::this_thread::sleep_for(
                 std::chrono::microseconds((16 - i) * 100));
             SimResult r;
             r.insts = i;
             return r;
-        };
-        c.addJob(std::move(spec));
-    }
+        });
     CampaignOptions opts;
     opts.jobs = 8;
     opts.progress = false;
@@ -231,24 +251,21 @@ TEST(Campaign, RetriesFatalJobsWithSaltedSeedsThenSucceeds)
     std::vector<std::uint64_t> seeds_seen;
     std::mutex seeds_mutex;
 
-    JobSpec spec;
-    spec.config_name = "flaky";
-    spec.workload = "wl";
-    spec.runner = [&](const JobSpec &, const CoreConfig &cfg,
-                      unsigned attempt) {
-        {
-            std::lock_guard<std::mutex> lock(seeds_mutex);
-            seeds_seen.push_back(cfg.rng_seed);
-        }
-        ++observed_attempts;
-        if (attempt < 2)
-            fatal("synthetic watchdog wedge, attempt " +
-                  std::to_string(attempt));
-        SimResult r;
-        r.insts = 7;
-        return r;
-    };
-    c.addJob(std::move(spec));
+    c.addJob(syntheticJob("flaky", "wl"));
+    ScopedSyntheticBackend synthetic(
+        [&](const JobSpec &, const CoreConfig &cfg, unsigned attempt) {
+            {
+                std::lock_guard<std::mutex> lock(seeds_mutex);
+                seeds_seen.push_back(cfg.rng_seed);
+            }
+            ++observed_attempts;
+            if (attempt < 2)
+                fatal("synthetic watchdog wedge, attempt " +
+                      std::to_string(attempt));
+            SimResult r;
+            r.insts = 7;
+            return r;
+        });
 
     CampaignOptions opts;
     opts.jobs = 2;
@@ -272,24 +289,16 @@ TEST(Campaign, RetriesFatalJobsWithSaltedSeedsThenSucceeds)
 TEST(Campaign, ExhaustedRetriesRecordFatalWithoutAbortingCampaign)
 {
     Campaign c("doomed");
-    JobSpec bad;
-    bad.config_name = "bad";
-    bad.workload = "wl";
-    bad.runner = [](const JobSpec &, const CoreConfig &, unsigned) {
-        fatal("always wedges");
-        return SimResult{};   // unreachable
-    };
-    c.addJob(std::move(bad));
-
-    JobSpec good;
-    good.config_name = "good";
-    good.workload = "wl";
-    good.runner = [](const JobSpec &, const CoreConfig &, unsigned) {
-        SimResult r;
-        r.insts = 1;
-        return r;
-    };
-    c.addJob(std::move(good));
+    c.addJob(syntheticJob("bad", "wl"));
+    c.addJob(syntheticJob("good", "wl"));
+    ScopedSyntheticBackend synthetic(
+        [](const JobSpec &spec, const CoreConfig &, unsigned) {
+            if (spec.config_name == "bad")
+                fatal("always wedges");
+            SimResult r;
+            r.insts = 1;
+            return r;
+        });
 
     CampaignOptions opts;
     opts.jobs = 2;
@@ -318,18 +327,16 @@ TEST(Campaign, RetryQuarantinedReRunsJournaledFailures)
     std::atomic<bool> heal{false};
     std::atomic<unsigned> runs{0};
     Campaign c("quarantine_retry");
-    JobSpec spec;
-    spec.config_name = "flaky";
-    spec.workload = "wl";
-    spec.runner = [&](const JobSpec &, const CoreConfig &, unsigned) {
-        ++runs;
-        if (!heal.load())
-            fatal("transient host failure");
-        SimResult r;
-        r.insts = 9;
-        return r;
-    };
-    c.addJob(std::move(spec));
+    c.addJob(syntheticJob("flaky", "wl"));
+    ScopedSyntheticBackend synthetic(
+        [&](const JobSpec &, const CoreConfig &, unsigned) {
+            ++runs;
+            if (!heal.load())
+                fatal("transient host failure");
+            SimResult r;
+            r.insts = 9;
+            return r;
+        });
 
     CampaignOptions opts;
     opts.jobs = 1;
@@ -405,22 +412,26 @@ Campaign
 partiallyDoomedCampaign(std::size_t jobs)
 {
     Campaign c("doomed_partial");
-    for (std::size_t i = 0; i < jobs; ++i) {
-        JobSpec spec;
-        spec.config_name = i % 2 ? "bad" : "good";
-        spec.workload = "wl" + std::to_string(i);
-        spec.runner = [i](const JobSpec &, const CoreConfig &, unsigned) {
-            if (i % 2)
-                fatal("wedge " + std::to_string(i));
-            SimResult r;
-            r.insts = 100 + i;
-            r.cycles = 50;
-            r.ipc = double(r.insts) / 50.0;
-            return r;
-        };
-        c.addJob(std::move(spec));
-    }
+    for (std::size_t i = 0; i < jobs; ++i)
+        c.addJob(syntheticJob(i % 2 ? "bad" : "good",
+                              "wl" + std::to_string(i)));
     return c;
+}
+
+/** The runner for partiallyDoomedCampaign(). */
+ScopedSyntheticBackend::Fn
+partiallyDoomedRunner()
+{
+    return [](const JobSpec &spec, const CoreConfig &, unsigned) {
+        const unsigned i = wlIndex(spec);
+        if (i % 2)
+            fatal("wedge " + std::to_string(i));
+        SimResult r;
+        r.insts = 100 + i;
+        r.cycles = 50;
+        r.ipc = double(r.insts) / 50.0;
+        return r;
+    };
 }
 
 } // namespace
@@ -428,6 +439,7 @@ partiallyDoomedCampaign(std::size_t jobs)
 TEST(ResultSink, ExhaustedRetriesRenderCanonicalFailureManifest)
 {
     const Campaign c = partiallyDoomedCampaign(6);
+    ScopedSyntheticBackend synthetic(partiallyDoomedRunner());
     CampaignOptions opts;
     opts.jobs = 3;
     opts.max_retries = 1;
@@ -475,14 +487,10 @@ TEST(ResultSink, ExhaustedRetriesRenderCanonicalFailureManifest)
 TEST(ResultSink, AllJobsFailedYieldsEmptyAggregates)
 {
     Campaign c("all_doomed");
-    JobSpec spec;
-    spec.config_name = "bad";
-    spec.workload = "wl";
-    spec.runner = [](const JobSpec &, const CoreConfig &, unsigned) {
-        fatal("nope");
-        return SimResult{};  // unreachable
-    };
-    c.addJob(std::move(spec));
+    c.addJob(syntheticJob("bad", "wl"));
+    ScopedSyntheticBackend synthetic(
+        [](const JobSpec &, const CoreConfig &,
+           unsigned) -> SimResult { fatal("nope"); });
 
     CampaignOptions opts;
     opts.jobs = 1;
@@ -560,7 +568,19 @@ TEST(Sweeps, ExpandExpectedJobCounts)
     EXPECT_EQ(makeAssocCampaign(so).jobCount(), 2u);
     EXPECT_EQ(makeFaultCampaign(so).jobCount(), 20u);
     EXPECT_THROW(makeSweep("nope", so), FatalError);
-    EXPECT_EQ(sweepNames().size(), 5u);
+    EXPECT_EQ(sweepNames().size(), 6u);
+
+    // The screen sweep mirrors the fig5 point set on the screening
+    // backend; its phase-2 campaign holds exactly the selected subset.
+    const Campaign screen = makeScreenCampaign(so);
+    EXPECT_EQ(screen.jobCount(), 3u);
+    for (const JobSpec &spec : screen.jobs())
+        EXPECT_EQ(spec.backend, BackendKind::FuncBatch);
+    const Campaign exact = makeScreenExactCampaign(so, {0, 2});
+    ASSERT_EQ(exact.jobCount(), 2u);
+    EXPECT_EQ(exact.jobs()[0].config_name, "lsq48x32");
+    EXPECT_EQ(exact.jobs()[1].config_name, "notenf");
+    EXPECT_EQ(exact.jobs()[0].backend, BackendKind::Timing);
 
     // One micro test under the config trio.
     SweepOptions mo;

@@ -120,12 +120,11 @@ constexpr std::size_t kFatalJob = 3;  ///< exhausts retries every run
 /**
  * The harness campaign: six pure-function jobs across two configs;
  * job 3 always dies on fatal() so failure quarantine and rehydration
- * are part of every golden comparison. @p calls (optional) counts
- * runner invocations, i.e. jobs actually re-run rather than
- * rehydrated.
+ * are part of every golden comparison. Jobs run on the Synthetic
+ * backend; install crashRunner() before Campaign::run.
  */
 Campaign
-makeCrashCampaign(std::shared_ptr<std::atomic<int>> calls = nullptr)
+makeCrashCampaign()
 {
     Campaign c("crash_harness");
     for (std::size_t i = 0; i < kJobs; ++i) {
@@ -134,17 +133,28 @@ makeCrashCampaign(std::shared_ptr<std::atomic<int>> calls = nullptr)
         spec.workload = "wl" + std::to_string(i);
         spec.cfg.width = i % 2 ? 8 : 4;  // differentiates spec digests
         spec.derive_seeds = true;
-        spec.runner = [i, calls](const JobSpec &, const CoreConfig &,
-                                 unsigned) {
-            if (calls)
-                calls->fetch_add(1);
-            if (i == kFatalJob)
-                fatal("synthetic wedge in job " + std::to_string(i));
-            return syntheticResult(i);
-        };
+        spec.backend = BackendKind::Synthetic;
         c.addJob(std::move(spec));
     }
     return c;
+}
+
+/**
+ * The Synthetic-backend function for the harness campaign: dispatches
+ * on the workload label. @p calls (optional) counts invocations, i.e.
+ * jobs actually re-run rather than rehydrated.
+ */
+ScopedSyntheticBackend::Fn
+crashRunner(std::shared_ptr<std::atomic<int>> calls = nullptr)
+{
+    return [calls](const JobSpec &spec, const CoreConfig &, unsigned) {
+        if (calls)
+            calls->fetch_add(1);
+        const std::size_t i = std::stoul(spec.workload.substr(2));
+        if (i == kFatalJob)
+            fatal("synthetic wedge in job " + std::to_string(i));
+        return syntheticResult(i);
+    };
 }
 
 CampaignOptions
@@ -162,6 +172,7 @@ harnessOptions()
 std::string
 goldenJson()
 {
+    const ScopedSyntheticBackend synthetic(crashRunner());
     const Campaign c = makeCrashCampaign();
     const CampaignOptions opts = harnessOptions();
     return ResultSink::toJson(c.name(), opts.root_seed, c.run(opts));
@@ -171,7 +182,8 @@ std::string
 resumeJson(const std::string &journal,
            std::shared_ptr<std::atomic<int>> calls = nullptr)
 {
-    const Campaign c = makeCrashCampaign(calls);
+    const ScopedSyntheticBackend synthetic(crashRunner(calls));
+    const Campaign c = makeCrashCampaign();
     CampaignOptions opts = harnessOptions();
     opts.journal_path = journal;
     opts.resume = true;
@@ -187,6 +199,7 @@ resumeJson(const std::string &journal,
 TEST(CrashRecovery, JournalRoundTripsEveryRenderedField)
 {
     const std::string path = tmpPath("roundtrip.jsonl");
+    const ScopedSyntheticBackend synthetic(crashRunner());
     const Campaign c = makeCrashCampaign();
     const CampaignOptions opts = harnessOptions();
     const std::vector<JobResult> results = c.run(opts);
@@ -257,6 +270,7 @@ TEST(CrashRecovery, ResumeConvergesFromEveryTruncationPoint)
     const std::string golden = goldenJson();
 
     {
+        const ScopedSyntheticBackend synthetic(crashRunner());
         const Campaign c = makeCrashCampaign();
         CampaignOptions opts = harnessOptions();
         opts.journal_path = full;
@@ -309,6 +323,7 @@ TEST(CrashRecovery, TornAppendLosesOnlyTheSuffix)
             return n == tear_at;
         };
 
+        const ScopedSyntheticBackend synthetic(crashRunner());
         const Campaign c = makeCrashCampaign();
         CampaignOptions opts = harnessOptions();
         opts.journal_path = path;
@@ -353,6 +368,7 @@ TEST(CrashRecovery, SigkillBetweenJobsThenResumeIsByteIdentical)
                 if (n == kill_at)
                     ::_exit(137);
             };
+            const ScopedSyntheticBackend synthetic(crashRunner());
             const Campaign c = makeCrashCampaign();
             CampaignOptions opts = harnessOptions();
             opts.journal_path = path;
@@ -468,6 +484,7 @@ TEST(CrashRecovery, StaleDigestRecordsAreIgnoredAndReRun)
 {
     const std::string path = tmpPath("stale.jsonl");
     {
+        const ScopedSyntheticBackend synthetic(crashRunner());
         const Campaign c = makeCrashCampaign();
         CampaignOptions opts = harnessOptions();
         opts.journal_path = path;
@@ -498,6 +515,92 @@ TEST(CrashRecovery, StaleDigestRecordsAreIgnoredAndReRun)
 }
 
 // ---------------------------------------------------------------------
+// Journal compaction on many-times-resumed campaigns
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** The harness campaign with generation-@p gen config geometry: every
+ *  journaled record of any other generation is digest-stale. */
+Campaign
+generationCampaign(std::size_t gen)
+{
+    Campaign c("crash_harness");
+    const Campaign base = makeCrashCampaign();
+    for (const JobSpec &s : base.jobs()) {
+        JobSpec m = s;
+        m.cfg.rob_entries += unsigned(64 * gen);
+        c.addJob(std::move(m));
+    }
+    return c;
+}
+
+std::size_t
+lineCount(const std::string &content)
+{
+    std::size_t n = 0;
+    for (char ch : content)
+        if (ch == '\n')
+            ++n;
+    return n;
+}
+
+} // namespace
+
+TEST(CrashRecovery, CompactionBoundsAManyTimesResumedJournal)
+{
+    const std::string path = tmpPath("compact.jsonl");
+    std::remove(path.c_str());
+    const ScopedSyntheticBackend synthetic(crashRunner());
+
+    // Each generation edits the specs (rob geometry), so on resume every
+    // record of the previous generation is stale. Without compaction the
+    // journal grows by kJobs records per generation forever; with it,
+    // the stale majority triggers an atomic rewrite and the file stays
+    // at header + live records.
+    constexpr std::size_t kGenerations = 6;
+    for (std::size_t gen = 0; gen < kGenerations; ++gen) {
+        const Campaign c = generationCampaign(gen);
+        CampaignOptions opts = harnessOptions();
+        opts.journal_path = path;
+        opts.resume = gen > 0;
+        c.run(opts);
+        EXPECT_LE(lineCount(slurp(path)), 1 + kJobs)
+            << "journal grew unboundedly by generation " << gen;
+    }
+
+    // The compacted journal still serves its purpose: resuming the
+    // last generation re-runs nothing and converges byte-identically
+    // to that generation's uninterrupted run.
+    const Campaign last = generationCampaign(kGenerations - 1);
+    const std::string golden = ResultSink::toJson(
+        last.name(), harnessOptions().root_seed,
+        last.run(harnessOptions()));
+
+    auto calls = std::make_shared<std::atomic<int>>(0);
+    {
+        const ScopedSyntheticBackend counted(crashRunner(calls));
+        CampaignOptions opts = harnessOptions();
+        opts.journal_path = path;
+        opts.resume = true;
+        EXPECT_EQ(ResultSink::toJson(last.name(), opts.root_seed,
+                                     last.run(opts)),
+                  golden);
+    }
+    EXPECT_EQ(calls->load(), 0);
+
+    // And the journal header survived every compaction round intact.
+    JobJournal::LoadStats st;
+    JobJournal::load(path, last.name(), harnessOptions().root_seed,
+                     last.jobs(), &st);
+    EXPECT_TRUE(st.header_valid);
+    EXPECT_EQ(st.records, kJobs);
+    EXPECT_EQ(st.mismatched, 0u);
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
 // Failure quarantine rehydration
 // ---------------------------------------------------------------------
 
@@ -508,6 +611,7 @@ TEST(CrashRecovery, QuarantinedFailuresRehydrateWithoutReRunning)
     const std::string golden = goldenJson();
 
     {
+        const ScopedSyntheticBackend synthetic(crashRunner());
         const Campaign c = makeCrashCampaign();
         CampaignOptions opts = harnessOptions();
         opts.journal_path = path;

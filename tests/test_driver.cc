@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "cpu/config_preset.hh"
 #include "driver/runner.hh"
 #include "sim/logging.hh"
 #include "workloads/workloads.hh"
@@ -93,6 +96,94 @@ TEST(ApplyOverrides, PolicyFlags)
     EXPECT_TRUE(cfg.output_dep_marks_corrupt);
     EXPECT_TRUE(cfg.mdt.optimized_true_recovery);
     EXPECT_DOUBLE_EQ(cfg.oracle_fix_prob, 0.5);
+}
+
+TEST(ApplyOverrides, UnknownKeyIsFatalAndNamesTheValidOnes)
+{
+    CoreConfig cfg = CoreConfig::baseline();
+    Config ov;
+    ov.setUInt("widht", 2);  // the classic typo
+    try {
+        applyOverrides(cfg, ov);
+        FAIL() << "unknown override key must be fatal";
+    } catch (const FatalError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("widht"), std::string::npos) << msg;
+        // The diagnostic lists every valid key so the fix is one
+        // copy-paste away.
+        EXPECT_NE(msg.find("width"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("memdep.mode"), std::string::npos) << msg;
+    }
+}
+
+TEST(ApplyOverrides, KnownKeyListIsSortedAndAccepted)
+{
+    const std::vector<std::string> &keys = knownOverrideKeys();
+    EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+    EXPECT_GE(keys.size(), 30u);
+    // Spot-check that membership in the list really means "accepted":
+    // every key the other tests exercise is present.
+    for (const char *k :
+         {"width", "rob", "sched", "fus", "subsys", "sfc.sets",
+          "sfc.assoc", "mdt.sets", "mdt.granularity", "mdt.tagged",
+          "lsq.lq", "lsq.sq", "memdep.mode", "stall_bits",
+          "partial_match_merges", "head_bypass",
+          "output_dep_marks_corrupt", "optimized_true_recovery",
+          "oracle_fix_prob"})
+        EXPECT_TRUE(std::binary_search(keys.begin(), keys.end(),
+                                       std::string(k)))
+            << k;
+}
+
+TEST(ConfigPresets, RegistryCoversTheSweepVocabulary)
+{
+    // Every name the sweeps/benches/tests use must be registered.
+    for (const char *name :
+         {"lsq16x12", "lsq32x24", "lsq48x32", "lsq64x48", "lsq120x80",
+          "lsq256x256", "enf", "notenf", "agg_lsq48x32", "agg_lsq120x80",
+          "agg_lsq256x256", "agg_enf", "agg_notenf", "agg_total"})
+        EXPECT_NE(findPreset(name), nullptr) << name;
+    EXPECT_EQ(configPresets().size(), presetNames().size());
+    for (const ConfigPreset &p : configPresets())
+        EXPECT_FALSE(p.description.empty()) << p.name;
+}
+
+TEST(ConfigPresets, NamedGeometriesMatchThePaper)
+{
+    const CoreConfig lsq = presetByName("lsq48x32");
+    EXPECT_EQ(lsq.subsys, MemSubsystem::LsqBaseline);
+    EXPECT_EQ(lsq.lsq.lq_entries, 48u);
+    EXPECT_EQ(lsq.lsq.sq_entries, 32u);
+    EXPECT_EQ(lsq.width, 4u);
+
+    const CoreConfig enf = presetByName("enf");
+    EXPECT_EQ(enf.subsys, MemSubsystem::MdtSfc);
+    EXPECT_EQ(enf.memdep.mode, MemDepMode::EnforceAll);
+
+    const CoreConfig notenf = presetByName("notenf");
+    EXPECT_EQ(notenf.memdep.mode, MemDepMode::EnforceTrueOnly);
+
+    const CoreConfig agg = presetByName("agg_total");
+    EXPECT_EQ(agg.width, 8u);
+    EXPECT_EQ(agg.memdep.mode, MemDepMode::EnforceAllTotalOrder);
+
+    const CoreConfig agg_lsq = presetByName("agg_lsq256x256");
+    EXPECT_EQ(agg_lsq.subsys, MemSubsystem::LsqBaseline);
+    EXPECT_EQ(agg_lsq.lsq.lq_entries, 256u);
+    EXPECT_EQ(agg_lsq.lsq.sq_entries, 256u);
+}
+
+TEST(ConfigPresets, UnknownNameIsFatalAndListsTheRegistry)
+{
+    EXPECT_EQ(findPreset("lsq48x33"), nullptr);
+    try {
+        presetByName("lsq48x33");
+        FAIL() << "unknown preset must be fatal";
+    } catch (const FatalError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("lsq48x33"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("lsq48x32"), std::string::npos) << msg;
+    }
 }
 
 TEST(Presets, FigureFourValues)

@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "campaign/sweeps.hh"
+#include "cpu/config_preset.hh"
+#include "func_batch.hh"
 #include "prog/asm_parser.hh"
 #include "driver/runner.hh"
 #include "verify/expectation.hh"
@@ -47,9 +49,9 @@ std::vector<NamedConfig>
 microConfigs()
 {
     std::vector<NamedConfig> out = {
-        {"lsq48x32", campaign::baselineLsq(48, 32)},
-        {"enf", campaign::baselineMdtSfc(MemDepMode::EnforceAll)},
-        {"notenf", campaign::baselineMdtSfc(MemDepMode::EnforceTrueOnly)},
+        {"lsq48x32", presetByName("lsq48x32")},
+        {"enf", presetByName("enf")},
+        {"notenf", presetByName("notenf")},
     };
     for (auto &nc : out) {
         nc.cfg.validate = true;
@@ -118,6 +120,42 @@ TEST(MicroCorpus, AllExpectationsHoldUnderAllConfigs)
                 ADD_FAILURE() << t.name << " under " << nc.name << ": "
                               << f.toString();
         }
+    }
+}
+
+TEST(MicroCorpus, FuncBatchRetiresIdenticalArchitecturalState)
+{
+    // The screening backend must get the *architecture* exactly right:
+    // every reg/mem assertion in the corpus holds and the lockstep
+    // single-step FuncSim checker stays clean. Stat assertions remain
+    // gated to the timing configs above — func_batch cycles are a
+    // model, not a measurement, and its counters (replays, forwards)
+    // are deliberately absent.
+    CoreConfig cfg = presetByName("lsq48x32");
+    cfg.validate = true;
+    cfg.oracle_fix_prob = 0.0;
+    for (const MicroTest &t : corpus()) {
+        const SimResult res = runFuncBatch(cfg, t.unit.prog);
+        EXPECT_TRUE(res.checker_enabled) << t.name;
+        EXPECT_TRUE(res.checker_clean)
+            << t.name << ": lockstep FuncSim checker diverged";
+        EXPECT_GT(res.insts, 0u) << t.name;
+
+        // Architectural assertions only, with config scopes cleared:
+        // a reg/mem fact is backend- and config-independent by design
+        // (see verify/expectation.hh), so all of them must hold here.
+        std::vector<AsmExpect> arch;
+        for (AsmExpect e : t.unit.expects) {
+            if (e.kind == ExpectKind::Stat)
+                continue;
+            e.config.clear();
+            arch.push_back(std::move(e));
+        }
+        const auto failures =
+            evaluateExpectations(arch, "func_batch", res, t.unit.prog);
+        for (const ExpectFailure &f : failures)
+            ADD_FAILURE() << t.name << " under func_batch: "
+                          << f.toString();
     }
 }
 
