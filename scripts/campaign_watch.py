@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""Live progress view for a running campaign's heartbeat stream.
+
+Tails the JSONL heartbeat file written by `slf_campaign --heartbeat`
+and renders a one-line progress/ETA view, refreshed in place:
+
+    campaign_watch.py results/hb.jsonl            # follow until final
+    campaign_watch.py --once results/hb.jsonl     # one line, then exit
+    campaign_watch.py --interval 0.2 hb.jsonl     # poll faster
+
+The line looks like:
+
+    [fig5 a36ffac4] 12/57 ok=11 fail=1 run=2 | eta 34s | \
+timing 1247 kips | rss 45MB | hb#7
+
+Torn tails are expected input, not errors: each heartbeat record is a
+single write(2), so only the very last line can ever be incomplete
+(SIGKILL mid-write) and it is silently skipped. `--once` exits 0 when
+at least one valid record exists (CI smoke: "the campaign is alive and
+emitting"), 1 otherwise. Follow mode exits 0 when it sees the
+"final":true record the campaign appends on completion.
+
+--self-test runs the built-in unit checks (no files needed); ctest
+runs this so the watcher itself is gated.
+"""
+
+import argparse
+import json
+import sys
+import time
+
+
+def parse_heartbeats(text):
+    """Valid heartbeat records in *text*, torn/foreign lines skipped.
+
+    Only records with the slf-heartbeat magic count: the watcher may be
+    pointed at a file that is not a heartbeat stream at all, and "no
+    valid records" is the honest answer there.
+    """
+    records = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # torn tail (or mid-write line): skip
+        if isinstance(rec, dict) and rec.get("hb") == "slf-heartbeat":
+            records.append(rec)
+    return records
+
+
+def fmt_eta(ms):
+    if ms <= 0:
+        return "--"
+    s = ms / 1000.0
+    if s < 60:
+        return f"{s:.0f}s"
+    if s < 3600:
+        return f"{s / 60:.0f}m{s % 60:.0f}s"
+    return f"{s / 3600:.0f}h{(s % 3600) / 60:.0f}m"
+
+
+def render(rec):
+    """One status line for the latest heartbeat record."""
+    name = rec.get("campaign", "?")
+    digest = rec.get("digest", "")[:8]
+    head = f"[{name} {digest}]" if digest else f"[{name}]"
+
+    jobs = rec.get("jobs", {})
+    done = jobs.get("done", 0)
+    total = jobs.get("total", 0)
+    parts = [f"{head} {done}/{total}",
+             f"ok={jobs.get('ok', 0)}",
+             f"fail={jobs.get('failed', 0)}",
+             f"run={jobs.get('running', 0)}"]
+    if jobs.get("rehydrated"):
+        parts.append(f"rehydrated={jobs['rehydrated']}")
+    line = " ".join(parts)
+
+    if rec.get("final"):
+        line += " | done"
+    else:
+        line += f" | eta {fmt_eta(rec.get('eta_ms', 0))}"
+
+    backends = rec.get("backends", {})
+    for bname, agg in sorted(backends.items()):
+        if agg.get("kips"):
+            line += f" | {bname} {agg['kips']} kips"
+
+    host = rec.get("host", {})
+    if host.get("rss_kb"):
+        line += f" | rss {host['rss_kb'] // 1024}MB"
+    line += f" | hb#{rec.get('seq', 0)}"
+    return line
+
+
+def read_file(path):
+    try:
+        with open(path, "rb") as f:
+            return f.read().decode("utf-8", errors="replace")
+    except OSError:
+        return ""
+
+
+def watch(path, interval, once):
+    last_seq = None
+    while True:
+        records = parse_heartbeats(read_file(path))
+        if once:
+            if not records:
+                print(f"campaign_watch: no valid heartbeat records in "
+                      f"{path}", file=sys.stderr)
+                return 1
+            print(render(records[-1]))
+            return 0
+        if records:
+            rec = records[-1]
+            if rec.get("seq") != last_seq:
+                last_seq = rec.get("seq")
+                print("\r\x1b[K" + render(rec), end="", flush=True)
+            if rec.get("final"):
+                print()
+                return 0
+        time.sleep(interval)
+
+
+def self_test():
+    mk = lambda **kw: json.dumps({"hb": "slf-heartbeat", "version": 1,
+                                  **kw})
+
+    # Torn tail: the last line is half a record and must be skipped.
+    text = (mk(seq=0, final=False, campaign="t", digest="abcd1234ffff",
+               jobs={"total": 4, "done": 1, "ok": 1, "failed": 0,
+                     "running": 2}, eta_ms=90000) + "\n" +
+            mk(seq=1, final=False, campaign="t", digest="abcd1234ffff",
+               jobs={"total": 4, "done": 2, "ok": 1, "failed": 1,
+                     "running": 2}, eta_ms=34000,
+               backends={"timing": {"kips": 345}},
+               host={"rss_kb": 46080}) + "\n" +
+            '{"hb":"slf-heartbeat","seq":2,"jo')
+    recs = parse_heartbeats(text)
+    assert len(recs) == 2, f"torn tail not dropped: {len(recs)}"
+    assert recs[-1]["seq"] == 1
+
+    line = render(recs[-1])
+    assert "[t abcd1234]" in line, line
+    assert "2/4" in line and "ok=1" in line and "fail=1" in line, line
+    assert "eta 34s" in line, line
+    assert "timing 345 kips" in line, line
+    assert "rss 45MB" in line, line
+    assert "hb#1" in line, line
+
+    # Final record: ETA is replaced by "done".
+    fin = json.loads(mk(seq=9, final=True, campaign="t",
+                        jobs={"total": 4, "done": 4, "ok": 3,
+                              "failed": 1, "running": 0}))
+    line = render(fin)
+    assert "| done" in line and "eta" not in line, line
+
+    # Foreign JSON (a journal, a result file) is not a heartbeat.
+    assert parse_heartbeats('{"journal":"slf-campaign"}\n') == []
+    assert parse_heartbeats("") == []
+    # Empty and whitespace-only lines are skipped, not errors.
+    assert len(parse_heartbeats("\n\n" + mk(seq=0) + "\n   \n")) == 1
+
+    # ETA formatting covers the three humane ranges.
+    assert fmt_eta(0) == "--"
+    assert fmt_eta(5000) == "5s"
+    assert fmt_eta(125000) == "2m5s"
+    assert fmt_eta(7_260_000) == "2h1m"
+
+    print("campaign_watch self-test: ok")
+    return 0
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("heartbeat", nargs="?",
+                    help="heartbeat JSONL file to tail")
+    ap.add_argument("--once", action="store_true",
+                    help="print the latest view once and exit "
+                         "(0 = at least one valid record)")
+    ap.add_argument("--interval", type=float, default=0.5,
+                    help="poll interval in seconds (default 0.5)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run built-in unit checks and exit")
+    opts = ap.parse_args(argv)
+
+    if opts.self_test:
+        return self_test()
+    if not opts.heartbeat:
+        ap.error("a heartbeat file is required")
+    try:
+        return watch(opts.heartbeat, opts.interval, opts.once)
+    except KeyboardInterrupt:
+        print()
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

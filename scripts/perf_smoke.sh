@@ -25,6 +25,11 @@
 #        TOL (obs overhead ratio ceiling, default 1.02),
 #        SIM_TOL (throughput floor vs baseline, default 0.95),
 #        BENCH_FILTER (default gzip)
+#
+# Besides the human log, every run — pass or fail — writes a
+# machine-readable verdict to results/PERF_SMOKE.json (ratio, A/B
+# timings, kips, per-gate and overall pass), so CI and the BENCH
+# trajectory tooling read one JSON file instead of parsing log text.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -72,6 +77,46 @@ time_ab() {
     done
 }
 
+# Machine-readable verdict, written on every exit path (a gate failure
+# still leaves the measurements behind for the trajectory tooling).
+# Numeric fields not yet measured render as null.
+VERDICT_PATH="$ROOT/results/PERF_SMOKE.json"
+ms_on= ms_off= ratio= obs_pass= kips=
+baseline_armed=false
+ms_new= ms_base= speedup= baseline_pass=
+write_verdict() {
+    local overall="$1"
+    mkdir -p "$ROOT/results"
+    local tmp="$VERDICT_PATH.tmp.$$"
+    {
+        echo "{"
+        echo "  \"schema_version\": 1,"
+        echo "  \"scale\": $SCALE,"
+        echo "  \"reps\": $REPS,"
+        echo "  \"bench\": \"$BENCH_FILTER\","
+        echo "  \"obs\": {"
+        echo "    \"ms_on\": ${ms_on:-null},"
+        echo "    \"ms_off\": ${ms_off:-null},"
+        echo "    \"ratio\": ${ratio:-null},"
+        echo "    \"ceiling\": $TOL,"
+        echo "    \"pass\": ${obs_pass:-false}"
+        echo "  },"
+        echo "  \"sim\": { \"kips\": ${kips:-null} },"
+        echo "  \"baseline\": {"
+        echo "    \"armed\": $baseline_armed,"
+        echo "    \"ms_new\": ${ms_new:-null},"
+        echo "    \"ms_base\": ${ms_base:-null},"
+        echo "    \"speedup\": ${speedup:-null},"
+        echo "    \"floor\": $SIM_TOL,"
+        echo "    \"pass\": ${baseline_pass:-true}"
+        echo "  },"
+        echo "  \"pass\": $overall"
+        echo "}"
+    } > "$tmp"
+    mv "$tmp" "$VERDICT_PATH"
+    echo "perf smoke: verdict written to results/PERF_SMOKE.json"
+}
+
 # --- Gate 1: observability overhead --------------------------------
 
 # Warm both binaries (page cache, branch predictors on the host) so
@@ -91,10 +136,14 @@ ratio=$(awk -v on="$ms_on" -v off="$ms_off" \
 echo "perf smoke: hooks-on ${ms_on}ms, hooks-off ${ms_off}ms," \
      "ratio ${ratio} (ceiling ${TOL})"
 
-awk -v r="$ratio" -v tol="$TOL" 'BEGIN { exit !(r <= tol) }' || {
+if awk -v r="$ratio" -v tol="$TOL" 'BEGIN { exit !(r <= tol) }'; then
+    obs_pass=true
+else
+    obs_pass=false
     echo "FAIL: tracing-disabled overhead ${ratio} exceeds ${TOL}" >&2
+    write_verdict false
     exit 1
-}
+fi
 
 # --- Gate 2: simulation throughput ---------------------------------
 
@@ -107,6 +156,7 @@ echo "perf smoke: sim throughput ${kips} kips" \
      "(results/BENCH_sim_speed.json)"
 
 if [ -n "$BASELINE_BUILD" ]; then
+    baseline_armed=true
     # Same binary, same slice, same host: min-of-N wall-clock ratio is
     # the throughput ratio (the simulated-instruction count is
     # identical by the determinism contract). Interleaved for the same
@@ -121,10 +171,15 @@ if [ -n "$BASELINE_BUILD" ]; then
                   'BEGIN { printf "%.4f", (new > 0 ? base / new : 0) }')
     echo "perf smoke: throughput vs baseline ${speedup}x" \
          "(new ${ms_new}ms, baseline ${ms_base}ms, floor ${SIM_TOL})"
-    awk -v s="$speedup" -v tol="$SIM_TOL" 'BEGIN { exit !(s >= tol) }' || {
+    if awk -v s="$speedup" -v tol="$SIM_TOL" 'BEGIN { exit !(s >= tol) }'; then
+        baseline_pass=true
+    else
+        baseline_pass=false
         echo "FAIL: sim throughput ${speedup}x of baseline is below" \
              "${SIM_TOL}" >&2
+        write_verdict false
         exit 1
-    }
+    fi
 fi
+write_verdict true
 echo "PASS"

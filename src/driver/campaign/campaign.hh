@@ -42,6 +42,12 @@
 #include "driver/runner.hh"
 #include "prog/program.hh"
 
+namespace slf::obs
+{
+class MetricsRegistry;
+class SpanSink;
+} // namespace slf::obs
+
 namespace slf::campaign
 {
 
@@ -109,6 +115,12 @@ struct JobResult
      *  byte-identical resume contract). */
     bool rehydrated = false;
 
+    /** Host wall-clock the job took, all attempts and backoff included
+     *  (journaled for the ETA EWMA and the wall-time histogram; never
+     *  rendered into the result JSON — host timing would break the
+     *  byte-identity contract). */
+    std::uint64_t wall_ms = 0;
+
     SimResult result;
 
     bool ok() const { return status == JobStatus::Ok; }
@@ -142,6 +154,37 @@ struct CampaignOptions
     bool retry_quarantined = false;
     /** Borrowed test seams for journal fault injection; may be null. */
     const JournalHooks *journal_hooks = nullptr;
+
+    /**
+     * Live telemetry (see obs/telemetry.hh). Everything here is
+     * observation-only: enabling any of it leaves the campaign's
+     * results byte-identical (ctest-asserted), because nothing below
+     * feeds back into scheduling, seeding or results.
+     */
+    struct TelemetryOptions
+    {
+        /** Heartbeat JSONL path (appended); empty = no heartbeat. */
+        std::string heartbeat_path;
+        /** Heartbeat sampling interval. */
+        unsigned heartbeat_ms = 1000;
+        /** Prometheus snapshot path (atomic rewrite); empty = none. */
+        std::string snapshot_path;
+        /** Borrowed span collector for queue/attempt/terminal spans;
+         *  null = no span capture. */
+        obs::SpanSink *spans = nullptr;
+        /** Borrowed registry to publish into (lets a caller aggregate
+         *  several runs, e.g. a screen campaign's two phases, into one
+         *  metric space); null = the run owns a private one. */
+        obs::MetricsRegistry *metrics = nullptr;
+
+        bool enabled() const
+        {
+            return !heartbeat_path.empty() || !snapshot_path.empty() ||
+                   spans || metrics;
+        }
+    };
+
+    TelemetryOptions telemetry;
 };
 
 class Campaign

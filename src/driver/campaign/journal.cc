@@ -700,6 +700,7 @@ JobJournal::recordLine(const JobResult &jr, std::uint64_t digest)
        << ",\"attempts\":" << jr.attempts
        << ",\"core_seed\":" << jr.core_seed
        << ",\"fault_seed\":" << jr.fault_seed
+       << ",\"wall_ms\":" << jr.wall_ms
        << ",\"error\":\"" << jsonEscape(jr.error) << "\""
        << ",\"result\":";
     emitResult(os, jr.result);
@@ -820,6 +821,11 @@ JobJournal::load(const std::string &path,
             jr.core_seed = f->asU64();
         if (const Jv *f = rec.find("fault_seed"))
             jr.fault_seed = f->asU64();
+        // Optional since the field was introduced: records from older
+        // journals simply rehydrate with wall_ms 0 (the ETA EWMA skips
+        // zero samples).
+        if (const Jv *f = rec.find("wall_ms"))
+            jr.wall_ms = f->asU64();
         jr.rehydrated = true;
         if (!readResult(*result, jr.result)) {
             st.dropped = lines.size() - li + (torn_fragment ? 1 : 0);
@@ -947,6 +953,7 @@ JobJournal::JobJournal(std::string path,
         const std::string hdr =
             headerLine(campaign_name, root_seed, job_count) + "\n";
         writeFully(fd_, hdr.data(), hdr.size(), path_);
+        bytes_written_ += hdr.size();
         if (::fsync(fd_) != 0)
             fatal("journal '" + path_ + "': fsync failed");
     }
@@ -967,11 +974,19 @@ JobJournal::appended() const
     return appended_;
 }
 
+std::uint64_t
+JobJournal::bytesWritten() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return bytes_written_;
+}
+
 void
 JobJournal::writeLine(const std::string &line, bool torn)
 {
     const std::size_t n = torn ? line.size() / 2 : line.size();
     writeFully(fd_, line.data(), n, path_);
+    bytes_written_ += n;
     if (::fsync(fd_) != 0)
         fatal("journal '" + path_ + "': fsync failed");
 }

@@ -133,6 +133,10 @@ class JobJournal
     /** Records durably appended through this handle. */
     std::size_t appended() const;
 
+    /** Bytes durably written through this handle, header included
+     *  (telemetry: journal growth rate). */
+    std::uint64_t bytesWritten() const;
+
     /**
      * Identity digest of one job: FNV-1a over the job labels, the
      * salient CoreConfig fields (pipeline shape, subsystem, predictor
@@ -172,6 +176,7 @@ class JobJournal
     mutable std::mutex mutex_;
     int fd_ = -1;
     std::size_t appended_ = 0;
+    std::uint64_t bytes_written_ = 0;
     /** Env-seam kill point (SLFWD_JOURNAL_KILL_AFTER); SIZE_MAX=off. */
     std::size_t kill_after_ = SIZE_MAX;
     bool kill_torn_ = false;

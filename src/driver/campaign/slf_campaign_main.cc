@@ -9,7 +9,10 @@
  *                [--journal FILE] [--resume] [--retry-quarantined]
  *                [--job-timeout-ms N] [--expect-report FILE]
  *                [--no-progress] [--trace FILE] [--trace-text FILE]
- *                [--pipeview FILE] [--trace-job N] [key=value ...]
+ *                [--pipeview FILE] [--trace-job N]
+ *                [--heartbeat FILE] [--heartbeat-ms N]
+ *                [--metrics-snapshot FILE] [--campaign-trace FILE]
+ *                [key=value ...]
  *
  * key=value arguments:
  *   scale=N bench=<name> wseed=S   workload selection (analog sweeps)
@@ -74,6 +77,30 @@
  * seeds, so it replays exactly what the campaign measured without ever
  * sharing a sink across pool workers.
  *
+ * Live telemetry (all observation-only: none of it changes the --out
+ * JSON by a single byte — ctest-asserted):
+ *   --heartbeat FILE        append one JSONL heartbeat record per
+ *                           --heartbeat-ms interval (default 1000):
+ *                           job counts, per-worker state, ETA from a
+ *                           rolling per-job wall-time EWMA, per-backend
+ *                           kips, journal growth, host RSS/CPU. The
+ *                           file is appended (like the journal), each
+ *                           record is a single write(2), and the final
+ *                           record carries "final":true plus a summary
+ *                           (slowest jobs). Tail it live with
+ *                           scripts/campaign_watch.py.
+ *   --metrics-snapshot FILE atomically rewrite FILE every beat as
+ *                           Prometheus text exposition, so an external
+ *                           poller can scrape a running campaign with
+ *                           plain cat.
+ *   --campaign-trace FILE   write the campaign's runner-level spans
+ *                           (queue -> attempt(s) -> terminal, one
+ *                           track per pool worker) as Chrome
+ *                           trace_event JSON for Perfetto.
+ * A screen sweep's two phases share one heartbeat file, snapshot,
+ * metric space and span timeline (phase-2 job indices restart at 0;
+ * spans stay distinguishable by their config/workload name).
+ *
  * The JSON written with --out is canonical: byte-identical for any
  * --jobs value (the determinism ctest relies on this). A summary table
  * and wall-clock time go to stdout/stderr instead.
@@ -91,6 +118,7 @@
 #include "campaign/result_sink.hh"
 #include "campaign/sweeps.hh"
 #include "obs/analysis/konata.hh"
+#include "obs/telemetry.hh"
 #include "obs/analysis/lifetime.hh"
 #include "obs/chrome_trace.hh"
 #include "obs/trace_sink.hh"
@@ -113,7 +141,9 @@ usage(const char *argv0)
                  "[--retry-quarantined] [--job-timeout-ms N] "
                  "[--expect-report FILE] [--no-progress] "
                  "[--trace FILE] [--trace-text FILE] [--pipeview FILE] "
-                 "[--trace-job N] [key=value ...]\n  sweeps:",
+                 "[--trace-job N] [--heartbeat FILE] [--heartbeat-ms N] "
+                 "[--metrics-snapshot FILE] [--campaign-trace FILE] "
+                 "[key=value ...]\n  sweeps:",
                  argv0);
     for (const std::string &n : sweepNames())
         std::fprintf(stderr, " %s", n.c_str());
@@ -131,6 +161,7 @@ main(int argc, char **argv)
     std::string trace_path;
     std::string trace_text_path;
     std::string pipeview_path;
+    std::string campaign_trace_path;
     std::size_t trace_job = 0;
     CampaignOptions copts;
     SweepOptions sopts;
@@ -176,6 +207,15 @@ main(int argc, char **argv)
             pipeview_path = next("--pipeview");
         } else if (arg == "--trace-job") {
             trace_job = std::stoul(next("--trace-job"));
+        } else if (arg == "--heartbeat") {
+            copts.telemetry.heartbeat_path = next("--heartbeat");
+        } else if (arg == "--heartbeat-ms") {
+            copts.telemetry.heartbeat_ms =
+                unsigned(std::stoul(next("--heartbeat-ms")));
+        } else if (arg == "--metrics-snapshot") {
+            copts.telemetry.snapshot_path = next("--metrics-snapshot");
+        } else if (arg == "--campaign-trace") {
+            campaign_trace_path = next("--campaign-trace");
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return 0;
@@ -221,6 +261,17 @@ main(int argc, char **argv)
         const Campaign c = makeSweep(sweep, sopts);
         std::fprintf(stderr, "campaign '%s': %zu jobs, %u workers\n",
                      c.name().c_str(), c.jobCount(), copts.jobs);
+
+        // One span timeline and one metric space for the whole
+        // invocation: a screen sweep's two phases share them (and the
+        // heartbeat file — TelemetryThread appends), so the trace shows
+        // the full screen-then-rerun schedule on one clock.
+        obs::SpanSink span_sink;
+        obs::MetricsRegistry metrics;
+        if (!campaign_trace_path.empty())
+            copts.telemetry.spans = &span_sink;
+        if (copts.telemetry.enabled())
+            copts.telemetry.metrics = &metrics;
 
         const auto t0 = std::chrono::steady_clock::now();
         std::vector<JobResult> results = c.run(copts);
@@ -286,6 +337,16 @@ main(int argc, char **argv)
             ResultSink::writeFileAtomic(out_path, json);
             std::printf("wrote %s (%zu bytes)\n", out_path.c_str(),
                         json.size());
+        }
+
+        if (!campaign_trace_path.empty()) {
+            const std::string tj = obs::toChromeCampaignTrace(
+                span_sink, c.name(),
+                copts.jobs == 0 ? 1 : copts.jobs);
+            ResultSink::writeFileAtomic(campaign_trace_path, tj);
+            std::printf("wrote %s (%zu spans, %zu bytes)\n",
+                        campaign_trace_path.c_str(), span_sink.size(),
+                        tj.size());
         }
 
         // Micro sweep: evaluate every test's expectation block against

@@ -3,10 +3,30 @@
 namespace slf::campaign
 {
 
-ThreadPool::ThreadPool(unsigned threads)
+namespace
+{
+/** Worker index of the calling thread; -1 off-pool. Thread-local so
+ *  nested pools in one process would shadow each other — the campaign
+ *  runner only ever has one pool alive at a time. */
+thread_local int tls_worker = -1;
+} // namespace
+
+ThreadPool::ThreadPool(unsigned threads, obs::MetricsRegistry *metrics)
 {
     if (threads == 0)
         threads = 1;
+    if (metrics) {
+        queue_gauge_ = &metrics->gauge(
+            "slfwd_pool_queue_depth", "Tasks waiting in worker deques.");
+        steal_counter_ = &metrics->counter(
+            "slfwd_pool_steals_total",
+            "Tasks executed from a victim worker's deque.");
+        task_counter_ = &metrics->counter(
+            "slfwd_pool_tasks_total", "Tasks executed by the pool.");
+        idle_counter_ = &metrics->counter(
+            "slfwd_pool_idle_waits_total",
+            "Times a worker slept for lack of work.");
+    }
     queues_.resize(threads);
     workers_.reserve(threads);
     for (unsigned i = 0; i < threads; ++i)
@@ -16,6 +36,12 @@ ThreadPool::ThreadPool(unsigned threads)
 ThreadPool::~ThreadPool()
 {
     shutdown();
+}
+
+int
+ThreadPool::currentWorker()
+{
+    return tls_worker;
 }
 
 bool
@@ -28,6 +54,8 @@ ThreadPool::submit(std::function<void()> task)
         queues_[next_queue_].push_back(std::move(task));
         next_queue_ = (next_queue_ + 1) % queues_.size();
         ++queued_;
+        if (queue_gauge_)
+            queue_gauge_->add(1);
     }
     work_cv_.notify_one();
     return true;
@@ -41,6 +69,8 @@ ThreadPool::takeTask(unsigned self, std::function<void()> &task)
         task = std::move(queues_[self].back());
         queues_[self].pop_back();
         --queued_;
+        if (queue_gauge_)
+            queue_gauge_->add(-1);
         return true;
     }
     // ...then steal the oldest entry (FIFO) from the next busy victim.
@@ -51,6 +81,10 @@ ThreadPool::takeTask(unsigned self, std::function<void()> &task)
             victim.pop_front();
             --queued_;
             ++steals_;
+            if (queue_gauge_)
+                queue_gauge_->add(-1);
+            if (steal_counter_)
+                steal_counter_->add(1);
             return true;
         }
     }
@@ -60,6 +94,7 @@ ThreadPool::takeTask(unsigned self, std::function<void()> &task)
 void
 ThreadPool::workerLoop(unsigned self)
 {
+    tls_worker = static_cast<int>(self);
     std::unique_lock<std::mutex> lock(mutex_);
     for (;;) {
         std::function<void()> task;
@@ -67,6 +102,8 @@ ThreadPool::workerLoop(unsigned self)
             ++running_;
             lock.unlock();
             task();
+            if (task_counter_)
+                task_counter_->add(1);
             lock.lock();
             --running_;
             if (queued_ == 0 && running_ == 0)
@@ -75,6 +112,9 @@ ThreadPool::workerLoop(unsigned self)
         }
         if (stop_)
             return;
+        ++idle_waits_;
+        if (idle_counter_)
+            idle_counter_->add(1);
         work_cv_.wait(lock, [this] { return queued_ > 0 || stop_; });
     }
 }
@@ -109,6 +149,13 @@ ThreadPool::steals() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return steals_;
+}
+
+std::uint64_t
+ThreadPool::idleWaits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return idle_waits_;
 }
 
 } // namespace slf::campaign

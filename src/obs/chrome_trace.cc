@@ -56,6 +56,48 @@ toChromeTraceJson(const TraceSink &sink, const std::string &run_name)
 }
 
 std::string
+toChromeCampaignTrace(const SpanSink &sink,
+                      const std::string &campaign_name, unsigned workers)
+{
+    std::ostringstream os;
+    os << "{\"traceEvents\":[\n";
+    os << "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+          "\"args\":{\"name\":\""
+       << campaign_name << "\"}}";
+    for (unsigned w = 0; w < workers; ++w) {
+        os << ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":" << w
+           << ",\"name\":\"thread_name\",\"args\":{\"name\":\"worker "
+           << w << "\"}}";
+    }
+
+    for (const CampaignSpan &s : sink.spans()) {
+        const char *name = s.kind == SpanKind::Queue      ? "queue"
+                           : s.kind == SpanKind::Attempt  ? "attempt"
+                                                          : "terminal";
+        if (s.kind == SpanKind::Terminal) {
+            os << ",\n{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":"
+               << s.worker << ",\"ts\":" << s.t0_us << ",\"name\":\""
+               << name << "\"";
+        } else {
+            // Clamp dur to 1us: a zero-width slice is invisible in the
+            // viewer.
+            const std::uint64_t dur =
+                s.t1_us > s.t0_us ? s.t1_us - s.t0_us : 1;
+            os << ",\n{\"ph\":\"X\",\"pid\":1,\"tid\":" << s.worker
+               << ",\"ts\":" << s.t0_us << ",\"dur\":" << dur
+               << ",\"name\":\"" << name << "\"";
+        }
+        os << ",\"args\":{\"job\":" << s.job
+           << ",\"attempt\":" << s.attempt << ",\"name\":\"" << s.name
+           << "\",\"status\":\"" << s.status << "\"}}";
+    }
+
+    os << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"spans\":"
+       << sink.size() << ",\"workers\":" << workers << "}}\n";
+    return os.str();
+}
+
+std::string
 toTextTimeline(const TraceSink &sink)
 {
     std::ostringstream os;

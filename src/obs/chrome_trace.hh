@@ -17,6 +17,7 @@
 
 #include <string>
 
+#include "obs/telemetry.hh"
 #include "obs/trace_sink.hh"
 
 namespace slf::obs
@@ -28,6 +29,18 @@ std::string toChromeTraceJson(const TraceSink &sink,
 
 /** Render one line per event: "cycle [track] kind detail seq pc addr". */
 std::string toTextTimeline(const TraceSink &sink);
+
+/**
+ * Render a campaign's runner-level spans (obs/telemetry.hh) as Chrome
+ * trace_event JSON: one pid named after the campaign, one tid ("worker
+ * N") per pool worker, queue/attempt spans as "X" complete events with
+ * ts/dur in real microseconds, and terminal statuses as "i" instant
+ * events. Complements toChromeTraceJson(), whose timeline is one run's
+ * cycles: this one is the whole campaign's wall clock.
+ */
+std::string toChromeCampaignTrace(const SpanSink &sink,
+                                  const std::string &campaign_name,
+                                  unsigned workers);
 
 } // namespace slf::obs
 

@@ -1,0 +1,526 @@
+/**
+ * @file
+ * Tests for the campaign telemetry layer (obs/telemetry.hh): metric
+ * semantics, Prometheus/JSON exposition (golden-pinned), host stats,
+ * span capture and its campaign invariants, the heartbeat thread, the
+ * journaled per-job wall time, and — the hard contract — telemetry on
+ * vs off leaving a campaign's result JSON byte-identical.
+ *
+ * Regenerate the exposition golden with:
+ *   SLFWD_REGEN_GOLDEN=1 ./test_telemetry
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "campaign/campaign.hh"
+#include "campaign/journal.hh"
+#include "campaign/result_sink.hh"
+#include "campaign/thread_pool.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/telemetry.hh"
+#include "sim/logging.hh"
+
+using namespace slf;
+using namespace slf::campaign;
+using obs::CampaignSpan;
+
+
+
+using obs::MetricsRegistry;
+using obs::SpanKind;
+using obs::SpanSink;
+using obs::TelemetryConfig;
+using obs::TelemetryThread;
+
+namespace
+{
+
+std::string
+goldenPath(const char *file)
+{
+    return std::string(SLF_TEST_GOLDEN_DIR) + "/" + file;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+void
+checkGolden(const char *file, const std::string &actual)
+{
+    const std::string path = goldenPath(file);
+    if (std::getenv("SLFWD_REGEN_GOLDEN") != nullptr) {
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(out.good()) << "cannot write golden " << path;
+        out << actual;
+        return;
+    }
+    std::ifstream probe(path, std::ios::binary);
+    ASSERT_TRUE(probe.good())
+        << "golden file " << path
+        << " missing; regenerate with SLFWD_REGEN_GOLDEN=1";
+    EXPECT_EQ(actual, readFile(path))
+        << "golden mismatch for " << file
+        << "; if the change is intentional regenerate with "
+           "SLFWD_REGEN_GOLDEN=1";
+}
+
+std::string
+tmpPath(const char *name)
+{
+    return std::string(::testing::TempDir()) + name;
+}
+
+/** A registry with one of everything at pinned values (the exposition
+ *  goldens and the JSON checks share it). */
+void
+fillRegistry(MetricsRegistry &reg)
+{
+    reg.counter("slfwd_test_total", "A test counter.").add(3);
+    reg.gauge("slfwd_test_depth", "A test gauge.").set(-2);
+    obs::Histogram &h =
+        reg.histogram("slfwd_test_ms", {1.0, 5.0, 10.0},
+                      "A test histogram.");
+    h.observe(0.5);
+    h.observe(3.0);
+    h.observe(7.5);
+    h.observe(100.0);
+    reg.counter("slfwd_test_by_kind_total{kind=\"a\"}",
+                "A labeled counter family.")
+        .add(5);
+    reg.counter("slfwd_test_by_kind_total{kind=\"b\"}",
+                "A labeled counter family.")
+        .add(7);
+    reg.histogram("slfwd_test_labeled_ms{cfg=\"x\"}", {2.0},
+                  "A labeled histogram.")
+        .observe(1.0);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Metric primitives
+// ---------------------------------------------------------------------
+
+TEST(Telemetry, CounterAndGaugeSemantics)
+{
+    MetricsRegistry reg;
+    obs::Counter &c = reg.counter("c_total");
+    c.add();
+    c.add(4);
+    EXPECT_EQ(c.value(), 5u);
+
+    obs::Gauge &g = reg.gauge("g");
+    g.set(10);
+    g.add(-12);
+    EXPECT_EQ(g.value(), -2);
+
+    // Registration is idempotent: same name -> same metric.
+    reg.counter("c_total").add(1);
+    EXPECT_EQ(c.value(), 6u);
+    EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(Telemetry, HistogramBucketsCountAndSum)
+{
+    MetricsRegistry reg;
+    obs::Histogram &h = reg.histogram("h_ms", {1.0, 10.0, 100.0});
+    h.observe(0.5);    // <= 1
+    h.observe(1.0);    // <= 1 (bounds are inclusive upper edges)
+    h.observe(50.0);   // <= 100
+    h.observe(1e6);    // +Inf
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 50.0 + 1e6);
+    EXPECT_EQ(h.bucketCount(0), 2u);  // <= 1
+    EXPECT_EQ(h.bucketCount(1), 0u);  // <= 10
+    EXPECT_EQ(h.bucketCount(2), 1u);  // <= 100
+    EXPECT_EQ(h.bucketCount(3), 1u);  // +Inf
+    // The default wall-time ladder is ascending and spans 1ms..60s.
+    const auto &bounds = obs::Histogram::defaultTimeBoundsMs();
+    ASSERT_FALSE(bounds.empty());
+    for (std::size_t i = 1; i < bounds.size(); ++i)
+        EXPECT_LT(bounds[i - 1], bounds[i]);
+    EXPECT_DOUBLE_EQ(bounds.front(), 1.0);
+    EXPECT_DOUBLE_EQ(bounds.back(), 60000.0);
+}
+
+TEST(Telemetry, RegistryKindMismatchIsFatal)
+{
+    MetricsRegistry reg;
+    reg.counter("x_total");
+    EXPECT_THROW(reg.gauge("x_total"), FatalError);
+    EXPECT_THROW(reg.histogram("x_total", {1.0}), FatalError);
+}
+
+TEST(Telemetry, ConcurrentUpdatesNeverLoseSamples)
+{
+    MetricsRegistry reg;
+    obs::Counter &c = reg.counter("c_total");
+    obs::Histogram &h = reg.histogram("h_ms", {10.0});
+    std::vector<std::thread> ts;
+    for (int t = 0; t < 4; ++t) {
+        ts.emplace_back([&] {
+            for (int i = 0; i < 10000; ++i) {
+                c.add(1);
+                h.observe(double(i % 20));
+            }
+        });
+    }
+    for (auto &t : ts)
+        t.join();
+    EXPECT_EQ(c.value(), 40000u);
+    EXPECT_EQ(h.count(), 40000u);
+    EXPECT_EQ(h.bucketCount(0) + h.bucketCount(1), 40000u);
+}
+
+// ---------------------------------------------------------------------
+// Exposition formats
+// ---------------------------------------------------------------------
+
+TEST(Telemetry, PrometheusTextMatchesGolden)
+{
+    MetricsRegistry reg;
+    fillRegistry(reg);
+    checkGolden("telemetry_snapshot.prom", reg.toPrometheusText());
+}
+
+TEST(Telemetry, PrometheusBucketsAreCumulative)
+{
+    MetricsRegistry reg;
+    fillRegistry(reg);
+    const std::string text = reg.toPrometheusText();
+    // 0.5,3 <= 5 gives 2; 7.5 lands in le="10"; 100 in +Inf.
+    EXPECT_NE(text.find("slfwd_test_ms_bucket{le=\"1\"} 1"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("slfwd_test_ms_bucket{le=\"5\"} 2"),
+              std::string::npos);
+    EXPECT_NE(text.find("slfwd_test_ms_bucket{le=\"10\"} 3"),
+              std::string::npos);
+    EXPECT_NE(text.find("slfwd_test_ms_bucket{le=\"+Inf\"} 4"),
+              std::string::npos);
+    EXPECT_NE(text.find("slfwd_test_ms_count 4"), std::string::npos);
+    // The labeled histogram injects le into the existing label set.
+    EXPECT_NE(
+        text.find("slfwd_test_labeled_ms_bucket{cfg=\"x\",le=\"2\"} 1"),
+        std::string::npos);
+    EXPECT_NE(text.find("slfwd_test_labeled_ms_sum{cfg=\"x\"} 1"),
+              std::string::npos);
+    // One TYPE line per family, not per labeled series.
+    std::size_t type_lines = 0, pos = 0;
+    while ((pos = text.find("# TYPE slfwd_test_by_kind_total", pos)) !=
+           std::string::npos) {
+        ++type_lines;
+        pos += 1;
+    }
+    EXPECT_EQ(type_lines, 1u);
+}
+
+TEST(Telemetry, JsonExpositionEscapesLabeledSeriesKeys)
+{
+    MetricsRegistry reg;
+    fillRegistry(reg);
+    const std::string js = reg.toJson();
+    // The label quotes must arrive escaped, or the heartbeat record
+    // stops being JSON.
+    EXPECT_NE(
+        js.find("\"slfwd_test_by_kind_total{kind=\\\"a\\\"}\":5"),
+        std::string::npos)
+        << js;
+    EXPECT_NE(js.find("\"slfwd_test_total\":3"), std::string::npos);
+    EXPECT_NE(js.find("\"slfwd_test_depth\":-2"), std::string::npos);
+    EXPECT_NE(js.find("\"count\":4"), std::string::npos);
+    EXPECT_EQ(js.find('\n'), std::string::npos) << "must be one line";
+}
+
+TEST(Telemetry, HostStatsReadableOnLinux)
+{
+    const obs::HostStats hs = obs::readHostStats();
+    EXPECT_GT(hs.rss_kb, 0u);
+    EXPECT_GE(hs.threads, 1u);
+}
+
+// ---------------------------------------------------------------------
+// SpanSink + campaign trace exporter
+// ---------------------------------------------------------------------
+
+TEST(Telemetry, SpanSinkSortsAndCounts)
+{
+    SpanSink sink;
+    sink.record({SpanKind::Attempt, 1, 7, 0, 100, 200, "a/w", "ok"});
+    sink.record({SpanKind::Queue, 0, 7, 0, 10, 90, "a/w", "queued"});
+    sink.record({SpanKind::Terminal, 1, 7, 0, 200, 200, "a/w", "ok"});
+    EXPECT_EQ(sink.size(), 3u);
+    EXPECT_EQ(sink.countKind(SpanKind::Queue), 1u);
+    EXPECT_EQ(sink.countKind(SpanKind::Attempt), 1u);
+    EXPECT_EQ(sink.countKind(SpanKind::Terminal), 1u);
+    const auto spans = sink.spans();
+    EXPECT_EQ(spans[0].kind, SpanKind::Queue);   // t0 10 first
+    EXPECT_EQ(spans[2].kind, SpanKind::Terminal);
+
+    const std::string trace =
+        obs::toChromeCampaignTrace(sink, "camp", 2);
+    EXPECT_NE(trace.find("\"name\":\"camp\""), std::string::npos);
+    EXPECT_NE(trace.find("\"name\":\"worker 1\""), std::string::npos);
+    EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(trace.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(trace.find("\"spans\":3"), std::string::npos);
+}
+
+namespace
+{
+
+JobSpec
+syntheticJob(std::string config_name, std::string workload)
+{
+    JobSpec spec;
+    spec.config_name = std::move(config_name);
+    spec.workload = std::move(workload);
+    spec.backend = BackendKind::Synthetic;
+    return spec;
+}
+
+Campaign
+syntheticCampaign(unsigned jobs)
+{
+    Campaign c("telemetry");
+    for (unsigned i = 0; i < jobs; ++i)
+        c.addJob(syntheticJob("cfg" + std::to_string(i % 2),
+                              "wl" + std::to_string(i)));
+    return c;
+}
+
+} // namespace
+
+TEST(Telemetry, SpanCountsMatchAttemptsAcrossRetries)
+{
+    // wl3 fails twice before succeeding: 3 attempts for it, 1 each for
+    // the other seven jobs.
+    std::atomic<unsigned> wl3_attempts{0};
+    ScopedSyntheticBackend synthetic(
+        [&](const JobSpec &spec, const CoreConfig &, unsigned) {
+            if (spec.workload == "wl3" && wl3_attempts.fetch_add(1) < 2)
+                fatal("transient");
+            SimResult r;
+            r.insts = 1;
+            return r;
+        });
+
+    const Campaign c = syntheticCampaign(8);
+    SpanSink spans;
+    MetricsRegistry reg;
+    CampaignOptions opts;
+    opts.jobs = 3;
+    opts.max_retries = 2;
+    opts.retry_backoff_ms = 1;
+    opts.telemetry.spans = &spans;
+    opts.telemetry.metrics = &reg;
+    const auto results = c.run(opts);
+
+    unsigned total_attempts = 0;
+    for (const JobResult &jr : results) {
+        EXPECT_TRUE(jr.ok());
+        total_attempts += jr.attempts;
+    }
+    EXPECT_EQ(total_attempts, 10u);  // 7x1 + 1x3
+
+    // The invariant the trace viewer relies on: every executed job has
+    // exactly one queue span, one terminal span and one attempt span
+    // per attempt, with the retry edges labeled.
+    EXPECT_EQ(spans.countKind(SpanKind::Queue), 8u);
+    EXPECT_EQ(spans.countKind(SpanKind::Terminal), 8u);
+    EXPECT_EQ(spans.countKind(SpanKind::Attempt), 10u);
+    unsigned retry_spans = 0;
+    for (const CampaignSpan &s : spans.spans())
+        retry_spans += s.status == "retry:fatal" ? 1 : 0;
+    EXPECT_EQ(retry_spans, 2u);
+    EXPECT_EQ(reg.counter("slfwd_job_retries_total").value(), 2u);
+    EXPECT_EQ(reg.counter("slfwd_jobs_done_total").value(), 8u);
+    EXPECT_EQ(reg.counter("slfwd_jobs_ok_total").value(), 8u);
+}
+
+TEST(Telemetry, ResultJsonByteIdenticalWithTelemetryOn)
+{
+    ScopedSyntheticBackend synthetic(
+        [](const JobSpec &, const CoreConfig &cfg, unsigned) {
+            SimResult r;
+            r.cycles = cfg.rng_seed % 1000 + 1;
+            r.insts = 42;
+            r.ipc = double(r.insts) / double(r.cycles);
+            return r;
+        });
+    const Campaign c = syntheticCampaign(12);
+
+    CampaignOptions plain;
+    plain.jobs = 2;
+    plain.progress = false;
+    const std::string off = ResultSink::toJson(
+        c.name(), plain.root_seed, c.run(plain));
+
+    CampaignOptions telem = plain;
+    SpanSink spans;
+    MetricsRegistry reg;
+    telem.telemetry.spans = &spans;
+    telem.telemetry.metrics = &reg;
+    telem.telemetry.heartbeat_path = tmpPath("telem_identity_hb.jsonl");
+    telem.telemetry.heartbeat_ms = 1;
+    telem.telemetry.snapshot_path = tmpPath("telem_identity.prom");
+    std::remove(telem.telemetry.heartbeat_path.c_str());
+    const std::string on = ResultSink::toJson(
+        c.name(), telem.root_seed, c.run(telem));
+
+    EXPECT_EQ(off, on);
+    EXPECT_GT(spans.size(), 0u);
+    // The heartbeat stream exists and ends with the final record.
+    const std::string hb = readFile(telem.telemetry.heartbeat_path);
+    EXPECT_NE(hb.find("\"hb\":\"slf-heartbeat\""), std::string::npos);
+    EXPECT_NE(hb.find("\"final\":true"), std::string::npos);
+    EXPECT_NE(hb.find("\"summary\":{\"slowest\":["), std::string::npos);
+    // The snapshot is Prometheus exposition with the campaign series.
+    const std::string snap = readFile(telem.telemetry.snapshot_path);
+    EXPECT_NE(snap.find("# TYPE slfwd_jobs_done_total counter"),
+              std::string::npos);
+    EXPECT_NE(snap.find("# TYPE slfwd_job_wall_ms histogram"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// TelemetryThread
+// ---------------------------------------------------------------------
+
+TEST(Telemetry, ThreadEmitsStartAndFinalRecords)
+{
+    MetricsRegistry reg;
+    reg.counter("c_total").add(9);
+    TelemetryConfig cfg;
+    cfg.heartbeat_path = tmpPath("telem_thread_hb.jsonl");
+    cfg.interval_ms = 1000000;  // only the start + final beats fire
+    std::remove(cfg.heartbeat_path.c_str());
+
+    std::string snapshot;
+    {
+        TelemetryThread t(
+            reg, cfg,
+            [](bool final) {
+                return std::string("\"extra\":") +
+                       (final ? "\"last\"" : "\"live\"");
+            },
+            nullptr);
+        // Beat 0 is emitted synchronously-enough to be visible fast;
+        // stop() adds the final record.
+        t.stop();
+        EXPECT_GE(t.beats(), 2u);
+    }
+    const std::string hb = readFile(cfg.heartbeat_path);
+    // Two records: seq 0 live, then the final one.
+    EXPECT_NE(hb.find("\"seq\":0"), std::string::npos);
+    EXPECT_NE(hb.find("\"final\":false"), std::string::npos);
+    EXPECT_NE(hb.find("\"final\":true"), std::string::npos);
+    EXPECT_NE(hb.find("\"extra\":\"live\""), std::string::npos);
+    EXPECT_NE(hb.find("\"extra\":\"last\""), std::string::npos);
+    EXPECT_NE(hb.find("\"c_total\":9"), std::string::npos);
+    // Every line is a complete record (single write(2) each).
+    ASSERT_FALSE(hb.empty());
+    EXPECT_EQ(hb.back(), '\n');
+}
+
+TEST(Telemetry, ThreadWritesSnapshotThroughCallback)
+{
+    MetricsRegistry reg;
+    reg.counter("c_total").add(1);
+    TelemetryConfig cfg;
+    cfg.snapshot_path = tmpPath("telem_thread_snap.prom");
+    cfg.interval_ms = 1;
+    std::string written_path, written_content;
+    {
+        TelemetryThread t(reg, cfg, nullptr,
+                          [&](const std::string &p, const std::string &c) {
+                              written_path = p;
+                              written_content = c;
+                          });
+        t.stop();
+        t.stop();  // idempotent
+    }
+    EXPECT_EQ(written_path, cfg.snapshot_path);
+    EXPECT_NE(written_content.find("# TYPE c_total counter"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// ThreadPool metric mirrors
+// ---------------------------------------------------------------------
+
+TEST(Telemetry, ThreadPoolMirrorsCountersIntoRegistry)
+{
+    MetricsRegistry reg;
+    {
+        ThreadPool pool(3, &reg);
+        EXPECT_EQ(ThreadPool::currentWorker(), -1);  // off-pool thread
+        std::atomic<int> count{0};
+        std::atomic<bool> saw_worker_id{true};
+        for (int i = 0; i < 100; ++i) {
+            pool.submit([&] {
+                const int w = ThreadPool::currentWorker();
+                if (w < 0 || w >= 3)
+                    saw_worker_id = false;
+                ++count;
+            });
+        }
+        pool.wait();
+        EXPECT_EQ(count.load(), 100);
+        EXPECT_TRUE(saw_worker_id.load());
+        EXPECT_EQ(reg.counter("slfwd_pool_steals_total").value(),
+                  pool.steals());
+        EXPECT_EQ(reg.counter("slfwd_pool_idle_waits_total").value(),
+                  pool.idleWaits());
+        // Queue is drained after wait(): depth gauge back to zero.
+        EXPECT_EQ(reg.gauge("slfwd_pool_queue_depth").value(), 0);
+    }
+    EXPECT_EQ(reg.counter("slfwd_pool_tasks_total").value(), 100u);
+}
+
+// ---------------------------------------------------------------------
+// Journaled wall time
+// ---------------------------------------------------------------------
+
+TEST(Telemetry, JournalRoundTripsWallMs)
+{
+    const std::string path = tmpPath("telem_journal_wall.jsonl");
+    std::remove(path.c_str());
+
+    std::vector<JobSpec> jobs;
+    jobs.push_back(syntheticJob("cfg", "wl"));
+    JobResult jr;
+    jr.index = 0;
+    jr.config_name = "cfg";
+    jr.workload = "wl";
+    jr.backend = BackendKind::Synthetic;
+    jr.attempts = 1;
+    jr.wall_ms = 1234;
+    jr.result.insts = 5;
+
+    const std::uint64_t digest = JobJournal::specDigest(jobs[0], 0, 7);
+    EXPECT_NE(JobJournal::recordLine(jr, digest).find("\"wall_ms\":1234"),
+              std::string::npos);
+    {
+        JobJournal j(path, "camp", 7, 1, false);
+        j.append(jr, digest);
+        EXPECT_GT(j.bytesWritten(), 0u);
+    }
+    const auto loaded = JobJournal::load(path, "camp", 7, jobs);
+    ASSERT_TRUE(loaded[0].has_value());
+    EXPECT_EQ(loaded[0]->wall_ms, 1234u);
+    EXPECT_TRUE(loaded[0]->rehydrated);
+}
